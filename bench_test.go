@@ -1,0 +1,152 @@
+package quest
+
+// The benchmark harness: one testing.B benchmark per figure of the QUEST
+// evaluation (Sec. 4), each regenerating the figure's data in quick mode,
+// plus micro-benchmarks for the pipeline's hot kernels. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-scale figures use the experiments command instead:
+//
+//	go run ./cmd/experiments -fig 8
+//
+// The per-figure tables themselves are written to EXPERIMENTS.md; these
+// benchmarks measure the cost of regenerating them.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchFig(b *testing.B, fig int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Config{Quick: true, Seed: 3, Out: io.Discard}
+		if err := experiments.Run(fig, cfg); err != nil {
+			b.Fatalf("figure %d: %v", fig, err)
+		}
+	}
+}
+
+// BenchmarkFig01Motivation regenerates Fig. 1 (motivation: noisy Qiskit
+// output vs ground truth for TFIM/Heisenberg).
+func BenchmarkFig01Motivation(b *testing.B) { benchFig(b, 1) }
+
+// BenchmarkFig04ExactSynthScatter regenerates Fig. 4 (exact synthesis
+// CNOTs-vs-TVD scatter).
+func BenchmarkFig04ExactSynthScatter(b *testing.B) { benchFig(b, 4) }
+
+// BenchmarkFig07BoundVsActual regenerates Fig. 7 (theoretical bound vs
+// actual process distance).
+func BenchmarkFig07BoundVsActual(b *testing.B) { benchFig(b, 7) }
+
+// BenchmarkFig08CNOTReduction regenerates Fig. 8 (% CNOT reduction).
+func BenchmarkFig08CNOTReduction(b *testing.B) { benchFig(b, 8) }
+
+// BenchmarkFig09IdealOutputDistance regenerates Fig. 9 (ideal TVD/JSD of
+// the QUEST ensemble).
+func BenchmarkFig09IdealOutputDistance(b *testing.B) { benchFig(b, 9) }
+
+// BenchmarkFig10Manila regenerates Fig. 10 (TVD on the Manila-class
+// device).
+func BenchmarkFig10Manila(b *testing.B) { benchFig(b, 10) }
+
+// BenchmarkFig11NoiseSweep regenerates Fig. 11 (% TVD reduction at 1%,
+// 0.5%, 0.1% noise).
+func BenchmarkFig11NoiseSweep(b *testing.B) { benchFig(b, 11) }
+
+// BenchmarkFig12Overhead regenerates Fig. 12 (pipeline cost breakdown).
+func BenchmarkFig12Overhead(b *testing.B) { benchFig(b, 12) }
+
+// BenchmarkFig13CaseStudy regenerates Fig. 13 (TFIM/Heisenberg evolution
+// on the Manila-class device).
+func BenchmarkFig13CaseStudy(b *testing.B) { benchFig(b, 13) }
+
+// BenchmarkFig14CaseStudyNoise regenerates Fig. 14 (case study under the
+// noise sweep).
+func BenchmarkFig14CaseStudyNoise(b *testing.B) { benchFig(b, 14) }
+
+// BenchmarkFig15CircuitIllustration regenerates Fig. 15 (CNOT count of
+// baseline vs one QUEST approximation).
+func BenchmarkFig15CircuitIllustration(b *testing.B) { benchFig(b, 15) }
+
+// BenchmarkFig16ThresholdSweep regenerates Fig. 16 (threshold
+// sensitivity).
+func BenchmarkFig16ThresholdSweep(b *testing.B) { benchFig(b, 16) }
+
+// BenchmarkAblationSelection measures the dissimilar-vs-random selection
+// ablation study (the Sec. 3.6 design-choice validation).
+func BenchmarkAblationSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Config{Quick: true, Seed: 3, Out: io.Discard}
+		if err := experiments.RunAblation("selection", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEnsembleSize measures the ensemble-size ablation.
+func BenchmarkAblationEnsembleSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Config{Quick: true, Seed: 3, Out: io.Discard}
+		if err := experiments.RunAblation("ensemble-size", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineTFIM4 measures one full QUEST pipeline run on the
+// 4-qubit TFIM benchmark (the paper's flagship workload).
+func BenchmarkPipelineTFIM4(b *testing.B) {
+	c, err := GenerateBenchmark("tfim", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Approximate(c, Config{MaxSamples: 4, AnnealIterations: 150, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQiskitBaselineHeisenberg4 measures the Qiskit-style transpiler
+// baseline on heisenberg-4 (lower + 2q resynthesis + local passes).
+func BenchmarkQiskitBaselineHeisenberg4(b *testing.B) {
+	c, err := GenerateBenchmark("heisenberg", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OptimizeQiskitStyle(c)
+	}
+}
+
+// BenchmarkIdealSimulation10Q measures statevector simulation of a
+// 10-qubit TFIM circuit.
+func BenchmarkIdealSimulation10Q(b *testing.B) {
+	c, err := GenerateBenchmark("tfim", 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(c)
+	}
+}
+
+// BenchmarkNoisySimulation compares the trajectory simulator's cost on the
+// 4-qubit Heisenberg benchmark at 100 trajectories.
+func BenchmarkNoisySimulation(b *testing.B) {
+	c, err := GenerateBenchmark("heisenberg", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := UniformNoise(0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulateNoisy(c, m, 0, int64(i+1))
+	}
+}

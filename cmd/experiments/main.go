@@ -1,0 +1,64 @@
+// Command experiments regenerates the figures of the QUEST evaluation
+// (Sec. 4) as text tables. See EXPERIMENTS.md for the recorded outputs and
+// the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments -fig 8            # one figure, full scale
+//	experiments -fig 8 -quick     # one figure, reduced scale
+//	experiments -all -quick       # every figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure number to regenerate")
+		all      = flag.Bool("all", false, "regenerate every figure")
+		ablation = flag.String("ablation", "", "run an ablation study instead (or 'all')")
+		quick    = flag.Bool("quick", false, "reduced workload sizes and search budgets")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Out: os.Stdout}
+	if *ablation != "" {
+		names := experiments.Ablations()
+		if *ablation != "all" {
+			names = []string{*ablation}
+		}
+		for _, name := range names {
+			start := time.Now()
+			if err := experiments.RunAblation(name, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: ablation %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[ablation %s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+	figs := experiments.Figures()
+	if !*all {
+		if *fig == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: need -fig N, -ablation NAME, or -all (figures: %v; ablations: %v)\n",
+				figs, experiments.Ablations())
+			os.Exit(1)
+		}
+		figs = []int{*fig}
+	}
+	for _, f := range figs {
+		start := time.Now()
+		if err := experiments.Run(f, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: figure %d: %v\n", f, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[figure %d done in %v]\n", f, time.Since(start).Round(time.Millisecond))
+	}
+}

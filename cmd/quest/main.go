@@ -1,0 +1,127 @@
+// Command quest runs the QUEST approximation pipeline on a circuit and
+// writes the selected approximations as OpenQASM 2.0 files.
+//
+// Usage:
+//
+//	quest -in circuit.qasm [-out dir] [flags]
+//	quest -algo tfim -n 4 [-out dir] [flags]
+//
+// With -out unset, a summary table is printed and no files are written.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	quest "repro"
+	"repro/internal/artifact"
+	"repro/internal/metrics"
+	"repro/internal/qasm"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		inFile    = flag.String("in", "", "input OpenQASM 2.0 file")
+		algo      = flag.String("algo", "", "generate a Table-1 benchmark instead of reading a file")
+		qubits    = flag.Int("n", 4, "benchmark size (with -algo)")
+		outDir    = flag.String("out", "", "directory for the approximate .qasm files")
+		artDir    = flag.String("artifact", "", "directory for the full artifact layout (blocks, candidates, solutions)")
+		blockSize = flag.Int("blocksize", 3, "maximum partition block size")
+		epsilon   = flag.Float64("eps", 0.05, "per-block process-distance budget")
+		samples   = flag.Int("samples", 16, "maximum number of dissimilar approximations (M)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		ideal     = flag.Bool("ideal", true, "report ideal-simulation ensemble TVD (circuits up to ~12 qubits)")
+	)
+	flag.Parse()
+
+	c, name, err := loadCircuit(*inFile, *algo, *qubits)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quest:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("input %s: %d qubits, %d ops, %d CNOTs, depth %d\n",
+		name, c.NumQubits, c.Size(), c.CNOTCount(), c.Depth())
+
+	res, err := quest.Approximate(c, quest.Config{
+		BlockSize:  *blockSize,
+		Epsilon:    *epsilon,
+		MaxSamples: *samples,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quest:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("partitioned into %d blocks (threshold Σε ≤ %.3f)\n", len(res.Blocks), res.Threshold)
+	fmt.Printf("selected %d dissimilar approximations:\n", len(res.Selected))
+	fmt.Printf("%8s %8s %12s\n", "sample", "CNOTs", "bound Σε")
+	for i, a := range res.Selected {
+		fmt.Printf("%8d %8d %12.4f\n", i, a.CNOTs, a.EpsilonSum)
+	}
+	fmt.Printf("timing: partition %v, synthesis %v, annealing %v\n",
+		res.Timing.Partition, res.Timing.Synthesis, res.Timing.Annealing)
+
+	if *ideal && c.NumQubits <= 12 {
+		truth := sim.Probabilities(c)
+		ens, err := res.EnsembleProbabilities(quest.IdealRunner())
+		if err == nil {
+			fmt.Printf("ideal ensemble TVD = %.4f, JSD = %.4f\n",
+				metrics.TVD(truth, ens), metrics.JSD(truth, ens))
+		}
+	}
+
+	if *artDir != "" {
+		if err := artifact.Write(*artDir, res); err != nil {
+			fmt.Fprintln(os.Stderr, "quest:", err)
+			os.Exit(1)
+		}
+		if err := artifact.Verify(*artDir); err != nil {
+			fmt.Fprintln(os.Stderr, "quest: artifact self-check:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote and verified artifact layout under %s\n", *artDir)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "quest:", err)
+			os.Exit(1)
+		}
+		for i, a := range res.Selected {
+			path := filepath.Join(*outDir, fmt.Sprintf("%s_approx_%02d.qasm", name, i))
+			if err := os.WriteFile(path, []byte(qasm.Write(a.Circuit)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "quest:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("wrote %d files to %s\n", len(res.Selected), *outDir)
+	}
+}
+
+func loadCircuit(inFile, algo string, qubits int) (*quest.Circuit, string, error) {
+	switch {
+	case inFile != "":
+		src, err := os.ReadFile(inFile)
+		if err != nil {
+			return nil, "", err
+		}
+		c, err := quest.ParseQASM(string(src))
+		if err != nil {
+			return nil, "", err
+		}
+		base := filepath.Base(inFile)
+		return c, base[:len(base)-len(filepath.Ext(base))], nil
+	case algo != "":
+		c, err := quest.GenerateBenchmark(algo, qubits)
+		if err != nil {
+			return nil, "", err
+		}
+		return c, fmt.Sprintf("%s_%d", algo, c.NumQubits), nil
+	}
+	return nil, "", fmt.Errorf("need -in or -algo (benchmarks: %v)", quest.Benchmarks())
+}

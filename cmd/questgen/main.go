@@ -1,0 +1,63 @@
+// Command questgen emits the paper's Table-1 benchmark circuits as
+// OpenQASM 2.0, either one algorithm to stdout or the whole suite to a
+// directory (mirroring the artifact's input_qasm_files layout).
+//
+// Usage:
+//
+//	questgen -algo qft -n 5            # one circuit to stdout
+//	questgen -all -out input_qasm_files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	quest "repro"
+)
+
+func main() {
+	var (
+		algo   = flag.String("algo", "", "benchmark name")
+		qubits = flag.Int("n", 4, "approximate qubit count")
+		all    = flag.Bool("all", false, "emit every benchmark")
+		outDir = flag.String("out", "", "output directory (required with -all)")
+	)
+	flag.Parse()
+
+	switch {
+	case *all:
+		if *outDir == "" {
+			fmt.Fprintln(os.Stderr, "questgen: -all requires -out")
+			os.Exit(1)
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "questgen:", err)
+			os.Exit(1)
+		}
+		for _, name := range quest.Benchmarks() {
+			c, err := quest.GenerateBenchmark(name, *qubits)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "questgen:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, fmt.Sprintf("%s_%d.qasm", name, c.NumQubits))
+			if err := os.WriteFile(path, []byte(quest.WriteQASM(c)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "questgen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d qubits, %d CNOTs)\n", path, c.NumQubits, c.CNOTCount())
+		}
+	case *algo != "":
+		c, err := quest.GenerateBenchmark(*algo, *qubits)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "questgen:", err)
+			os.Exit(1)
+		}
+		fmt.Print(quest.WriteQASM(c))
+	default:
+		fmt.Fprintf(os.Stderr, "questgen: need -algo or -all (benchmarks: %v)\n", quest.Benchmarks())
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,112 @@
+// Command questsim is the repro of the artifact's
+// generate_simulation_results step: it executes circuits (QASM files or
+// generated benchmarks) on the ideal simulator, the noisy Pauli simulator
+// at a chosen p_gate, or the Manila-class device model, and reports the
+// output distribution and its TVD/JSD against the ideal output.
+//
+// Usage:
+//
+//	questsim -in circuit.qasm -noise 0.01 -shots 8192
+//	questsim -algo tfim -n 4 -device manila
+//	questsim -in a.qasm -in-ref b.qasm          # compare two circuits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	quest "repro"
+	"repro/internal/qasm"
+)
+
+func main() {
+	var (
+		inFile   = flag.String("in", "", "input OpenQASM 2.0 file")
+		refFile  = flag.String("in-ref", "", "optional reference QASM file (defaults to the input's ideal run)")
+		algo     = flag.String("algo", "", "generate a Table-1 benchmark instead of reading a file")
+		qubits   = flag.Int("n", 4, "benchmark size (with -algo)")
+		noiseLvl = flag.Float64("noise", 0, "uniform Pauli noise level p_gate (0 = ideal)")
+		device   = flag.String("device", "", "run on a device model instead (\"manila\")")
+		shots    = flag.Int("shots", 0, "measurement shots (0 = exact probabilities)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		top      = flag.Int("top", 8, "how many basis states to print")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*inFile, *algo, *qubits)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "questsim:", err)
+		os.Exit(1)
+	}
+
+	ref := quest.Simulate(c)
+	if *refFile != "" {
+		src, err := os.ReadFile(*refFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "questsim:", err)
+			os.Exit(1)
+		}
+		rc, err := quest.ParseQASM(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "questsim:", err)
+			os.Exit(1)
+		}
+		ref = quest.Simulate(rc)
+	}
+
+	var out []float64
+	switch {
+	case *device == "manila":
+		out, err = quest.RunOnDevice(quest.Manila(), c, *shots, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "questsim:", err)
+			os.Exit(1)
+		}
+	case *device != "":
+		fmt.Fprintf(os.Stderr, "questsim: unknown device %q\n", *device)
+		os.Exit(1)
+	case *noiseLvl > 0:
+		out = quest.SimulateNoisy(c, quest.UniformNoise(*noiseLvl), *shots, *seed)
+	default:
+		out = ref
+	}
+
+	fmt.Printf("circuit: %d qubits, %d ops, %d CNOTs, depth %d\n",
+		c.NumQubits, c.Size(), c.CNOTCount(), c.Depth())
+	fmt.Printf("TVD vs reference = %.4f, JSD = %.4f\n", quest.TVD(ref, out), quest.JSD(ref, out))
+
+	type entry struct {
+		state int
+		p     float64
+	}
+	entries := make([]entry, 0, len(out))
+	for k, p := range out {
+		if p > 1e-9 {
+			entries = append(entries, entry{k, p})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].p > entries[j].p })
+	if len(entries) > *top {
+		entries = entries[:*top]
+	}
+	fmt.Printf("top %d states:\n", len(entries))
+	for _, e := range entries {
+		fmt.Printf("  |%0*b>  %.4f\n", c.NumQubits, e.state, e.p)
+	}
+}
+
+func loadCircuit(inFile, algo string, qubits int) (*quest.Circuit, error) {
+	switch {
+	case inFile != "":
+		src, err := os.ReadFile(inFile)
+		if err != nil {
+			return nil, err
+		}
+		return qasm.Parse(string(src))
+	case algo != "":
+		return quest.GenerateBenchmark(algo, qubits)
+	}
+	return nil, fmt.Errorf("need -in or -algo (benchmarks: %v)", quest.Benchmarks())
+}

@@ -1,0 +1,51 @@
+// Quickstart: approximate a small benchmark circuit with QUEST and check
+// that the ensemble output matches the original while using fewer CNOTs.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	quest "repro"
+)
+
+func main() {
+	// Build a 4-qubit transverse-field Ising model evolution circuit —
+	// one of the paper's materials-simulation workloads.
+	c, err := quest.GenerateBenchmark("tfim", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original circuit: %d qubits, %d ops, %d CNOTs\n",
+		c.NumQubits, c.Size(), c.CNOTCount())
+
+	// Run the QUEST pipeline: partition -> approximate synthesis ->
+	// dual-annealing selection of dissimilar low-CNOT approximations.
+	res, err := quest.Approximate(c, quest.Config{MaxSamples: 8, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("QUEST: %d blocks, %d approximations selected\n",
+		len(res.Blocks), len(res.Selected))
+	for i, a := range res.Selected {
+		fmt.Printf("  sample %d: %d CNOTs (process-distance bound %.4f)\n",
+			i, a.CNOTs, a.EpsilonSum)
+	}
+
+	// The ensemble output (average over the approximations) should track
+	// the original circuit's ideal output.
+	truth := quest.Simulate(c)
+	ens, err := res.EnsembleProbabilities(quest.IdealRunner())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CNOTs: %d -> %d best sample\n", c.CNOTCount(), res.BestCNOTs())
+	fmt.Printf("ideal ensemble TVD = %.4f, JSD = %.4f\n",
+		quest.TVD(truth, ens), quest.JSD(truth, ens))
+
+	// Export the first approximation as OpenQASM 2.0.
+	fmt.Println("\nfirst approximation as QASM:")
+	fmt.Println(quest.WriteQASM(res.Selected[0].Circuit))
+}

@@ -1,0 +1,80 @@
+package quest
+
+import (
+	"fmt"
+
+	"repro/internal/hamiltonian"
+	"repro/internal/kak"
+	"repro/internal/linalg"
+	"repro/internal/mitigation"
+	"repro/internal/sim"
+)
+
+// This file exposes the supporting substrates that complement the core
+// pipeline: Pauli-string Hamiltonians and Trotterization, KAK two-qubit
+// analysis, and measurement-error mitigation.
+
+// Hamiltonian is a sum of weighted Pauli strings; build spin models with
+// NewTFIMHamiltonian and friends or assemble terms directly.
+type Hamiltonian = hamiltonian.Hamiltonian
+
+// NewTFIMHamiltonian returns H = -J Σ Z_i Z_{i+1} - g Σ X_i on an open
+// chain (the paper's TFIM workload family).
+func NewTFIMHamiltonian(n int, j, g float64) *Hamiltonian { return hamiltonian.TFIM(n, j, g) }
+
+// NewHeisenbergHamiltonian returns H = -J Σ (XX+YY+ZZ) - g Σ Z.
+func NewHeisenbergHamiltonian(n int, j, g float64) *Hamiltonian {
+	return hamiltonian.Heisenberg(n, j, g)
+}
+
+// NewXYHamiltonian returns H = -J Σ (XX+YY).
+func NewXYHamiltonian(n int, j float64) *Hamiltonian { return hamiltonian.XY(n, j) }
+
+// Trotterize returns a first-order Trotter circuit for exp(-iH·steps·dt).
+func Trotterize(h *Hamiltonian, steps int, dt float64) *Circuit { return h.Trotter(steps, dt) }
+
+// Trotterize2 returns a second-order (Strang) Trotter circuit.
+func Trotterize2(h *Hamiltonian, steps int, dt float64) *Circuit { return h.Trotter2(steps, dt) }
+
+// TwoQubitMinCNOTs returns how many CNOTs (0-3) a two-qubit circuit's
+// unitary provably requires, via the Makhlin-invariant classification.
+func TwoQubitMinCNOTs(c *Circuit) (int, error) {
+	u := sim.Unitary(c)
+	if u.Rows != 4 {
+		return 0, errNotTwoQubit(c.NumQubits)
+	}
+	return kak.MinCNOTs(u), nil
+}
+
+// TwoQubitWeylCoordinates returns the canonical-class coordinates (a,b,c)
+// of a two-qubit circuit's unitary, folded into the Weyl chamber.
+func TwoQubitWeylCoordinates(c *Circuit) (a, b, cc float64, err error) {
+	u := sim.Unitary(c)
+	if u.Rows != 4 {
+		return 0, 0, 0, errNotTwoQubit(c.NumQubits)
+	}
+	return kak.WeylCoordinates(u)
+}
+
+func errNotTwoQubit(n int) error {
+	return fmt.Errorf("quest: KAK analysis needs a 2-qubit circuit, got %d qubits", n)
+}
+
+// MitigateReadout corrects a measured distribution for a symmetric
+// per-qubit readout error e (matching NoiseModel.ReadoutError).
+func MitigateReadout(p []float64, numQubits int, e float64) ([]float64, error) {
+	m, err := mitigation.NewUniform(numQubits, e)
+	if err != nil {
+		return nil, err
+	}
+	return m.Apply(p)
+}
+
+// ExpectationEnergy returns <ψ|H|ψ> for the circuit's ideal output state.
+func ExpectationEnergy(h *Hamiltonian, c *Circuit) float64 {
+	return h.Expectation(sim.Run(c))
+}
+
+// CircuitUnitary returns the circuit's full unitary matrix (small
+// circuits only; cost grows as 4^n).
+func CircuitUnitary(c *Circuit) *linalg.Matrix { return sim.Unitary(c) }

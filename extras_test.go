@@ -1,0 +1,71 @@
+package quest
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicHamiltonianWorkflow(t *testing.T) {
+	h := NewTFIMHamiltonian(3, 1, 1)
+	c1 := Trotterize(h, 4, 0.1)
+	c2 := Trotterize2(h, 4, 0.1)
+	if c1.Size() == 0 || c2.Size() == 0 {
+		t.Fatal("empty Trotter circuits")
+	}
+	// Second order uses roughly twice the gates per step.
+	if c2.Size() <= c1.Size() {
+		t.Errorf("Trotter2 (%d ops) not deeper than Trotter (%d ops)", c2.Size(), c1.Size())
+	}
+	// Energy from |000>: all ZZ bonds aligned contributes -2J; the X
+	// field contributes 0 in expectation.
+	e := ExpectationEnergy(h, New(3))
+	if math.Abs(e-(-2)) > 1e-9 {
+		t.Errorf("TFIM |000> energy = %g, want -2", e)
+	}
+}
+
+func TestPublicKAKAnalysis(t *testing.T) {
+	c := New(2)
+	c.CX(0, 1)
+	n, err := TwoQubitMinCNOTs(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("CX MinCNOTs = %d", n)
+	}
+	a, b, cc, err := TwoQubitWeylCoordinates(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-math.Pi/4) > 1e-6 || b > 1e-6 || cc > 1e-6 {
+		t.Errorf("CX Weyl = (%g,%g,%g)", a, b, cc)
+	}
+	// Wrong width is rejected.
+	if _, err := TwoQubitMinCNOTs(New(3)); err == nil {
+		t.Error("3-qubit circuit accepted by KAK analysis")
+	}
+}
+
+func TestPublicMitigation(t *testing.T) {
+	c := New(2)
+	c.X(0)
+	m := NoiseModel{ReadoutError: 0.1}
+	noisy := SimulateNoisy(c, m, 0, 3)
+	fixed, err := MitigateReadout(noisy, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvd := TVD(Simulate(c), fixed); tvd > 1e-9 {
+		t.Errorf("mitigated TVD = %g", tvd)
+	}
+}
+
+func TestPublicCircuitUnitary(t *testing.T) {
+	c := New(1)
+	c.X(0)
+	u := CircuitUnitary(c)
+	if u.Rows != 2 || u.At(0, 1) != 1 {
+		t.Errorf("CircuitUnitary(X) wrong: %v", u)
+	}
+}

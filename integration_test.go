@@ -1,0 +1,139 @@
+package quest
+
+// Integration tests: the full artifact workflow of the paper's appendix —
+// QASM circuit files in, partitioning + synthesis + dual annealing,
+// approximate QASM circuits out — driven purely through the public API.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/sim"
+)
+
+// TestWorkflowQASMToApproximations mirrors the artifact's
+// generate_post_partitioning_files → generate_post_synthesis_files →
+// generate_dual_annealing_solutions → generate_simulation_results chain.
+func TestWorkflowQASMToApproximations(t *testing.T) {
+	src := `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+rz(0.3) q[1];
+cx q[1],q[2];
+ry(0.7) q[2];
+cx q[2],q[3];
+cx q[0],q[1];
+rz(-0.4) q[3];
+cx q[2],q[3];
+measure q -> c;
+`
+	c, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Approximate(c, Config{MaxSamples: 4, AnnealIterations: 150, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truth := Simulate(c)
+	for i, a := range res.Selected {
+		// Round-trip each approximation through QASM.
+		out := WriteQASM(a.Circuit)
+		if !strings.Contains(out, "OPENQASM 2.0;") {
+			t.Fatalf("approximation %d: bad QASM header", i)
+		}
+		back, err := ParseQASM(out)
+		if err != nil {
+			t.Fatalf("approximation %d: reparse: %v", i, err)
+		}
+		if back.CNOTCount() != a.CNOTs {
+			t.Errorf("approximation %d: CNOT count changed in round trip: %d vs %d",
+				i, back.CNOTCount(), a.CNOTs)
+		}
+		// The Sec. 3.8 bound holds for the reparsed circuit too.
+		d := linalg.HSDistance(sim.Unitary(c), sim.Unitary(back))
+		if d > a.EpsilonSum+1e-6 {
+			t.Errorf("approximation %d: distance %g > bound %g", i, d, a.EpsilonSum)
+		}
+	}
+
+	ens, err := res.EnsembleProbabilities(IdealRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvd := TVD(truth, ens); tvd > 0.2 {
+		t.Errorf("ensemble TVD = %g", tvd)
+	}
+}
+
+// TestWorkflowNoisyComparison checks the headline property end to end: on
+// a noisy backend, the QUEST ensemble of a deep circuit tracks the ideal
+// output at least as well as the Qiskit-style baseline.
+func TestWorkflowNoisyComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full pipeline plus noisy simulations")
+	}
+	// A deep TFIM-like evolution where gate noise dominates.
+	c := New(4)
+	for s := 0; s < 10; s++ {
+		for q := 0; q+1 < 4; q++ {
+			c.RZZ(q, q+1, -0.1)
+		}
+		for q := 0; q < 4; q++ {
+			c.RX(q, -0.1)
+		}
+	}
+	truth := Simulate(c)
+	m := UniformNoise(0.01)
+
+	baseline := OptimizeQiskitStyle(c)
+	baseTVD := TVD(truth, SimulateNoisy(baseline, m, 0, 5))
+
+	res, err := Approximate(c, Config{MaxSamples: 8, Seed: 5, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := res.EnsembleProbabilities(func(a *Circuit) ([]float64, error) {
+		return SimulateNoisy(OptimizeQiskitStyle(a), m, 0, 5), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	questTVD := TVD(truth, ens)
+	t.Logf("deep TFIM: baseline %d CNOTs TVD %.4f; QUEST mean CNOTs over %d samples, TVD %.4f",
+		baseline.CNOTCount(), baseTVD, len(res.Selected), questTVD)
+	if questTVD > baseTVD+0.05 {
+		t.Errorf("QUEST ensemble (%.4f) clearly worse than baseline (%.4f) under noise", questTVD, baseTVD)
+	}
+}
+
+// TestWorkflowDeviceEndToEnd runs the Manila path through the public API.
+func TestWorkflowDeviceEndToEnd(t *testing.T) {
+	c, err := GenerateBenchmark("xy", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Approximate(c, Config{MaxSamples: 3, AnnealIterations: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := Manila()
+	ens, err := res.EnsembleProbabilities(DeviceRunner(dev, 2048, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s float64
+	for _, v := range ens {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("device ensemble sums to %g", s)
+	}
+}

@@ -1,0 +1,374 @@
+// Package algos generates the benchmark circuits of QUEST Table 1:
+// Adder (Cuccaro ripple carry), Heisenberg/TFIM/XY Trotterized spin-chain
+// evolution, HLF (hidden linear function), QFT, QAOA (MaxCut ansatz),
+// Multiplier (Draper/Fourier multiplier) and VQE (hardware-efficient
+// ansatz). All generators are deterministic given their arguments.
+package algos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// QFT returns the n-qubit quantum Fourier transform circuit whose unitary
+// equals the DFT matrix F[x][y] = ω^{xy}/√N with ω = e^{2πi/N} and qubit 0
+// the least significant bit (final swaps included).
+func QFT(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := n - 1; i >= 0; i-- {
+		c.H(i)
+		for j := i - 1; j >= 0; j-- {
+			c.CP(j, i, math.Pi/math.Pow(2, float64(i-j)))
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		c.Swap(i, n-1-i)
+	}
+	return c
+}
+
+// InverseQFT returns the inverse of QFT(n).
+func InverseQFT(n int) *circuit.Circuit { return QFT(n).Inverse() }
+
+// maj appends the Cuccaro majority block: after it, z holds the carry.
+func maj(c *circuit.Circuit, x, y, z int) {
+	c.CX(z, y)
+	c.CX(z, x)
+	c.CCX(x, y, z)
+}
+
+// uma appends the Cuccaro un-majority-and-add block.
+func uma(c *circuit.Circuit, x, y, z int) {
+	c.CCX(x, y, z)
+	c.CX(z, x)
+	c.CX(x, y)
+}
+
+// Adder returns the Cuccaro ripple-carry adder on 2*bits+2 qubits, with
+// the inputs a and b loaded by X gates. Qubit layout: cin, a[0..bits),
+// b[0..bits), cout. After the circuit, the b register holds (a+b) mod
+// 2^bits and cout holds the carry.
+func Adder(bits int, a, b uint64) *circuit.Circuit {
+	if bits < 1 {
+		panic("algos: Adder needs at least 1 bit")
+	}
+	n := 2*bits + 2
+	c := circuit.New(n)
+	cin := 0
+	aq := func(i int) int { return 1 + i }
+	bq := func(i int) int { return 1 + bits + i }
+	cout := n - 1
+
+	for i := 0; i < bits; i++ {
+		if a&(1<<i) != 0 {
+			c.X(aq(i))
+		}
+		if b&(1<<i) != 0 {
+			c.X(bq(i))
+		}
+	}
+
+	maj(c, cin, bq(0), aq(0))
+	for i := 1; i < bits; i++ {
+		maj(c, aq(i-1), bq(i), aq(i))
+	}
+	c.CX(aq(bits-1), cout)
+	for i := bits - 1; i >= 1; i-- {
+		uma(c, aq(i-1), bq(i), aq(i))
+	}
+	uma(c, cin, bq(0), aq(0))
+	return c
+}
+
+// ccp appends a doubly controlled phase gate CCP(θ) on (c1, c2, target)
+// decomposed into cp and cx gates.
+func ccp(c *circuit.Circuit, c1, c2, target int, theta float64) {
+	c.CP(c2, target, theta/2)
+	c.CX(c1, c2)
+	c.CP(c2, target, -theta/2)
+	c.CX(c1, c2)
+	c.CP(c1, target, theta/2)
+}
+
+// Multiplier returns a Draper-style Fourier multiplier on 4*bits qubits:
+// registers a[0..bits), b[0..bits) loaded with the given values by X gates,
+// and a 2*bits product register computed as a*b. Qubit layout: a, b, p.
+func Multiplier(bits int, a, b uint64) *circuit.Circuit {
+	if bits < 1 {
+		panic("algos: Multiplier needs at least 1 bit")
+	}
+	m := 2 * bits
+	n := 2*bits + m
+	c := circuit.New(n)
+	aq := func(i int) int { return i }
+	bq := func(i int) int { return bits + i }
+	pq := func(i int) int { return 2*bits + i }
+
+	for i := 0; i < bits; i++ {
+		if a&(1<<i) != 0 {
+			c.X(aq(i))
+		}
+		if b&(1<<i) != 0 {
+			c.X(bq(i))
+		}
+	}
+	// Fourier basis of p=0 is the uniform superposition.
+	for k := 0; k < m; k++ {
+		c.H(pq(k))
+	}
+	// Phase-add a*b: for every partial product a_i b_j of weight 2^{i+j},
+	// rotate product qubit k by 2π·2^{i+j+k}/2^m.
+	for i := 0; i < bits; i++ {
+		for j := 0; j < bits; j++ {
+			for k := 0; k < m; k++ {
+				if i+j+k >= m {
+					// Phase 2π·2^{i+j+k}/2^m is a multiple of 2π.
+					continue
+				}
+				theta := 2 * math.Pi * math.Pow(2, float64(i+j+k-m))
+				ccp(c, aq(i), bq(j), pq(k), theta)
+			}
+		}
+	}
+	// Inverse Fourier transform on the product register.
+	c.MustAppendCircuit(InverseQFT(m), pqMap(2*bits, m))
+	return c
+}
+
+func pqMap(offset, m int) []int {
+	qm := make([]int, m)
+	for i := range qm {
+		qm[i] = offset + i
+	}
+	return qm
+}
+
+// TFIM returns `steps` first-order Trotter steps of transverse-field Ising
+// time evolution exp(-iHt), H = -J Σ Z_i Z_{i+1} - h Σ X_i, on an n-qubit
+// open chain with dt per step. Matches the materials-simulation workloads
+// of ArQTiC used in the paper.
+func TFIM(n, steps int, dt, j, h float64) *circuit.Circuit {
+	c := circuit.New(n)
+	for s := 0; s < steps; s++ {
+		for q := 0; q+1 < n; q++ {
+			c.RZZ(q, q+1, -2*j*dt)
+		}
+		for q := 0; q < n; q++ {
+			c.RX(q, -2*h*dt)
+		}
+	}
+	return c
+}
+
+// XY returns Trotterized time evolution of the XY spin chain,
+// H = -J Σ (X_i X_{i+1} + Y_i Y_{i+1}).
+func XY(n, steps int, dt, j float64) *circuit.Circuit {
+	c := circuit.New(n)
+	for s := 0; s < steps; s++ {
+		for q := 0; q+1 < n; q++ {
+			c.RXX(q, q+1, -2*j*dt)
+			c.RYY(q, q+1, -2*j*dt)
+		}
+	}
+	return c
+}
+
+// Heisenberg returns Trotterized time evolution of the isotropic
+// Heisenberg chain H = -J Σ (X X + Y Y + Z Z) - h Σ Z.
+func Heisenberg(n, steps int, dt, j, h float64) *circuit.Circuit {
+	c := circuit.New(n)
+	for s := 0; s < steps; s++ {
+		for q := 0; q+1 < n; q++ {
+			c.RXX(q, q+1, -2*j*dt)
+			c.RYY(q, q+1, -2*j*dt)
+			c.RZZ(q, q+1, -2*j*dt)
+		}
+		if h != 0 {
+			for q := 0; q < n; q++ {
+				c.RZ(q, -2*h*dt)
+			}
+		}
+	}
+	return c
+}
+
+// HeisenbergNeel returns the Heisenberg case-study circuit: Néel-state
+// preparation (X on every odd qubit) followed by Trotterized Heisenberg
+// evolution. From the Néel state the staggered magnetization evolves
+// nontrivially, which is the observable the paper's Fig. 1/13/14 track.
+func HeisenbergNeel(n, steps int, dt, j, h float64) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 1; q < n; q += 2 {
+		c.X(q)
+	}
+	c.MustAppendCircuit(Heisenberg(n, steps, dt, j, h), nil)
+	return c
+}
+
+// HLF returns a hidden-linear-function circuit (Bravyi-Gosset-König) for a
+// random symmetric binary matrix drawn from the seed: H on all qubits, CZ
+// wherever A[i][j]=1 (i<j), S wherever A[i][i]=1, then H on all qubits.
+func HLF(n int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(2) == 1 {
+				c.CZ(i, j)
+			}
+		}
+	}
+	for q := 0; q < n; q++ {
+		if rng.Intn(2) == 1 {
+			c.S(q)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// randomGraph returns a connected random graph on n vertices with extra
+// random edges, as edge pairs (i<j), deterministic in seed.
+func randomGraph(n int, seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed))
+	edges := map[[2]int]bool{}
+	// Random spanning path for connectivity.
+	perm := rng.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		a, b := perm[i], perm[i+1]
+		if a > b {
+			a, b = b, a
+		}
+		edges[[2]int{a, b}] = true
+	}
+	extra := n / 2
+	for k := 0; k < extra; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		edges[[2]int{a, b}] = true
+	}
+	out := make([][2]int, 0, len(edges))
+	for e := range edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// QAOA returns a `layers`-deep quantum alternating operator ansatz for
+// MaxCut on a random connected graph: H on all qubits, then per layer
+// RZZ(γ) on every edge and RX(2β) on every qubit. Angles are drawn
+// deterministically from the seed.
+func QAOA(n, layers int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	edges := randomGraph(n, seed+1)
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for l := 0; l < layers; l++ {
+		gamma := rng.Float64() * math.Pi
+		beta := rng.Float64() * math.Pi
+		for _, e := range edges {
+			c.RZZ(e[0], e[1], gamma)
+		}
+		for q := 0; q < n; q++ {
+			c.RX(q, 2*beta)
+		}
+	}
+	return c
+}
+
+// VQE returns a hardware-efficient variational ansatz: `layers` repetitions
+// of RY+RZ rotations on every qubit followed by a linear chain of CNOTs,
+// with a final rotation layer. Angles are deterministic in the seed.
+func VQE(n, layers int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	rot := func() {
+		for q := 0; q < n; q++ {
+			c.RY(q, rng.Float64()*2*math.Pi)
+			c.RZ(q, rng.Float64()*2*math.Pi)
+		}
+	}
+	for l := 0; l < layers; l++ {
+		rot()
+		for q := 0; q+1 < n; q++ {
+			c.CX(q, q+1)
+		}
+	}
+	rot()
+	return c
+}
+
+// Names lists the Table-1 benchmark names accepted by Generate.
+func Names() []string {
+	return []string{"adder", "heisenberg", "hlf", "qft", "qaoa", "multiplier", "tfim", "vqe", "xy"}
+}
+
+// Generate builds a named Table-1 benchmark on (approximately) n qubits
+// with the paper-like default parameters. Adder requires n = 2k+2 ≥ 4;
+// Multiplier requires n = 4k ≥ 4. The returned circuit's NumQubits may
+// therefore differ from n for those two.
+func Generate(name string, n int) (*circuit.Circuit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("algos: need at least 2 qubits, got %d", n)
+	}
+	// Trotter evolutions use 4 steps; the deep-circuit regime (the
+	// paper's case studies run to timestep 100) is exercised separately
+	// by the Fig. 13-15 experiments, which build per-timestep circuits.
+	const (
+		seed  = 20220228 // ASPLOS'22 opening day
+		steps = 4
+		dt    = 0.1
+	)
+	switch name {
+	case "adder":
+		bits := (n - 2) / 2
+		if bits < 1 {
+			bits = 1
+		}
+		return Adder(bits, 0b101&((1<<bits)-1), 0b011&((1<<bits)-1)), nil
+	case "heisenberg":
+		return Heisenberg(n, steps, dt, 1, 1), nil
+	case "hlf":
+		return HLF(n, seed), nil
+	case "qft":
+		return QFT(n), nil
+	case "qaoa":
+		return QAOA(n, 2, seed), nil
+	case "multiplier":
+		bits := n / 4
+		if bits < 1 {
+			bits = 1
+		}
+		mask := uint64(1<<bits - 1)
+		return Multiplier(bits, mask, (mask>>1)|1), nil
+	case "tfim":
+		return TFIM(n, steps, dt, 1, 1), nil
+	case "vqe":
+		return VQE(n, 2, seed), nil
+	case "xy":
+		return XY(n, steps, dt, 1), nil
+	}
+	return nil, fmt.Errorf("algos: unknown benchmark %q", name)
+}

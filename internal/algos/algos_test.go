@@ -1,0 +1,293 @@
+package algos
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/linalg"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// measuredValue finds the (single) basis state with probability ~1 and
+// returns it, or -1 if the output is not computational.
+func measuredValue(t *testing.T, p []float64) int {
+	t.Helper()
+	for k, v := range p {
+		if v > 0.999 {
+			return k
+		}
+	}
+	t.Fatalf("no deterministic output state: %v", p)
+	return -1
+}
+
+func TestAdderAllValues2Bit(t *testing.T) {
+	const bits = 2
+	for a := uint64(0); a < 1<<bits; a++ {
+		for b := uint64(0); b < 1<<bits; b++ {
+			c := Adder(bits, a, b)
+			p := sim.Probabilities(c)
+			k := measuredValue(t, p)
+			// layout: cin(1) | a(bits) | b(bits) | cout(1)
+			gotA := (k >> 1) & (1<<bits - 1)
+			gotB := (k >> (1 + bits)) & (1<<bits - 1)
+			gotCout := (k >> (1 + 2*bits)) & 1
+			sum := a + b
+			if uint64(gotA) != a {
+				t.Errorf("Adder(%d,%d): a register corrupted: %d", a, b, gotA)
+			}
+			if uint64(gotB) != sum&(1<<bits-1) {
+				t.Errorf("Adder(%d,%d): b = %d, want %d", a, b, gotB, sum&(1<<bits-1))
+			}
+			if uint64(gotCout) != sum>>bits {
+				t.Errorf("Adder(%d,%d): cout = %d, want %d", a, b, gotCout, sum>>bits)
+			}
+		}
+	}
+}
+
+func TestAdder3Bit(t *testing.T) {
+	c := Adder(3, 5, 6)
+	p := sim.Probabilities(c)
+	k := measuredValue(t, p)
+	gotB := (k >> 4) & 7
+	gotCout := (k >> 7) & 1
+	if gotB != 3 || gotCout != 1 { // 5+6=11 = 0b1011
+		t.Errorf("Adder(3,5,6): b=%d cout=%d, want 3,1", gotB, gotCout)
+	}
+}
+
+func TestMultiplier1Bit(t *testing.T) {
+	for a := uint64(0); a < 2; a++ {
+		for b := uint64(0); b < 2; b++ {
+			c := Multiplier(1, a, b)
+			p := sim.Probabilities(c)
+			k := measuredValue(t, p)
+			gotP := (k >> 2) & 3
+			if uint64(gotP) != a*b {
+				t.Errorf("Multiplier(1,%d,%d): p = %d, want %d", a, b, gotP, a*b)
+			}
+		}
+	}
+}
+
+func TestMultiplier2Bit(t *testing.T) {
+	cases := [][2]uint64{{2, 3}, {3, 3}, {1, 2}, {0, 3}}
+	for _, tc := range cases {
+		a, b := tc[0], tc[1]
+		c := Multiplier(2, a, b)
+		if c.NumQubits != 8 {
+			t.Fatalf("Multiplier(2) qubits = %d, want 8", c.NumQubits)
+		}
+		p := sim.Probabilities(c)
+		k := measuredValue(t, p)
+		gotP := (k >> 4) & 15
+		if uint64(gotP) != a*b {
+			t.Errorf("Multiplier(2,%d,%d): p = %d, want %d", a, b, gotP, a*b)
+		}
+	}
+}
+
+func TestQFTMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		c := QFT(n)
+		u := sim.Unitary(c)
+		dim := 1 << n
+		want := linalg.New(dim, dim)
+		norm := 1 / math.Sqrt(float64(dim))
+		for x := 0; x < dim; x++ {
+			for y := 0; y < dim; y++ {
+				theta := 2 * math.Pi * float64(x*y) / float64(dim)
+				want.Set(x, y, complex(norm*math.Cos(theta), norm*math.Sin(theta)))
+			}
+		}
+		if !linalg.EqualApprox(u, want, 1e-9) {
+			t.Errorf("QFT(%d) != DFT matrix (max diff %g)", n, linalg.MaxAbsDiff(u, want))
+		}
+	}
+}
+
+func TestInverseQFT(t *testing.T) {
+	c := QFT(3)
+	c.MustAppendCircuit(InverseQFT(3), nil)
+	u := sim.Unitary(c)
+	if !linalg.EqualApprox(u, linalg.Identity(8), 1e-9) {
+		t.Error("QFT · QFT^-1 != I")
+	}
+}
+
+func TestTFIMSingleStepUnitary(t *testing.T) {
+	// One Trotter step on 2 qubits: RZZ(-2Jdt) then RX each qubit.
+	dt, j, h := 0.1, 1.0, 1.0
+	c := TFIM(2, 1, dt, j, h)
+	u := sim.Unitary(c)
+	rzz := gate.RZZMatrix(-2 * j * dt)
+	rx := gate.RXMatrix(-2 * h * dt)
+	want := linalg.Mul(linalg.Kron(rx, rx), rzz)
+	if !linalg.EqualApprox(u, want, 1e-9) {
+		t.Errorf("TFIM step unitary mismatch (%g)", linalg.MaxAbsDiff(u, want))
+	}
+}
+
+func TestTFIMMagnetizationSmallDt(t *testing.T) {
+	// With tiny dt the state stays near |0...0>, magnetization near +1.
+	c := TFIM(4, 2, 0.01, 1, 1)
+	p := sim.Probabilities(c)
+	if m := metrics.AverageMagnetization(p, 4); m < 0.99 {
+		t.Errorf("TFIM small-dt magnetization = %g, want ~1", m)
+	}
+}
+
+func TestHeisenbergConservesMagnetizationSector(t *testing.T) {
+	// The isotropic Heisenberg Hamiltonian commutes with total Z, so
+	// evolution from |0000> (max magnetization sector, an eigenstate of
+	// each XX+YY+ZZ term's total-spin structure) keeps magnetization 1.
+	c := Heisenberg(4, 3, 0.2, 1, 0.5)
+	p := sim.Probabilities(c)
+	if m := metrics.AverageMagnetization(p, 4); math.Abs(m-1) > 1e-9 {
+		t.Errorf("Heisenberg from |0..0> magnetization = %g, want 1", m)
+	}
+}
+
+func TestXYConservesMagnetizationFromZero(t *testing.T) {
+	// XX+YY also commutes with total Z.
+	c := XY(4, 3, 0.2, 1)
+	p := sim.Probabilities(c)
+	if m := metrics.AverageMagnetization(p, 4); math.Abs(m-1) > 1e-9 {
+		t.Errorf("XY from |0..0> magnetization = %g, want 1", m)
+	}
+}
+
+func TestHLFDeterministicAndClifford(t *testing.T) {
+	a := HLF(5, 42)
+	b := HLF(5, 42)
+	if a.String() != b.String() {
+		t.Error("HLF not deterministic in seed")
+	}
+	cdiff := HLF(5, 43)
+	if a.String() == cdiff.String() {
+		t.Error("HLF ignores seed")
+	}
+	for _, op := range a.Ops {
+		switch op.Name {
+		case "h", "cz", "s":
+		default:
+			t.Errorf("HLF contains non-Clifford gate %s", op.Name)
+		}
+	}
+}
+
+func TestQAOAStructure(t *testing.T) {
+	c := QAOA(5, 2, 7)
+	counts := c.GateCounts()
+	if counts["h"] != 5 {
+		t.Errorf("QAOA h count = %d, want 5", counts["h"])
+	}
+	if counts["rx"] != 10 {
+		t.Errorf("QAOA rx count = %d, want 10", counts["rx"])
+	}
+	if counts["rzz"] == 0 {
+		t.Error("QAOA has no rzz gates")
+	}
+	// Output must be a normalized distribution.
+	p := sim.Probabilities(c)
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("QAOA output sums to %g", s)
+	}
+}
+
+func TestVQEStructure(t *testing.T) {
+	c := VQE(4, 2, 3)
+	counts := c.GateCounts()
+	if counts["cx"] != 6 { // 2 layers × 3 chain CNOTs
+		t.Errorf("VQE cx count = %d, want 6", counts["cx"])
+	}
+	if counts["ry"] != 12 || counts["rz"] != 12 { // 3 rotation layers × 4 qubits
+		t.Errorf("VQE rotation counts = %v", counts)
+	}
+}
+
+func TestGenerateAllNames(t *testing.T) {
+	for _, name := range Names() {
+		c, err := Generate(name, 4)
+		if err != nil {
+			t.Errorf("Generate(%s, 4): %v", name, err)
+			continue
+		}
+		if c.Size() == 0 {
+			t.Errorf("Generate(%s, 4) is empty", name)
+		}
+		if c.NumQubits < 2 {
+			t.Errorf("Generate(%s, 4) has %d qubits", name, c.NumQubits)
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope", 4); err == nil {
+		t.Error("Generate accepted unknown benchmark")
+	}
+	if _, err := Generate("qft", 1); err == nil {
+		t.Error("Generate accepted 1 qubit")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := Generate(name, 5)
+		b, _ := Generate(name, 5)
+		if a.String() != b.String() {
+			t.Errorf("Generate(%s) not deterministic", name)
+		}
+	}
+}
+
+func TestRandomGraphConnectedEdges(t *testing.T) {
+	edges := randomGraph(6, 9)
+	if len(edges) < 5 {
+		t.Fatalf("graph has %d edges, want >= n-1", len(edges))
+	}
+	// union-find connectivity
+	parent := make([]int, 6)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Errorf("edge not ordered: %v", e)
+		}
+		parent[find(e[0])] = find(e[1])
+	}
+	root := find(0)
+	for i := 1; i < 6; i++ {
+		if find(i) != root {
+			t.Error("graph not connected")
+		}
+	}
+}
+
+func TestQFTOutputUniformFromZero(t *testing.T) {
+	// QFT|0> is the uniform superposition.
+	c := QFT(3)
+	state := sim.Run(c)
+	want := complex(1/math.Sqrt(8), 0)
+	for i, amp := range state {
+		if cmplx.Abs(amp-want) > 1e-9 {
+			t.Fatalf("QFT|0>[%d] = %v, want %v", i, amp, want)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package algos
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Extra benchmark circuits beyond Table 1. These exercise the library on
+// oracle-style and state-preparation workloads and give users a richer
+// default suite; they are verified functionally in the tests.
+
+// GHZ returns the n-qubit GHZ state preparation circuit
+// (|0...0> + |1...1>)/√2.
+func GHZ(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	c.H(0)
+	for q := 0; q+1 < n; q++ {
+		c.CX(q, q+1)
+	}
+	return c
+}
+
+// WState returns an n-qubit W-state preparation circuit: the uniform
+// superposition of all single-excitation basis states. Construction: a
+// cascade of controlled rotations distributing amplitude 1/√n to each
+// qubit (using ry + cx building blocks).
+func WState(n int) *circuit.Circuit {
+	if n < 1 {
+		panic("algos: WState needs at least 1 qubit")
+	}
+	c := circuit.New(n)
+	c.X(0)
+	// Move amplitude from qubit k to qubit k+1 with a controlled
+	// rotation: after step k the excitation is distributed over qubits
+	// 0..k+1 with the right weights.
+	for k := 0; k+1 < n; k++ {
+		// Rotation angle so that P(excitation moves on) = (n-k-1)/(n-k).
+		remain := float64(n - k)
+		theta := 2 * math.Acos(math.Sqrt(1/remain))
+		// Controlled-RY(theta) with control k, target k+1, built from
+		// two half-angle RYs and two CNOTs.
+		c.RY(k+1, theta/2)
+		c.CX(k, k+1)
+		c.RY(k+1, -theta/2)
+		c.CX(k, k+1)
+		// Transfer: excitation on k moves to k+1 when rotation fired.
+		c.CX(k+1, k)
+	}
+	return c
+}
+
+// BernsteinVazirani returns the Bernstein-Vazirani circuit for the given
+// n-bit secret: one oracle query recovers the secret exactly. The final
+// qubit is the oracle ancilla; measuring the first n qubits yields the
+// secret with probability 1 on an ideal machine.
+func BernsteinVazirani(n int, secret uint64) *circuit.Circuit {
+	c := circuit.New(n + 1)
+	anc := n
+	c.X(anc)
+	c.H(anc)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for q := 0; q < n; q++ {
+		if secret&(1<<q) != 0 {
+			c.CX(q, anc)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// Grover returns a Grover search circuit on n qubits for the single
+// marked basis state, running the optimal ⌊π/4·√N⌋ iterations. The
+// oracle and diffuser use a multi-controlled Z built recursively from
+// Toffolis (requires n ≥ 2; n ≤ 3 needs no ancilla).
+func Grover(n int, marked int) *circuit.Circuit {
+	if n < 2 || n > 3 {
+		panic("algos: Grover implemented for 2-3 qubits (no-ancilla MCZ)")
+	}
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	iters := int(math.Floor(math.Pi / 4 * math.Sqrt(float64(int(1)<<n))))
+	if iters < 1 {
+		iters = 1
+	}
+	for it := 0; it < iters; it++ {
+		// Oracle: flip the phase of |marked>.
+		phaseFlip(c, n, marked)
+		// Diffuser: H^n · phase-flip of |0...0> · H^n.
+		for q := 0; q < n; q++ {
+			c.H(q)
+		}
+		phaseFlip(c, n, 0)
+		for q := 0; q < n; q++ {
+			c.H(q)
+		}
+	}
+	return c
+}
+
+// phaseFlip applies a phase of -1 to the given basis state using X
+// conjugation and a multi-controlled Z.
+func phaseFlip(c *circuit.Circuit, n, state int) {
+	for q := 0; q < n; q++ {
+		if state&(1<<q) == 0 {
+			c.X(q)
+		}
+	}
+	switch n {
+	case 2:
+		c.CZ(0, 1)
+	case 3:
+		// CCZ = H(target) CCX H(target).
+		c.H(2)
+		c.CCX(0, 1, 2)
+		c.H(2)
+	}
+	for q := 0; q < n; q++ {
+		if state&(1<<q) == 0 {
+			c.X(q)
+		}
+	}
+}
+
+// QPE returns a quantum-phase-estimation circuit with `bits` counting
+// qubits estimating the phase φ of the eigenvalue e^{2πiφ} of a
+// single-qubit phase gate P(2πφ) applied to the prepared eigenstate |1>.
+// Counting qubits are 0..bits-1; the eigenstate qubit is the last one.
+// Ideal measurement of the counting register yields round(φ·2^bits).
+func QPE(bits int, phi float64) *circuit.Circuit {
+	n := bits + 1
+	c := circuit.New(n)
+	eigen := bits
+	c.X(eigen) // |1> eigenstate of the phase gate
+	for q := 0; q < bits; q++ {
+		c.H(q)
+	}
+	// Controlled powers: counting qubit q applies P(2πφ·2^q).
+	for q := 0; q < bits; q++ {
+		angle := 2 * math.Pi * phi * math.Pow(2, float64(q))
+		c.CP(q, eigen, angle)
+	}
+	// Inverse QFT on the counting register.
+	c.MustAppendCircuit(InverseQFT(bits), countingMap(bits))
+	return c
+}
+
+func countingMap(bits int) []int {
+	m := make([]int, bits)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}

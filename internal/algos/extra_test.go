@@ -1,0 +1,128 @@
+package algos
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestGHZState(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		p := sim.Probabilities(GHZ(n))
+		if math.Abs(p[0]-0.5) > 1e-9 || math.Abs(p[1<<n-1]-0.5) > 1e-9 {
+			t.Errorf("GHZ(%d) probabilities wrong: P(0)=%g P(all1)=%g", n, p[0], p[1<<n-1])
+		}
+		for k := 1; k < 1<<n-1; k++ {
+			if p[k] > 1e-9 {
+				t.Fatalf("GHZ(%d) leaks to state %d: %g", n, k, p[k])
+			}
+		}
+	}
+}
+
+func TestWState(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5} {
+		p := sim.Probabilities(WState(n))
+		want := 1 / float64(n)
+		for k := 0; k < 1<<n; k++ {
+			ones := 0
+			for q := 0; q < n; q++ {
+				if k&(1<<q) != 0 {
+					ones++
+				}
+			}
+			if ones == 1 {
+				if math.Abs(p[k]-want) > 1e-9 {
+					t.Errorf("W(%d): P(%b) = %g, want %g", n, k, p[k], want)
+				}
+			} else if p[k] > 1e-9 {
+				t.Errorf("W(%d): non-single-excitation state %b has %g", n, k, p[k])
+			}
+		}
+	}
+}
+
+func TestBernsteinVaziraniRecoversSecret(t *testing.T) {
+	for _, secret := range []uint64{0b0000, 0b1011, 0b1111, 0b0100} {
+		n := 4
+		c := BernsteinVazirani(n, secret)
+		p := sim.Probabilities(c)
+		// Marginal over the ancilla: the counting register must be the
+		// secret with probability 1.
+		var got float64
+		for k, v := range p {
+			if uint64(k)&(1<<n-1) == secret {
+				got += v
+			}
+		}
+		if math.Abs(got-1) > 1e-9 {
+			t.Errorf("BV secret %04b recovered with probability %g", secret, got)
+		}
+	}
+}
+
+func TestGroverAmplifiesMarked(t *testing.T) {
+	for _, tc := range []struct {
+		n, marked int
+		minP      float64
+	}{
+		{2, 3, 0.99}, // 1 iteration is exact for n=2
+		{3, 5, 0.90},
+		{3, 0, 0.90},
+	} {
+		c := Grover(tc.n, tc.marked)
+		p := sim.Probabilities(c)
+		if p[tc.marked] < tc.minP {
+			t.Errorf("Grover(%d, %d): P(marked) = %g, want > %g",
+				tc.n, tc.marked, p[tc.marked], tc.minP)
+		}
+	}
+}
+
+func TestGroverPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Grover(5) did not panic")
+		}
+	}()
+	Grover(5, 1)
+}
+
+func TestQPEExactPhase(t *testing.T) {
+	// φ = k/2^bits is exactly representable: the counting register reads
+	// k with probability 1.
+	bits := 3
+	for _, k := range []int{0, 1, 3, 5, 7} {
+		phi := float64(k) / 8
+		c := QPE(bits, phi)
+		p := sim.Probabilities(c)
+		var got float64
+		for idx, v := range p {
+			if idx&(1<<bits-1) == k {
+				got += v
+			}
+		}
+		if math.Abs(got-1) > 1e-9 {
+			t.Errorf("QPE(φ=%d/8): P(read %d) = %g", k, k, got)
+		}
+	}
+}
+
+func TestQPEInexactPhaseConcentrates(t *testing.T) {
+	// φ between grid points: probability concentrates on the two
+	// neighbours.
+	bits := 3
+	phi := 0.3 // between 2/8 and 3/8
+	p := sim.Probabilities(QPE(bits, phi))
+	var nearby float64
+	for idx, v := range p {
+		k := idx & (1<<bits - 1)
+		if k == 2 || k == 3 {
+			nearby += v
+		}
+	}
+	if nearby < 0.8 {
+		t.Errorf("QPE(φ=0.3): neighbours carry only %g probability", nearby)
+	}
+}

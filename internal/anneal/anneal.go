@@ -1,0 +1,226 @@
+// Package anneal implements the dual annealing global minimizer QUEST uses
+// to search the block-approximation selection space (Sec. 3.6): classical
+// generalized simulated annealing (GSA) with the Tsallis heavy-tailed
+// visiting distribution, a generalized Metropolis acceptance rule, periodic
+// reannealing restarts, and an optional Nelder-Mead local-search phase —
+// the "dual" in dual annealing.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/opt"
+)
+
+// Options configures Minimize. The zero value selects defaults matching
+// SciPy's dual_annealing.
+type Options struct {
+	// MaxIterations is the number of annealing iterations (default 1000).
+	MaxIterations int
+	// InitialTemp is the starting visiting temperature (default 5230).
+	InitialTemp float64
+	// RestartTempRatio triggers a reannealing restart when the
+	// temperature falls below InitialTemp·ratio (default 2e-5).
+	RestartTempRatio float64
+	// Visit is the Tsallis visiting parameter q_v in (1, 3] (default 2.62).
+	Visit float64
+	// Accept is the acceptance parameter q_a (default -5).
+	Accept float64
+	// Seed makes the search deterministic (default 1).
+	Seed int64
+	// NoLocalSearch disables the Nelder-Mead refinement phase.
+	NoLocalSearch bool
+}
+
+func (o *Options) defaults() {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 1000
+	}
+	if o.InitialTemp == 0 {
+		o.InitialTemp = 5230
+	}
+	if o.RestartTempRatio == 0 {
+		o.RestartTempRatio = 2e-5
+	}
+	if o.Visit == 0 {
+		o.Visit = 2.62
+	}
+	if o.Accept == 0 {
+		o.Accept = -5.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Minimize searches for the global minimum of f over the box
+// [lower[i], upper[i]]^d and returns the best point found.
+func Minimize(f opt.Objective, lower, upper []float64, o Options) opt.Result {
+	if len(lower) != len(upper) {
+		panic("anneal: bound length mismatch")
+	}
+	for i := range lower {
+		if lower[i] > upper[i] {
+			panic("anneal: lower > upper")
+		}
+	}
+	o.defaults()
+	d := len(lower)
+	rng := rand.New(rand.NewSource(o.Seed))
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	randomPoint := func() []float64 {
+		x := make([]float64, d)
+		for i := range x {
+			x[i] = lower[i] + rng.Float64()*(upper[i]-lower[i])
+		}
+		return x
+	}
+
+	cur := randomPoint()
+	fCur := eval(cur)
+	best := append([]float64(nil), cur...)
+	fBest := fCur
+	qv := o.Visit
+	tq := math.Exp2(qv-1) - 1 // t-dependence constant
+
+	cand := make([]float64, d)
+	iterations := 0
+	sinceRestart := 0
+	for it := 0; it < o.MaxIterations; it++ {
+		iterations++
+		sinceRestart++
+		temp := o.InitialTemp * tq / (math.Pow(float64(sinceRestart)+1, qv-1) - 1)
+		if temp < o.InitialTemp*o.RestartTempRatio {
+			// Reannealing restart from a fresh random point.
+			cur = randomPoint()
+			fCur = eval(cur)
+			sinceRestart = 0
+			continue
+		}
+
+		// Visiting step: perturb every dimension with a Tsallis-
+		// distributed jump, wrapped into the bounds.
+		for i := 0; i < d; i++ {
+			span := upper[i] - lower[i]
+			if span == 0 {
+				cand[i] = lower[i]
+				continue
+			}
+			step := visitStep(qv, temp, rng)
+			v := cur[i] + step
+			// Wrap into [lower, upper] (as SciPy does).
+			v = math.Mod(v-lower[i], span)
+			if v < 0 {
+				v += span
+			}
+			cand[i] = lower[i] + v
+		}
+		fCand := eval(cand)
+
+		accept := false
+		if fCand <= fCur {
+			accept = true
+		} else {
+			// Generalized Metropolis rule with parameter q_a < 1.
+			base := 1 - (1-o.Accept)*(fCand-fCur)/temp
+			if base > 0 {
+				p := math.Pow(base, 1/(1-o.Accept))
+				accept = rng.Float64() < p
+			}
+		}
+		if accept {
+			copy(cur, cand)
+			fCur = fCand
+			if fCur < fBest {
+				fBest = fCur
+				copy(best, cur)
+				if !o.NoLocalSearch {
+					// Dual phase: refine the new incumbent locally.
+					res := localSearch(eval, best, lower, upper)
+					if res.F < fBest {
+						fBest = res.F
+						copy(best, res.X)
+					}
+				}
+			}
+		}
+	}
+	if !o.NoLocalSearch {
+		res := localSearch(eval, best, lower, upper)
+		if res.F < fBest {
+			fBest = res.F
+			copy(best, res.X)
+		}
+	}
+	return opt.Result{X: best, F: fBest, Iterations: iterations, Evaluations: evals, Converged: true}
+}
+
+// localSearch runs a bound-clamped Nelder-Mead from x0.
+func localSearch(f opt.Objective, x0, lower, upper []float64) opt.Result {
+	clamped := func(x []float64) float64 {
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = math.Max(lower[i], math.Min(upper[i], x[i]))
+		}
+		return f(y)
+	}
+	res := NelderMeadStepScaled(clamped, x0, lower, upper)
+	for i := range res.X {
+		res.X[i] = math.Max(lower[i], math.Min(upper[i], res.X[i]))
+	}
+	return res
+}
+
+// NelderMeadStepScaled runs Nelder-Mead with the initial simplex scaled to
+// a fraction of each dimension's range.
+func NelderMeadStepScaled(f opt.Objective, x0, lower, upper []float64) opt.Result {
+	span := 0.0
+	for i := range lower {
+		span += upper[i] - lower[i]
+	}
+	step := 0.1
+	if len(lower) > 0 {
+		step = 0.1 * span / float64(len(lower))
+	}
+	if step <= 0 {
+		step = 0.1
+	}
+	return opt.NelderMead(f, x0, opt.NelderMeadOptions{InitialStep: step, MaxIterations: 100 * (len(x0) + 1)})
+}
+
+// visitStep draws one coordinate of the Tsallis visiting distribution for
+// visiting parameter qv and temperature temp (Tsallis & Stariolo 1996, as
+// implemented in SciPy's dual_annealing).
+func visitStep(qv, temp float64, rng *rand.Rand) float64 {
+	factor1 := math.Exp(math.Log(temp) / (qv - 1))
+	factor2 := math.Exp((4 - qv) * math.Log(qv-1))
+	factor3 := math.Exp((2 - qv) * math.Ln2 / (qv - 1))
+	factor4 := math.Sqrt(math.Pi) * factor1 * factor2 / (factor3 * (3 - qv))
+	factor5 := 1/(qv-1) - 0.5
+	d1 := 2 - factor5
+	lg, _ := math.Lgamma(d1)
+	factor6 := math.Pi * (1 - factor5) / math.Sin(math.Pi*(1-factor5)) / math.Exp(lg)
+	sigmax := math.Exp(-(qv - 1) * math.Log(factor6/factor4) / (3 - qv))
+
+	x := sigmax * rng.NormFloat64()
+	y := rng.NormFloat64()
+	den := math.Exp((qv - 1) * math.Log(math.Abs(y)) / (3 - qv))
+	v := x / den
+	// Guard against the heavy tail producing non-finite or huge steps.
+	const tailLimit = 1e8
+	switch {
+	case math.IsNaN(v) || math.IsInf(v, 0):
+		return tailLimit * (rng.Float64()*2 - 1)
+	case v > tailLimit:
+		return tailLimit * rng.Float64()
+	case v < -tailLimit:
+		return -tailLimit * rng.Float64()
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+)
+
+// rastrigin is a classic multimodal test function; global minimum 0 at 0.
+func rastrigin(x []float64) float64 {
+	s := 10 * float64(len(x))
+	for _, v := range x {
+		s += v*v - 10*math.Cos(2*math.Pi*v)
+	}
+	return s
+}
+
+func TestMinimizeQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-1)*(x[0]-1) + (x[1]+2)*(x[1]+2)
+	}
+	res := Minimize(f, []float64{-5, -5}, []float64{5, 5}, Options{Seed: 1})
+	if res.F > 1e-6 {
+		t.Errorf("quadratic F = %g X = %v", res.F, res.X)
+	}
+}
+
+func TestMinimizeRastrigin2D(t *testing.T) {
+	res := Minimize(rastrigin, []float64{-5.12, -5.12}, []float64{5.12, 5.12},
+		Options{Seed: 3, MaxIterations: 2000})
+	if res.F > 1e-4 {
+		t.Errorf("rastrigin F = %g X = %v", res.F, res.X)
+	}
+}
+
+func TestMinimizeRastrigin4DNoLocal(t *testing.T) {
+	// Without local search the annealer alone should still get close to
+	// a good basin.
+	lo := []float64{-5.12, -5.12, -5.12, -5.12}
+	hi := []float64{5.12, 5.12, 5.12, 5.12}
+	res := Minimize(rastrigin, lo, hi, Options{Seed: 5, MaxIterations: 4000, NoLocalSearch: true})
+	if res.F > 5 {
+		t.Errorf("rastrigin-4d (no local) F = %g", res.F)
+	}
+}
+
+func TestMinimizeRespectsBounds(t *testing.T) {
+	seen := true
+	f := func(x []float64) float64 {
+		for _, v := range x {
+			if v < -1-1e-12 || v > 2+1e-12 {
+				seen = false
+			}
+		}
+		return x[0] * x[0]
+	}
+	res := Minimize(f, []float64{-1, -1}, []float64{2, 2}, Options{Seed: 7, MaxIterations: 500})
+	if !seen {
+		t.Error("objective evaluated out of bounds")
+	}
+	for _, v := range res.X {
+		if v < -1-1e-9 || v > 2+1e-9 {
+			t.Errorf("result out of bounds: %v", res.X)
+		}
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	r1 := Minimize(rastrigin, []float64{-5, -5}, []float64{5, 5}, Options{Seed: 11, MaxIterations: 300})
+	r2 := Minimize(rastrigin, []float64{-5, -5}, []float64{5, 5}, Options{Seed: 11, MaxIterations: 300})
+	if r1.F != r2.F {
+		t.Errorf("not deterministic: %g vs %g", r1.F, r2.F)
+	}
+}
+
+func TestMinimizeDiscreteMapping(t *testing.T) {
+	// The QUEST use case: continuous coordinates mapped to discrete
+	// approximation indices. Global minimum at indices (3, 1).
+	table := [][]float64{
+		{5, 4, 6, 7},
+		{3, 2, 4, 5},
+		{4, 3, 5, 6},
+		{2, 0.5, 3, 4},
+	}
+	f := func(x []float64) float64 {
+		i := int(math.Min(3, math.Floor(x[0])))
+		j := int(math.Min(3, math.Floor(x[1])))
+		return table[i][j]
+	}
+	res := Minimize(f, []float64{0, 0}, []float64{4, 4}, Options{Seed: 13, MaxIterations: 800})
+	if res.F != 0.5 {
+		t.Errorf("discrete mapping F = %g, want 0.5", res.F)
+	}
+}
+
+func TestMinimizeDegenerateBounds(t *testing.T) {
+	// One dimension pinned: lower == upper.
+	f := func(x []float64) float64 { return x[0]*x[0] + (x[1]-3)*(x[1]-3) }
+	res := Minimize(f, []float64{2, -5}, []float64{2, 5}, Options{Seed: 17, MaxIterations: 300})
+	if math.Abs(res.X[0]-2) > 1e-12 {
+		t.Errorf("pinned dimension moved: %v", res.X)
+	}
+	if math.Abs(res.X[1]-3) > 1e-2 {
+		t.Errorf("free dimension not optimized: %v", res.X)
+	}
+}
+
+func TestMinimizePanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for inverted bounds")
+		}
+	}()
+	Minimize(rastrigin, []float64{1}, []float64{0}, Options{})
+}
+
+func TestVisitStepFinite(t *testing.T) {
+	res := Minimize(func(x []float64) float64 { return x[0] * x[0] },
+		[]float64{-1e6}, []float64{1e6}, Options{Seed: 19, MaxIterations: 2000})
+	if math.IsNaN(res.F) || math.IsInf(res.F, 0) {
+		t.Error("annealer produced non-finite objective")
+	}
+}

@@ -1,0 +1,11 @@
+package anneal
+
+import "testing"
+
+func BenchmarkMinimizeRastrigin4D(b *testing.B) {
+	lo := []float64{-5.12, -5.12, -5.12, -5.12}
+	hi := []float64{5.12, 5.12, 5.12, 5.12}
+	for i := 0; i < b.N; i++ {
+		Minimize(rastrigin, lo, hi, Options{Seed: int64(i + 1), MaxIterations: 500})
+	}
+}

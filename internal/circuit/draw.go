@@ -1,0 +1,138 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Draw renders the circuit as ASCII art, one row per qubit, gates placed
+// into depth columns. Controls render as "*", CNOT targets as "X", other
+// multi-qubit operands by their position index; vertical bars connect the
+// operands of multi-qubit gates:
+//
+//	q0: -H--*-----
+//	        |
+//	q1: ----X--*--
+//	           |
+//	q2: -------X--
+func (c *Circuit) Draw() string {
+	if c.NumQubits == 0 {
+		return ""
+	}
+	// Assign each op to a column using the same rule as Depth().
+	level := make([]int, c.NumQubits)
+	cols := [][]Op{}
+	for _, o := range c.Ops {
+		mx := 0
+		for _, q := range o.Qubits {
+			if level[q] > mx {
+				mx = level[q]
+			}
+		}
+		for _, q := range o.Qubits {
+			level[q] = mx + 1
+		}
+		for len(cols) <= mx {
+			cols = append(cols, nil)
+		}
+		cols[mx] = append(cols[mx], o)
+	}
+
+	// Render column by column into per-qubit gate rows and per-gap
+	// connector rows.
+	rows := make([]strings.Builder, c.NumQubits)
+	gaps := make([]strings.Builder, c.NumQubits) // gap below qubit i
+	for q := 0; q < c.NumQubits; q++ {
+		fmt.Fprintf(&rows[q], "q%-2d: ", q)
+		gaps[q].WriteString("     ")
+	}
+
+	for _, col := range cols {
+		cells := make([]string, c.NumQubits)
+		link := make([]bool, c.NumQubits) // vertical bar below qubit i
+		width := 1
+		for _, o := range col {
+			labels := opLabels(o)
+			lo, hi := o.Qubits[0], o.Qubits[0]
+			for i, q := range o.Qubits {
+				cells[q] = labels[i]
+				if len(labels[i]) > width {
+					width = len(labels[i])
+				}
+				if q < lo {
+					lo = q
+				}
+				if q > hi {
+					hi = q
+				}
+			}
+			for q := lo; q < hi; q++ {
+				link[q] = true
+			}
+		}
+		for q := 0; q < c.NumQubits; q++ {
+			cell := cells[q]
+			pad := width - len(cell)
+			rows[q].WriteByte('-')
+			if cell == "" {
+				rows[q].WriteString(strings.Repeat("-", width))
+			} else {
+				rows[q].WriteString(cell)
+				rows[q].WriteString(strings.Repeat("-", pad))
+			}
+			rows[q].WriteByte('-')
+			if link[q] {
+				gaps[q].WriteString(" |" + strings.Repeat(" ", width))
+			} else {
+				gaps[q].WriteString(strings.Repeat(" ", width+2))
+			}
+		}
+	}
+
+	var out strings.Builder
+	for q := 0; q < c.NumQubits; q++ {
+		out.WriteString(strings.TrimRight(rows[q].String(), "-") + strings.Repeat("-", 1))
+		out.WriteByte('\n')
+		if q+1 < c.NumQubits {
+			gap := strings.TrimRight(gaps[q].String(), " ")
+			if gap != "" {
+				out.WriteString(gap)
+				out.WriteByte('\n')
+			}
+		}
+	}
+	return out.String()
+}
+
+// opLabels returns the cell label for each operand of an op.
+func opLabels(o Op) []string {
+	switch o.Name {
+	case "cx":
+		return []string{"*", "X"}
+	case "cz":
+		return []string{"*", "*"}
+	case "cp", "crz", "ch":
+		return []string{"*", strings.ToUpper(o.Name[1:])}
+	case "ccx":
+		return []string{"*", "*", "X"}
+	case "swap":
+		return []string{"x", "x"}
+	}
+	label := strings.ToUpper(o.Name)
+	if len(o.Params) > 0 {
+		label = fmt.Sprintf("%s(%.2g", strings.ToUpper(o.Name), o.Params[0])
+		if len(o.Params) > 1 {
+			label += ",..."
+		}
+		label += ")"
+	}
+	out := make([]string, len(o.Qubits))
+	for i := range out {
+		if len(o.Qubits) > 1 {
+			out[i] = fmt.Sprintf("%s:%d", label, i)
+		} else {
+			out[i] = label
+		}
+	}
+	return out
+}

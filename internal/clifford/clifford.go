@@ -1,0 +1,294 @@
+// Package clifford implements an Aaronson-Gottesman stabilizer-tableau
+// simulator. Clifford circuits (H, S, CX and friends) simulate in
+// polynomial time and space, so benchmarks like HLF can be checked at the
+// paper's full 32-qubit scale where the statevector simulator cannot go.
+package clifford
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Simulator is a stabilizer tableau over n qubits: rows 0..n-1 are the
+// destabilizers, rows n..2n-1 the stabilizers, each row a Pauli string
+// with X/Z bit vectors and a sign bit.
+type Simulator struct {
+	n int
+	x [][]bool // x[i][j]: row i has X on qubit j
+	z [][]bool // z[i][j]: row i has Z on qubit j
+	r []bool   // phase bit per row (true = -1)
+}
+
+// New returns the tableau of |0...0>.
+func New(n int) *Simulator {
+	s := &Simulator{
+		n: n,
+		x: make([][]bool, 2*n),
+		z: make([][]bool, 2*n),
+		r: make([]bool, 2*n),
+	}
+	for i := range s.x {
+		s.x[i] = make([]bool, n)
+		s.z[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		s.x[i][i] = true     // destabilizer X_i
+		s.z[n+i][i] = true   // stabilizer Z_i
+	}
+	return s
+}
+
+// Clone deep-copies the tableau.
+func (s *Simulator) Clone() *Simulator {
+	c := &Simulator{n: s.n, x: make([][]bool, 2*s.n), z: make([][]bool, 2*s.n), r: append([]bool(nil), s.r...)}
+	for i := range s.x {
+		c.x[i] = append([]bool(nil), s.x[i]...)
+		c.z[i] = append([]bool(nil), s.z[i]...)
+	}
+	return c
+}
+
+// H applies a Hadamard on qubit q.
+func (s *Simulator) H(q int) {
+	for i := 0; i < 2*s.n; i++ {
+		s.r[i] = s.r[i] != (s.x[i][q] && s.z[i][q])
+		s.x[i][q], s.z[i][q] = s.z[i][q], s.x[i][q]
+	}
+}
+
+// S applies the phase gate on qubit q.
+func (s *Simulator) S(q int) {
+	for i := 0; i < 2*s.n; i++ {
+		s.r[i] = s.r[i] != (s.x[i][q] && s.z[i][q])
+		s.z[i][q] = s.z[i][q] != s.x[i][q]
+	}
+}
+
+// CX applies a CNOT with the given control and target.
+func (s *Simulator) CX(control, target int) {
+	for i := 0; i < 2*s.n; i++ {
+		s.r[i] = s.r[i] != (s.x[i][control] && s.z[i][target] &&
+			(s.x[i][target] == s.z[i][control]))
+		s.x[i][target] = s.x[i][target] != s.x[i][control]
+		s.z[i][control] = s.z[i][control] != s.z[i][target]
+	}
+}
+
+// Apply applies one circuit operation, decomposing derived Clifford gates
+// into H/S/CX. Non-Clifford gates return an error.
+func (s *Simulator) Apply(op circuit.Op) error {
+	q := op.Qubits
+	switch op.Name {
+	case "h":
+		s.H(q[0])
+	case "s":
+		s.S(q[0])
+	case "sdg":
+		s.S(q[0])
+		s.S(q[0])
+		s.S(q[0])
+	case "z":
+		s.S(q[0])
+		s.S(q[0])
+	case "x":
+		s.H(q[0])
+		s.S(q[0])
+		s.S(q[0])
+		s.H(q[0])
+	case "y":
+		// Y = S X S† (up to global phase, irrelevant for stabilizers).
+		s.S(q[0])
+		s.H(q[0])
+		s.S(q[0])
+		s.S(q[0])
+		s.H(q[0])
+		s.S(q[0])
+		s.S(q[0])
+		s.S(q[0])
+	case "sx":
+		// SX = H S H up to phase.
+		s.H(q[0])
+		s.S(q[0])
+		s.H(q[0])
+	case "sxdg":
+		s.H(q[0])
+		s.S(q[0])
+		s.S(q[0])
+		s.S(q[0])
+		s.H(q[0])
+	case "id":
+	case "cx":
+		s.CX(q[0], q[1])
+	case "cz":
+		s.H(q[1])
+		s.CX(q[0], q[1])
+		s.H(q[1])
+	case "swap":
+		s.CX(q[0], q[1])
+		s.CX(q[1], q[0])
+		s.CX(q[0], q[1])
+	default:
+		return fmt.Errorf("clifford: gate %q is not Clifford", op.Name)
+	}
+	return nil
+}
+
+// Run evolves |0...0> through a Clifford circuit.
+func Run(c *circuit.Circuit) (*Simulator, error) {
+	s := New(c.NumQubits)
+	for i, op := range c.Ops {
+		if err := s.Apply(op); err != nil {
+			return nil, fmt.Errorf("clifford: op %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// IsClifford reports whether every gate in the circuit is supported.
+func IsClifford(c *circuit.Circuit) bool {
+	for _, op := range c.Ops {
+		switch op.Name {
+		case "h", "s", "sdg", "z", "x", "y", "sx", "sxdg", "id", "cx", "cz", "swap":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// rowsum implements the Aaronson-Gottesman rowsum operation: row h ← row h
+// composed with row i, tracking the phase.
+func (s *Simulator) rowsum(h, i int) {
+	// Phase exponent arithmetic mod 4: 2*r + Σ g(x_i,z_i,x_h,z_h).
+	sum := 0
+	if s.r[h] {
+		sum += 2
+	}
+	if s.r[i] {
+		sum += 2
+	}
+	for j := 0; j < s.n; j++ {
+		sum += g(s.x[i][j], s.z[i][j], s.x[h][j], s.z[h][j])
+	}
+	sum = ((sum % 4) + 4) % 4
+	s.r[h] = sum == 2 // sum must be 0 or 2 for valid tableaux
+	for j := 0; j < s.n; j++ {
+		s.x[h][j] = s.x[h][j] != s.x[i][j]
+		s.z[h][j] = s.z[h][j] != s.z[i][j]
+	}
+}
+
+// g is the phase function of Pauli multiplication.
+func g(x1, z1, x2, z2 bool) int {
+	switch {
+	case !x1 && !z1: // I
+		return 0
+	case x1 && z1: // Y
+		return b2i(z2) - b2i(x2)
+	case x1 && !z1: // X
+		return b2i(z2) * (2*b2i(x2) - 1)
+	default: // Z
+		return b2i(x2) * (1 - 2*b2i(z2))
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MeasureZ measures qubit q in the computational basis, collapsing the
+// tableau, and returns the outcome bit. Random outcomes draw from rng.
+func (s *Simulator) MeasureZ(q int, rng *rand.Rand) int {
+	n := s.n
+	// Case 1: some stabilizer anticommutes with Z_q (x bit set) —
+	// outcome is random.
+	p := -1
+	for i := n; i < 2*n; i++ {
+		if s.x[i][q] {
+			p = i
+			break
+		}
+	}
+	if p >= 0 {
+		for i := 0; i < 2*n; i++ {
+			if i != p && s.x[i][q] {
+				s.rowsum(i, p)
+			}
+		}
+		// Destabilizer row p-n becomes old stabilizer p; stabilizer p
+		// becomes ±Z_q.
+		copy(s.x[p-n], s.x[p])
+		copy(s.z[p-n], s.z[p])
+		s.r[p-n] = s.r[p]
+		for j := 0; j < n; j++ {
+			s.x[p][j] = false
+			s.z[p][j] = false
+		}
+		s.z[p][q] = true
+		outcome := rng.Intn(2)
+		s.r[p] = outcome == 1
+		return outcome
+	}
+	// Case 2: outcome deterministic. Accumulate into a scratch row.
+	scratch := 2 * n // conceptual extra row
+	_ = scratch
+	sx := make([]bool, n)
+	sz := make([]bool, n)
+	sr := false
+	for i := 0; i < n; i++ {
+		if s.x[i][q] {
+			// rowsum of scratch with stabilizer i+n, inlined.
+			sum := 0
+			if sr {
+				sum += 2
+			}
+			if s.r[i+n] {
+				sum += 2
+			}
+			for j := 0; j < n; j++ {
+				sum += g(s.x[i+n][j], s.z[i+n][j], sx[j], sz[j])
+			}
+			sum = ((sum % 4) + 4) % 4
+			sr = sum == 2
+			for j := 0; j < n; j++ {
+				sx[j] = sx[j] != s.x[i+n][j]
+				sz[j] = sz[j] != s.z[i+n][j]
+			}
+		}
+	}
+	if sr {
+		return 1
+	}
+	return 0
+}
+
+// Sample measures every qubit (collapsing a clone, so the simulator state
+// is preserved) and returns the outcome as a bitmask with qubit 0 as the
+// least significant bit. Supports up to 64 qubits.
+func (s *Simulator) Sample(rng *rand.Rand) uint64 {
+	if s.n > 64 {
+		panic("clifford: Sample supports at most 64 qubits")
+	}
+	c := s.Clone()
+	var out uint64
+	for q := 0; q < c.n; q++ {
+		if c.MeasureZ(q, rng) == 1 {
+			out |= 1 << q
+		}
+	}
+	return out
+}
+
+// SampleCounts draws `shots` full-register samples and returns the counts.
+func (s *Simulator) SampleCounts(shots int, rng *rand.Rand) map[uint64]int {
+	counts := make(map[uint64]int)
+	for i := 0; i < shots; i++ {
+		counts[s.Sample(rng)]++
+	}
+	return counts
+}

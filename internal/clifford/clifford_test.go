@@ -1,0 +1,178 @@
+package clifford
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/circuit"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func randomCliffordCircuit(n, ops int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	names := []string{"h", "s", "sdg", "x", "y", "z", "sx"}
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			c.MustAppend(names[rng.Intn(len(names))], []int{rng.Intn(n)}, nil)
+		default:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			if rng.Intn(2) == 0 {
+				c.CX(a, b)
+			} else {
+				c.CZ(a, b)
+			}
+		}
+	}
+	return c
+}
+
+// sampledTVD compares tableau samples against the exact statevector
+// distribution.
+func sampledTVD(t *testing.T, c *circuit.Circuit, shots int, seed int64) float64 {
+	t.Helper()
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := s.SampleCounts(shots, rng)
+	emp := make([]float64, 1<<c.NumQubits)
+	for k, v := range counts {
+		emp[k] = float64(v) / float64(shots)
+	}
+	return metrics.TVD(emp, sim.Probabilities(c))
+}
+
+func TestZeroState(t *testing.T) {
+	s := New(3)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		if out := s.Sample(rng); out != 0 {
+			t.Fatalf("|000> sampled %b", out)
+		}
+	}
+}
+
+func TestGHZSampling(t *testing.T) {
+	c := algos.GHZ(4)
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := s.SampleCounts(4000, rng)
+	if len(counts) != 2 {
+		t.Fatalf("GHZ samples hit %d distinct states, want 2", len(counts))
+	}
+	all0, all1 := counts[0], counts[15]
+	if all0+all1 != 4000 {
+		t.Fatal("GHZ sampled a non-GHZ state")
+	}
+	if math.Abs(float64(all0)/4000-0.5) > 0.05 {
+		t.Errorf("GHZ balance off: %d vs %d", all0, all1)
+	}
+}
+
+func TestDeterministicMeasurement(t *testing.T) {
+	// X|0> = |1>: deterministic outcome 1.
+	c := circuit.New(2)
+	c.X(0)
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		if out := s.Sample(rng); out != 1 {
+			t.Fatalf("X|00> sampled %b, want 01", out)
+		}
+	}
+}
+
+func TestMatchesStatevectorOnRandomCliffords(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		c := randomCliffordCircuit(4, 30, rng)
+		if tvd := sampledTVD(t, c, 20000, int64(trial+10)); tvd > 0.03 {
+			t.Errorf("trial %d: tableau vs statevector TVD = %g", trial, tvd)
+		}
+	}
+}
+
+func TestMatchesStatevectorOnHLF(t *testing.T) {
+	c := algos.HLF(5, 42)
+	if !IsClifford(c) {
+		t.Fatal("HLF is not recognized as Clifford")
+	}
+	if tvd := sampledTVD(t, c, 20000, 7); tvd > 0.03 {
+		t.Errorf("HLF tableau vs statevector TVD = %g", tvd)
+	}
+}
+
+func TestRejectsNonClifford(t *testing.T) {
+	c := circuit.New(1)
+	c.T(0)
+	if _, err := Run(c); err == nil {
+		t.Error("T gate accepted by Clifford simulator")
+	}
+	if IsClifford(c) {
+		t.Error("IsClifford accepted a T gate")
+	}
+}
+
+func TestHLF32QubitsScales(t *testing.T) {
+	// The paper evaluates up to 32 qubits; the statevector simulator
+	// cannot reach that but the tableau does in milliseconds.
+	c := algos.HLF(32, 99)
+	start := time.Now()
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := s.SampleCounts(100, rng)
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("HLF-32 tableau run too slow: %v", time.Since(start))
+	}
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	if total != 100 {
+		t.Errorf("lost samples: %d", total)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(2)
+	s.H(0)
+	c := s.Clone()
+	c.CX(0, 1)
+	// Sampling s must still show qubit 1 at 0 always.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		if out := s.Sample(rng); out&2 != 0 {
+			t.Fatal("Clone mutation leaked into original")
+		}
+	}
+}
+
+func TestSwapViaTableau(t *testing.T) {
+	c := circuit.New(2)
+	c.X(0)
+	c.Swap(0, 1)
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	if out := s.Sample(rng); out != 2 {
+		t.Fatalf("SWAP·X|00> sampled %b, want 10", out)
+	}
+}

@@ -1,0 +1,542 @@
+// Package core implements the QUEST pipeline (Sec. 3): partition a circuit
+// into small blocks, generate many low-CNOT approximate circuits per block
+// with approximate synthesis, then use a dual annealing engine driven by
+// the paper's Algorithm 1 to select up to M "dissimilar" low-CNOT full
+// circuit approximations whose averaged output tracks the original
+// circuit. The per-block process distances bound the full-circuit process
+// distance by the Sec. 3.8 theorem: HS(full) ≤ Σ_k ε_k.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// Config controls the pipeline. The zero value selects the paper-like
+// defaults (documented per field).
+type Config struct {
+	// BlockSize is the maximum partition block size in qubits. The paper
+	// uses 4; the default here is 3, which synthesizes much faster in
+	// pure Go while exercising the identical code path (see DESIGN.md).
+	BlockSize int
+	// Epsilon is the per-block process-distance budget. The full-circuit
+	// threshold is Epsilon × (number of blocks), i.e. proportional to
+	// the block count exactly as in Sec. 4.1, but capped at ThresholdCap
+	// so deep circuits cannot accumulate unboundedly coarse
+	// approximations. Default 0.05.
+	Epsilon float64
+	// ThresholdCap bounds the full-circuit distance threshold from
+	// above (default 0.5; HS distances approach 1 for unrelated
+	// unitaries, so budgets beyond ~0.5 admit junk).
+	ThresholdCap float64
+	// MaxSamples is M, the maximum number of dissimilar approximations
+	// selected (default 16).
+	MaxSamples int
+	// CXWeight is the objective weight on normalized CNOT count; the
+	// dissimilarity weight is 1-CXWeight. Default 0.5 (balanced).
+	CXWeight float64
+	// SynthBeam, SynthRestarts and SynthKeepPerDepth tune the per-block
+	// synthesis search (defaults 2, 1, 4).
+	SynthBeam         int
+	SynthRestarts     int
+	SynthKeepPerDepth int
+	// AnnealIterations is the dual annealing budget per selected sample
+	// (default 400).
+	AnnealIterations int
+	// Parallelism is the number of blocks synthesized concurrently
+	// (default runtime.NumCPU()); results are deterministic regardless.
+	Parallelism int
+	// Seed makes the whole pipeline deterministic (default 1).
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.BlockSize == 0 {
+		c.BlockSize = 3
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.05
+	}
+	if c.ThresholdCap == 0 {
+		c.ThresholdCap = 0.5
+	}
+	if c.MaxSamples == 0 {
+		c.MaxSamples = 16
+	}
+	if c.CXWeight == 0 {
+		c.CXWeight = 0.5
+	}
+	if c.SynthBeam == 0 {
+		c.SynthBeam = 2
+	}
+	if c.SynthRestarts == 0 {
+		c.SynthRestarts = 1
+	}
+	if c.SynthKeepPerDepth == 0 {
+		c.SynthKeepPerDepth = 4
+	}
+	if c.AnnealIterations == 0 {
+		c.AnnealIterations = 400
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// BlockApproximations holds one partition block with its harvested
+// approximate circuits.
+type BlockApproximations struct {
+	// Block is the partition block (global qubits + local circuit).
+	Block partition.Block
+	// Unitary is the block's original unitary.
+	Unitary *linalg.Matrix
+	// Candidates are the approximate circuits, sorted by (CNOTs,
+	// Distance); Candidates[i].Circuit acts on block-local qubits.
+	Candidates []synth.Candidate
+	// pairDist[i][j] is the HS distance between candidates i and j,
+	// used by the Algorithm-1 similarity rule.
+	pairDist [][]float64
+}
+
+// Approximation is one selected full-circuit approximation.
+type Approximation struct {
+	// Choice[b] is the candidate index used for block b.
+	Choice []int
+	// Circuit is the reassembled full circuit.
+	Circuit *circuit.Circuit
+	// CNOTs is the full circuit's CNOT count.
+	CNOTs int
+	// EpsilonSum is Σ_k ε_k over the chosen block candidates: by the
+	// Sec. 3.8 theorem an upper bound on the full-circuit HS distance.
+	EpsilonSum float64
+}
+
+// Timing records where pipeline time went (Fig. 12).
+type Timing struct {
+	Partition time.Duration
+	Synthesis time.Duration
+	Annealing time.Duration
+}
+
+// Total returns the summed pipeline time.
+func (t Timing) Total() time.Duration { return t.Partition + t.Synthesis + t.Annealing }
+
+// Result is the pipeline output.
+type Result struct {
+	// Original is the input circuit.
+	Original *circuit.Circuit
+	// Blocks holds per-block approximation sets.
+	Blocks []BlockApproximations
+	// Selected are the chosen dissimilar approximations, in selection
+	// order (the first has the lowest CNOT count).
+	Selected []Approximation
+	// Threshold is the full-circuit distance threshold used
+	// (Epsilon × number of blocks).
+	Threshold float64
+	// Timing is the per-stage cost breakdown.
+	Timing Timing
+}
+
+// BestCNOTs returns the smallest CNOT count among selected approximations.
+func (r *Result) BestCNOTs() int {
+	best := math.MaxInt
+	for _, a := range r.Selected {
+		if a.CNOTs < best {
+			best = a.CNOTs
+		}
+	}
+	return best
+}
+
+// UpperBound is the Sec. 3.8 theorem: the process distance of a circuit
+// assembled from approximate blocks is at most the sum of the blocks'
+// process distances.
+func UpperBound(blockDistances []float64) float64 {
+	var s float64
+	for _, d := range blockDistances {
+		s += d
+	}
+	return s
+}
+
+// Run executes the QUEST pipeline on a circuit.
+func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
+	cfg.defaults()
+	if c.Size() == 0 {
+		return nil, fmt.Errorf("core: empty circuit")
+	}
+
+	res := &Result{Original: c}
+
+	// STEP 1: partition.
+	t0 := time.Now()
+	blocks, err := partition.Scan(c, cfg.BlockSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: partition: %w", err)
+	}
+	res.Timing.Partition = time.Since(t0)
+	res.Threshold = math.Min(cfg.Epsilon*float64(len(blocks)), cfg.ThresholdCap)
+
+	// STEP 2: per-block approximate synthesis (parallel, deterministic).
+	t0 = time.Now()
+	res.Blocks = make([]BlockApproximations, len(blocks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	errs := make([]error, len(blocks))
+	for i, b := range blocks {
+		wg.Add(1)
+		go func(i int, b partition.Block) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ba, err := synthesizeBlock(b, cfg, res.Threshold, cfg.Seed+int64(i)*7919)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res.Blocks[i] = ba
+		}(i, b)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: synthesize block %d: %w", i, err)
+		}
+	}
+	res.Timing.Synthesis = time.Since(t0)
+
+	// STEP 3: dual-annealing selection of dissimilar approximations.
+	t0 = time.Now()
+	if err := selectApproximations(res, cfg); err != nil {
+		return nil, err
+	}
+	res.Timing.Annealing = time.Since(t0)
+	return res, nil
+}
+
+// synthesizeBlock harvests approximations for one block. Candidates whose
+// process distance already exceeds the FULL circuit threshold can never
+// appear in a feasible selection (the bound is a sum of non-negative
+// terms), so they are pruned before the annealing stage.
+func synthesizeBlock(b partition.Block, cfg Config, threshold float64, seed int64) (BlockApproximations, error) {
+	u := sim.Unitary(b.Circuit)
+	maxCNOTs := b.Circuit.CNOTCount()
+	if maxCNOTs == 0 {
+		maxCNOTs = -1 // rotation-only block: forbid CNOT layers entirely
+	}
+	opts := synth.Options{
+		Threshold:    math.Max(cfg.Epsilon/4, 1e-6),
+		MaxCNOTs:     maxCNOTs,
+		Beam:         cfg.SynthBeam,
+		Restarts:     cfg.SynthRestarts,
+		KeepPerDepth: cfg.SynthKeepPerDepth,
+		HarvestAll:   true,
+		Seed:         seed,
+	}
+	sres, err := synth.Synthesize(u, opts)
+	if err != nil {
+		return BlockApproximations{}, err
+	}
+	kept := sres.Candidates[:0]
+	for _, cand := range sres.Candidates {
+		if cand.Distance <= threshold {
+			kept = append(kept, cand)
+		}
+	}
+	if len(kept) == 0 {
+		kept = append(kept, sres.Best)
+	}
+	// The block's own circuit is always an exact candidate: it anchors
+	// the selection space (QUEST can never do worse than the Baseline)
+	// and guarantees an exact option when the synthesis search missed
+	// the exact solution at low depth.
+	hasExact := false
+	for _, cand := range kept {
+		if cand.Distance < 1e-7 && cand.CNOTs <= b.Circuit.CNOTCount() {
+			hasExact = true
+			break
+		}
+	}
+	if !hasExact {
+		kept = append(kept, synth.Candidate{
+			Circuit:  b.Circuit.Clone(),
+			Distance: 0,
+			CNOTs:    b.Circuit.CNOTCount(),
+		})
+	}
+	ba := BlockApproximations{Block: b, Unitary: u, Candidates: kept}
+	// Precompute pairwise candidate distances for the similarity rule.
+	us := make([]*linalg.Matrix, len(ba.Candidates))
+	for i, cand := range ba.Candidates {
+		us[i] = sim.Unitary(cand.Circuit)
+	}
+	ba.pairDist = make([][]float64, len(us))
+	for i := range us {
+		ba.pairDist[i] = make([]float64, len(us))
+		for j := range us {
+			if j < i {
+				ba.pairDist[i][j] = ba.pairDist[j][i]
+			} else if j > i {
+				ba.pairDist[i][j] = linalg.HSDistance(us[i], us[j])
+			}
+		}
+	}
+	return ba, nil
+}
+
+// blockSimilar implements the paper's similarity criterion for one block:
+// two candidates are similar when their mutual distance does not exceed
+// the larger of their distances to the original.
+func (ba *BlockApproximations) blockSimilar(i, j int) bool {
+	if i == j {
+		return true
+	}
+	di := ba.Candidates[i].Distance
+	dj := ba.Candidates[j].Distance
+	return ba.pairDist[i][j] <= math.Max(di, dj)
+}
+
+// similarity returns the fraction of blocks on which the two choice
+// vectors pick similar candidates (the scalable full-circuit similarity
+// of Sec. 3.6).
+func similarity(blocks []BlockApproximations, a, b []int) float64 {
+	if len(blocks) == 0 {
+		return 1
+	}
+	m := 0
+	for k := range blocks {
+		if blocks[k].blockSimilar(a[k], b[k]) {
+			m++
+		}
+	}
+	return float64(m) / float64(len(blocks))
+}
+
+// choiceStats returns the CNOT count and Σε of a choice vector.
+func choiceStats(blocks []BlockApproximations, choice []int) (cnots int, epsSum float64) {
+	for k, ba := range blocks {
+		cand := ba.Candidates[choice[k]]
+		cnots += cand.CNOTs
+		epsSum += cand.Distance
+	}
+	return cnots, epsSum
+}
+
+// selectApproximations runs the dual annealing engine repeatedly,
+// implementing Algorithm 1 as the objective, until MaxSamples circuits are
+// selected or the engine returns an already-selected circuit.
+func selectApproximations(res *Result, cfg Config) error {
+	blocks := res.Blocks
+	nb := len(blocks)
+	origCNOTs := res.Original.CNOTCount()
+	if origCNOTs == 0 {
+		origCNOTs = 1 // avoid division by zero for CNOT-free circuits
+	}
+
+	lower := make([]float64, nb)
+	upper := make([]float64, nb)
+	for k, ba := range blocks {
+		upper[k] = float64(len(ba.Candidates))
+	}
+	toChoice := func(x []float64) []int {
+		choice := make([]int, nb)
+		for k, v := range x {
+			i := int(math.Floor(v))
+			if i >= len(blocks[k].Candidates) {
+				i = len(blocks[k].Candidates) - 1
+			}
+			if i < 0 {
+				i = 0
+			}
+			choice[k] = i
+		}
+		return choice
+	}
+
+	var selected [][]int
+	// Algorithm 1: the objective for the next sample given selected set.
+	// One annealer-friendly refinement over the paper's pseudocode: an
+	// infeasible choice scores 1 + (Σε − threshold) instead of a flat
+	// 1.0, so the plateau has a slope toward feasibility. Any value > 1
+	// is still strictly worse than every feasible choice, so the
+	// selection semantics of Algorithm 1 are unchanged.
+	objective := func(x []float64) float64 {
+		choice := toChoice(x)
+		cnots, epsSum := choiceStats(blocks, choice)
+		if epsSum > res.Threshold {
+			return 1.0 + (epsSum - res.Threshold)
+		}
+		cnorm := float64(cnots) / float64(origCNOTs)
+		if len(selected) == 0 {
+			return cnorm
+		}
+		m := 0.0
+		for _, s := range selected {
+			m += similarity(blocks, choice, s)
+		}
+		m /= float64(len(selected))
+		return (1-cfg.CXWeight)*m + cfg.CXWeight*cnorm
+	}
+
+	sameChoice := func(a, b []int) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	const dupRetries = 2
+	for s := 0; s < cfg.MaxSamples; s++ {
+		var choice []int
+		ok := false
+		for attempt := 0; attempt <= dupRetries; attempt++ {
+			r := anneal.Minimize(objective, lower, upper, anneal.Options{
+				MaxIterations: cfg.AnnealIterations,
+				Seed:          cfg.Seed + int64(s)*104729 + int64(attempt)*1299709,
+			})
+			choice = toChoice(r.X)
+			if _, epsSum := choiceStats(blocks, choice); epsSum > res.Threshold {
+				continue // nothing feasible found this attempt
+			}
+			dup := false
+			for _, prev := range selected {
+				if sameChoice(choice, prev) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			// Paper: terminate when the engine keeps returning already
+			// selected (or infeasible) circuits.
+			break
+		}
+		selected = append(selected, choice)
+		approx, err := assemble(res.Original.NumQubits, blocks, choice)
+		if err != nil {
+			return err
+		}
+		res.Selected = append(res.Selected, approx)
+	}
+
+	// The annealer terminates when it keeps rediscovering the same
+	// choice, which on small circuits can happen after a single sample —
+	// leaving no ensemble to average. Greedily augment with the
+	// best-scoring feasible single-block deviations so that the output
+	// rule has dissimilar samples to work with whenever they exist.
+	for len(selected) > 0 && len(selected) < cfg.MaxSamples {
+		bestScore := math.Inf(1)
+		var best []int
+		for _, base := range selected {
+			for b := range blocks {
+				for i := range blocks[b].Candidates {
+					if i == base[b] {
+						continue
+					}
+					cand := append([]int(nil), base...)
+					cand[b] = i
+					if _, epsSum := choiceStats(blocks, cand); epsSum > res.Threshold {
+						continue
+					}
+					dup := false
+					for _, prev := range selected {
+						if sameChoice(cand, prev) {
+							dup = true
+							break
+						}
+					}
+					if dup {
+						continue
+					}
+					x := make([]float64, nb)
+					for k, v := range cand {
+						x[k] = float64(v)
+					}
+					if score := objective(x); score < bestScore {
+						bestScore = score
+						best = cand
+					}
+				}
+			}
+		}
+		if best == nil {
+			break // space exhausted
+		}
+		selected = append(selected, best)
+		approx, err := assemble(res.Original.NumQubits, blocks, best)
+		if err != nil {
+			return err
+		}
+		res.Selected = append(res.Selected, approx)
+	}
+
+	if len(res.Selected) == 0 {
+		// Fall back to the per-block best candidates so callers always
+		// get at least one approximation (equivalent to a very tight
+		// exact synthesis result).
+		choice := make([]int, nb)
+		for k, ba := range blocks {
+			best := 0
+			for i, cand := range ba.Candidates {
+				if cand.Distance < ba.Candidates[best].Distance {
+					best = i
+				}
+			}
+			choice[k] = best
+		}
+		approx, err := assemble(res.Original.NumQubits, blocks, choice)
+		if err != nil {
+			return err
+		}
+		res.Selected = append(res.Selected, approx)
+	}
+	return nil
+}
+
+// Assemble rebuilds a full-circuit approximation from a per-block
+// candidate choice (choice[b] indexes blocks[b].Candidates). It is the
+// building block for ablation studies that bypass the dual annealing
+// selection (for example random sampling of the approximation space).
+func Assemble(numQubits int, blocks []BlockApproximations, choice []int) (Approximation, error) {
+	return assemble(numQubits, blocks, choice)
+}
+
+// assemble rebuilds a full circuit from a per-block candidate choice.
+func assemble(numQubits int, blocks []BlockApproximations, choice []int) (Approximation, error) {
+	full := circuit.New(numQubits)
+	cnots := 0
+	epsSum := 0.0
+	for k, ba := range blocks {
+		cand := ba.Candidates[choice[k]]
+		if err := full.AppendCircuit(cand.Circuit, ba.Block.Qubits); err != nil {
+			return Approximation{}, fmt.Errorf("core: assemble block %d: %w", k, err)
+		}
+		cnots += cand.CNOTs
+		epsSum += cand.Distance
+	}
+	return Approximation{
+		Choice:     append([]int(nil), choice...),
+		Circuit:    full,
+		CNOTs:      cnots,
+		EpsilonSum: epsSum,
+	}, nil
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/metrics"
+)
+
+// Runner executes a circuit and returns its output distribution; it
+// abstracts the ideal simulator, the noisy simulator, and device models so
+// the ensemble rule is identical across backends.
+type Runner func(*circuit.Circuit) ([]float64, error)
+
+// EnsembleProbabilities runs every selected approximation through the
+// runner and returns the pointwise average of their output distributions —
+// QUEST's output rule (Sec. 3.6, Fig. 6).
+func (r *Result) EnsembleProbabilities(run Runner) ([]float64, error) {
+	if len(r.Selected) == 0 {
+		return nil, fmt.Errorf("core: no selected approximations")
+	}
+	dists := make([][]float64, 0, len(r.Selected))
+	for i, a := range r.Selected {
+		p, err := run(a.Circuit)
+		if err != nil {
+			return nil, fmt.Errorf("core: running approximation %d: %w", i, err)
+		}
+		dists = append(dists, p)
+	}
+	return metrics.AverageDistributions(dists...), nil
+}

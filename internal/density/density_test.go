@@ -1,0 +1,220 @@
+package density
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+	"repro/internal/metrics"
+	"repro/internal/noise"
+	"repro/internal/sim"
+)
+
+func bell() *circuit.Circuit {
+	c := circuit.New(2)
+	c.H(0)
+	c.CX(0, 1)
+	return c
+}
+
+func TestZeroState(t *testing.T) {
+	m := Zero(2)
+	if cmplx.Abs(m.Trace()-1) > 1e-12 {
+		t.Errorf("Tr = %v", m.Trace())
+	}
+	if math.Abs(m.Purity()-1) > 1e-12 {
+		t.Errorf("purity = %g", m.Purity())
+	}
+	p := m.Probabilities()
+	if p[0] != 1 {
+		t.Errorf("P(00) = %g", p[0])
+	}
+}
+
+func TestFromState(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	psi := linalg.RandomState(8, rng)
+	m := FromState(psi)
+	if cmplx.Abs(m.Trace()-1) > 1e-9 {
+		t.Errorf("Tr = %v", m.Trace())
+	}
+	if math.Abs(m.Purity()-1) > 1e-9 {
+		t.Errorf("purity = %g", m.Purity())
+	}
+	p := m.Probabilities()
+	want := psi.Probabilities()
+	for i := range p {
+		if math.Abs(p[i]-want[i]) > 1e-9 {
+			t.Fatalf("diag[%d] = %g, want %g", i, p[i], want[i])
+		}
+	}
+}
+
+func TestFromStateBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two state")
+		}
+	}()
+	FromState(linalg.NewVector(3))
+}
+
+func TestIdealMatchesStatevector(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		c := circuit.New(3)
+		for i := 0; i < 15; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.H(rng.Intn(3))
+			case 1:
+				c.RY(rng.Intn(3), rng.Float64()*2)
+			default:
+				a := rng.Intn(3)
+				b := (a + 1 + rng.Intn(2)) % 3
+				c.CX(a, b)
+			}
+		}
+		got := Ideal(c)
+		want := sim.Probabilities(c)
+		if metrics.TVD(got, want) > 1e-9 {
+			t.Fatalf("trial %d: density ideal differs from statevector", trial)
+		}
+	}
+}
+
+func TestPauliChannelTracePreserving(t *testing.T) {
+	for _, p := range []float64{0, 0.1, 0.5, 1} {
+		ks := PauliChannel(p)
+		sum := linalg.New(2, 2)
+		for _, k := range ks {
+			sum = linalg.Add(sum, linalg.Mul(k.Dagger(), k))
+		}
+		if !linalg.EqualApprox(sum, linalg.Identity(2), 1e-12) {
+			t.Errorf("Pauli(%g): Σ K†K != I", p)
+		}
+	}
+}
+
+func TestAmplitudeDampingChannel(t *testing.T) {
+	ks := AmplitudeDampingChannel(0.3)
+	sum := linalg.New(2, 2)
+	for _, k := range ks {
+		sum = linalg.Add(sum, linalg.Mul(k.Dagger(), k))
+	}
+	if !linalg.EqualApprox(sum, linalg.Identity(2), 1e-12) {
+		t.Error("amplitude damping: Σ K†K != I")
+	}
+	// |1> decays toward |0>: after the channel P(0) = gamma.
+	m := Zero(1)
+	m.ApplyUnitary(gate.PauliX, []int{0})
+	m.ApplyKraus(ks, []int{0})
+	p := m.Probabilities()
+	if math.Abs(p[0]-0.3) > 1e-12 {
+		t.Errorf("P(0) after damping = %g, want 0.3", p[0])
+	}
+}
+
+func TestDepolarizingFullyMixes(t *testing.T) {
+	m := Zero(1)
+	m.ApplyKraus(DepolarizingChannel(1), []int{0})
+	p := m.Probabilities()
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]-0.5) > 1e-12 {
+		t.Errorf("full depolarizing gave %v", p)
+	}
+	if math.Abs(m.Purity()-0.5) > 1e-12 {
+		t.Errorf("purity = %g, want 0.5", m.Purity())
+	}
+}
+
+func TestReadoutChannelMatchesAnalytic(t *testing.T) {
+	// Compare the Kraus bit-flip channel against noise.ApplyReadoutError.
+	c := bell()
+	m := Model{ReadoutError: 0.1}
+	got := m.Run(c)
+	want := noise.ApplyReadoutError(sim.Probabilities(c), 2, 0.1)
+	if metrics.TVD(got, want) > 1e-9 {
+		t.Errorf("readout channels disagree: %v vs %v", got, want)
+	}
+}
+
+func TestNoiseLowersPurity(t *testing.T) {
+	c := bell()
+	rho := Zero(2)
+	for _, op := range c.Ops {
+		g := op.Spec().Build(op.Params)
+		rho.ApplyUnitary(g, op.Qubits)
+	}
+	if math.Abs(rho.Purity()-1) > 1e-9 {
+		t.Fatal("unitary evolution changed purity")
+	}
+	rho.ApplyKraus(PauliChannel(0.2), []int{0})
+	if rho.Purity() >= 1-1e-9 {
+		t.Error("Pauli channel did not decohere the state")
+	}
+}
+
+// TestTrajectoryMatchesExact is the key cross-validation: the Monte-Carlo
+// trajectory sampler in package noise converges to this package's exact
+// channel evolution.
+func TestTrajectoryMatchesExact(t *testing.T) {
+	c := circuit.New(2)
+	for i := 0; i < 5; i++ {
+		c.RY(0, 0.4)
+		c.CX(0, 1)
+		c.RY(1, 0.3)
+	}
+	exact := Model{OneQubitError: 0.002, TwoQubitError: 0.02}.Run(c)
+	sampled := noise.Model{OneQubitError: 0.002, TwoQubitError: 0.02}.Run(c,
+		noise.Options{Trajectories: 4000, Seed: 5})
+	if tvd := metrics.TVD(exact, sampled); tvd > 0.02 {
+		t.Errorf("trajectory sampler diverges from exact channels: TVD %g", tvd)
+	}
+}
+
+func TestModelRunNormalized(t *testing.T) {
+	c := bell()
+	p := Model{OneQubitError: 0.01, TwoQubitError: 0.05, ReadoutError: 0.02}.Run(c)
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("distribution sums to %g", s)
+	}
+}
+
+func TestPropChannelsPreserveTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		psi := linalg.RandomState(4, r)
+		m := FromState(psi)
+		m.ApplyKraus(PauliChannel(r.Float64()), []int{r.Intn(2)})
+		m.ApplyKraus(AmplitudeDampingChannel(r.Float64()), []int{r.Intn(2)})
+		return cmplx.Abs(m.Trace()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPurityNonIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		psi := linalg.RandomState(4, r)
+		m := FromState(psi)
+		before := m.Purity()
+		m.ApplyKraus(PauliChannel(0.3), []int{r.Intn(2)})
+		return m.Purity() <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runAblation(t *testing.T, name string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := RunAblation(name, Config{Quick: true, Seed: 3, Out: &buf}); err != nil {
+		t.Fatalf("ablation %s: %v", name, err)
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("ablation %s produced no output", name)
+	}
+	return buf.String()
+}
+
+func TestAblationsList(t *testing.T) {
+	if len(Ablations()) != 4 {
+		t.Errorf("Ablations() = %v", Ablations())
+	}
+	if err := RunAblation("nope", Config{Quick: true}); err == nil {
+		t.Error("unknown ablation accepted")
+	}
+}
+
+func TestAblationSelection(t *testing.T) {
+	out := runAblation(t, "selection")
+	if !strings.Contains(out, "QUEST (dissimilar") || !strings.Contains(out, "random") {
+		t.Errorf("selection ablation output:\n%s", out)
+	}
+}
+
+func TestAblationEnsembleSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline four times")
+	}
+	out := runAblation(t, "ensemble-size")
+	if !strings.Contains(out, "noisy TVD") {
+		t.Errorf("ensemble-size ablation output:\n%s", out)
+	}
+}
+
+func TestAblationWeight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline five times")
+	}
+	out := runAblation(t, "weight")
+	if !strings.Contains(out, "cx weight") {
+		t.Errorf("weight ablation output:\n%s", out)
+	}
+}
+
+func TestAblationBlockSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline per block size")
+	}
+	out := runAblation(t, "blocksize")
+	if !strings.Contains(out, "blocks") {
+		t.Errorf("blocksize ablation output:\n%s", out)
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runFig executes one figure in quick mode and returns its output.
+func runFig(t *testing.T, fig int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(fig, Config{Quick: true, Seed: 3, Out: &buf}); err != nil {
+		t.Fatalf("figure %d: %v", fig, err)
+	}
+	out := buf.String()
+	if len(out) == 0 {
+		t.Fatalf("figure %d produced no output", fig)
+	}
+	return out
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := Run(2, Config{Quick: true}); err == nil {
+		t.Error("figure 2 accepted (not an evaluation figure)")
+	}
+}
+
+func TestFiguresList(t *testing.T) {
+	if len(Figures()) != 12 {
+		t.Errorf("Figures() = %v", Figures())
+	}
+}
+
+func TestWorkloadsCoverTable1(t *testing.T) {
+	ws, err := workloads(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		seen[w.name] = true
+	}
+	for _, name := range []string{"adder", "heisenberg", "hlf", "qft", "qaoa", "multiplier", "tfim", "vqe", "xy"} {
+		if !seen[name] {
+			t.Errorf("workloads missing Table-1 benchmark %s", name)
+		}
+	}
+}
+
+func TestFig01(t *testing.T) {
+	out := runFig(t, 1)
+	if !strings.Contains(out, "TFIM") || !strings.Contains(out, "Heisenberg") {
+		t.Errorf("Fig 1 output missing case studies:\n%s", out)
+	}
+}
+
+func TestFig04(t *testing.T) {
+	out := runFig(t, 4)
+	if !strings.Contains(out, "CNOTs vs noisy TVD") {
+		t.Errorf("Fig 4 output:\n%s", out)
+	}
+}
+
+func TestFig07BoundAlwaysHolds(t *testing.T) {
+	out := runFig(t, 7) // Run fails the test via error if any bound is violated
+	if !strings.Contains(out, "bound respected") {
+		t.Errorf("Fig 7 output:\n%s", out)
+	}
+}
+
+func TestFig08(t *testing.T) {
+	out := runFig(t, 8)
+	if !strings.Contains(out, "quest%") {
+		t.Errorf("Fig 8 output:\n%s", out)
+	}
+}
+
+func TestFig09(t *testing.T) {
+	out := runFig(t, 9)
+	if !strings.Contains(out, "JSD") {
+		t.Errorf("Fig 9 output:\n%s", out)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	runFig(t, 10)
+}
+
+func TestFig11(t *testing.T) {
+	out := runFig(t, 11)
+	if strings.Count(out, "Fig 11") != 3 {
+		t.Errorf("Fig 11 should sweep 3 noise levels:\n%s", out)
+	}
+}
+
+func TestFig12(t *testing.T) {
+	out := runFig(t, 12)
+	if !strings.Contains(out, "synthesis%") {
+		t.Errorf("Fig 12 output:\n%s", out)
+	}
+}
+
+func TestFig13(t *testing.T) {
+	runFig(t, 13)
+}
+
+func TestFig14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 14 runs the case study at three noise levels")
+	}
+	out := runFig(t, 14)
+	if strings.Count(out, "Fig 14") < 3 {
+		t.Errorf("Fig 14 should sweep 3 noise levels")
+	}
+}
+
+func TestFig15(t *testing.T) {
+	out := runFig(t, 15)
+	if !strings.Contains(out, "reduction:") {
+		t.Errorf("Fig 15 output:\n%s", out)
+	}
+}
+
+func TestFig16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 16 sweeps 7 thresholds x 2 algorithms")
+	}
+	out := runFig(t, 16)
+	if !strings.Contains(out, "eps/block") {
+		t.Errorf("Fig 16 output:\n%s", out)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"repro/internal/algos"
+	"repro/internal/circuit"
+	"repro/internal/metrics"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/transpile"
+)
+
+// caseStudyAlgos returns the two Fig. 1/13/14 case-study circuit builders:
+// TFIM-4 (average magnetization) and Heisenberg-4 from the Néel state
+// (staggered magnetization), as functions of the timestep count.
+func caseStudyAlgos() []struct {
+	name      string
+	build     func(steps int) *circuit.Circuit
+	observable func(p []float64, n int) float64
+	obsName   string
+} {
+	const (
+		n  = 4
+		dt = 0.05
+	)
+	return []struct {
+		name      string
+		build     func(steps int) *circuit.Circuit
+		observable func(p []float64, n int) float64
+		obsName   string
+	}{
+		{
+			name:      "TFIM",
+			build:     func(steps int) *circuit.Circuit { return algos.TFIM(n, steps, dt, 1, 1) },
+			observable: metrics.AverageMagnetization,
+			obsName:   "avg magnetization",
+		},
+		{
+			name:      "Heisenberg",
+			build:     func(steps int) *circuit.Circuit { return algos.HeisenbergNeel(n, steps, dt, 1, 0.5) },
+			observable: metrics.StaggeredMagnetization,
+			obsName:   "staggered magnetization",
+		},
+	}
+}
+
+func caseStudySteps(cfg Config) []int {
+	if cfg.Quick {
+		return []int{1, 2, 3, 4}
+	}
+	return []int{1, 2, 4, 6, 8, 10, 12, 16, 20}
+}
+
+// Fig01Motivation reproduces Fig. 1: the output of TFIM and Heisenberg on
+// a noisy Manila-class device with all Qiskit-style optimizations applied
+// is far from the ground truth.
+func Fig01Motivation(cfg Config) error {
+	cfg.defaults()
+	dev := noise.Manila()
+	shots := 8192
+
+	for _, cs := range caseStudyAlgos() {
+		cfg.section("Fig 1: " + cs.name + "-4 " + cs.obsName + " (ground truth vs Qiskit on noisy device)")
+		cfg.printf("%8s %14s %14s %10s\n", "step", "truth", "qiskit+noise", "|error|")
+		for _, steps := range caseStudySteps(cfg) {
+			c := cs.build(steps)
+			truth := cs.observable(sim.Probabilities(c), c.NumQubits)
+			opt := transpile.Optimize(c)
+			p, err := dev.Run(opt, noise.Options{Shots: shots, Seed: cfg.Seed + int64(steps)})
+			if err != nil {
+				return err
+			}
+			noisy := cs.observable(p, c.NumQubits)
+			cfg.printf("%8d %14.4f %14.4f %10.4f\n", steps, truth, noisy, abs(truth-noisy))
+		}
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/algos"
+	"repro/internal/metrics"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// Fig04ExactSynthScatter reproduces Fig. 4: many exactly synthesized
+// solutions of a VQE circuit have similar (tiny) process distances but a
+// wide range of CNOT counts and, when run on a noisy machine, a wide range
+// of TVDs — and the minimum-CNOT solution is not the minimum-TVD solution.
+// This motivates QUEST's ensemble design.
+func Fig04ExactSynthScatter(cfg Config) error {
+	cfg.defaults()
+	nq := 3
+	seeds := 6
+	if !cfg.Quick {
+		nq = 4
+		seeds = 10
+	}
+	c := algos.VQE(nq, 2, 11)
+	target := sim.Unitary(c)
+	ideal := sim.Probabilities(c)
+	m := noise.Uniform(0.01)
+
+	cfg.section("Fig 4: exact synthesis solutions of a VQE circuit (CNOTs vs noisy TVD)")
+	cfg.printf("original: %d CNOTs\n", c.CNOTCount())
+	cfg.printf("%6s %8s %14s %10s\n", "seed", "CNOTs", "process dist", "TVD")
+
+	var pts []synthPoint
+	for s := 1; s <= seeds; s++ {
+		res, err := synth.Synthesize(target, synth.Options{
+			Threshold: 1e-5,
+			Seed:      cfg.Seed + int64(s)*31,
+			MaxCNOTs:  c.CNOTCount() + 4,
+			Beam:      1 + s%3,
+		})
+		if err != nil {
+			return err
+		}
+		// Pick the shallowest candidate that meets the exact threshold
+		// (different seeds explore different branches, giving different
+		// exact solutions as in the paper).
+		best := res.Best
+		for _, cand := range res.Candidates {
+			if cand.Distance < 1e-5 {
+				best = cand
+				break
+			}
+		}
+		noisy := m.Run(best.Circuit, noise.Options{Shots: 8192, Seed: cfg.Seed + int64(s)})
+		tvd := metrics.TVD(ideal, noisy)
+		pts = append(pts, synthPoint{best.CNOTs, tvd})
+		cfg.printf("%6d %8d %14.2e %10.4f\n", s, best.CNOTs, best.Distance, tvd)
+	}
+
+	sort.Slice(pts, func(i, j int) bool { return pts[i].cnots < pts[j].cnots })
+	if len(pts) > 1 {
+		cfg.printf("min-CNOT solution: %d CNOTs at TVD %.4f; min TVD overall: %.4f\n",
+			pts[0].cnots, pts[0].tvd, minTVD(pts))
+	}
+	return nil
+}
+
+// synthPoint is one exact-synthesis solution in the Fig. 4 scatter.
+type synthPoint struct {
+	cnots int
+	tvd   float64
+}
+
+func minTVD(pts []synthPoint) float64 {
+	m := pts[0].tvd
+	for _, p := range pts {
+		if p.tvd < m {
+			m = p.tvd
+		}
+	}
+	return m
+}

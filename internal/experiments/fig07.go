@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/sim"
+)
+
+// Fig07BoundVsActual reproduces Fig. 7: the Sec. 3.8 theoretical upper
+// bound Σ_k ε_k always dominates — and reasonably tracks — the actual
+// process distance of the assembled full-circuit approximation.
+func Fig07BoundVsActual(cfg Config) error {
+	cfg.defaults()
+	ws, err := workloads(cfg)
+	if err != nil {
+		return err
+	}
+	cfg.section("Fig 7: theoretical upper bound vs actual full-circuit process distance")
+	cfg.printf("%16s %8s %12s %12s %8s\n", "algorithm", "sample", "bound Σε", "actual HS", "ok")
+
+	// A representative subset keeps the full-unitary comparison cheap;
+	// the bound is additionally property-tested in internal/core.
+	subset := map[string]bool{"tfim": true, "xy": true, "qft": true, "adder": true}
+
+	violations := 0
+	checked := 0
+	for _, w := range ws {
+		if w.circuit.NumQubits > 6 || !subset[w.name] {
+			continue
+		}
+		res, err := questRun(w, cfg)
+		if err != nil {
+			return fmt.Errorf("fig7 %s: %w", w.label(), err)
+		}
+		orig := sim.Unitary(w.circuit)
+		for i, a := range res.Selected {
+			actual := linalg.HSDistance(orig, sim.Unitary(a.Circuit))
+			bound := a.EpsilonSum
+			// 1e-6 tolerance: HS distances near zero amplify float
+			// round-off through the square root.
+			ok := actual <= bound+1e-6
+			checked++
+			if !ok {
+				violations++
+			}
+			cfg.printf("%16s %8d %12.5f %12.5f %8v\n", w.label(), i, bound, actual, ok)
+		}
+	}
+	cfg.printf("bound respected in %d/%d samples\n", checked-violations, checked)
+	if violations > 0 {
+		return fmt.Errorf("fig7: bound violated on %d samples", violations)
+	}
+	_ = core.UpperBound // the bound helper under test
+	return nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/transpile"
+)
+
+// Fig08CNOTReduction reproduces Fig. 8: percent CNOT reduction over the
+// Baseline circuit for Qiskit-style optimization alone, QUEST, and
+// QUEST + Qiskit, across the Table-1 benchmarks. The paper reports 30-80%
+// for QUEST on most algorithms, with Qiskit alone near zero except for
+// Heisenberg-style circuits.
+func Fig08CNOTReduction(cfg Config) error {
+	cfg.defaults()
+	ws, err := workloads(cfg)
+	if err != nil {
+		return err
+	}
+	cfg.section("Fig 8: % CNOT reduction over Baseline")
+	cfg.printf("%16s %10s %10s %10s %14s\n", "algorithm", "baseline", "qiskit%", "quest%", "quest+qiskit%")
+
+	for _, w := range ws {
+		base := float64(w.circuit.CNOTCount())
+		if base == 0 {
+			continue
+		}
+		qiskit := float64(transpile.Optimize(w.circuit).CNOTCount())
+		res, err := questRun(w, cfg)
+		if err != nil {
+			return fmt.Errorf("fig8 %s: %w", w.label(), err)
+		}
+		quest := meanCNOTs(res, false)
+		questQiskit := meanCNOTs(res, true)
+		cfg.printf("%16s %10.0f %10.1f %10.1f %14.1f\n",
+			w.label(), base,
+			reductionPct(base, qiskit),
+			reductionPct(base, quest),
+			reductionPct(base, questQiskit))
+	}
+	return nil
+}

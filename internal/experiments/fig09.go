@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Fig09IdealOutputDistance reproduces Fig. 9: the QUEST ensemble output
+// stays close to the Baseline's ideal output even in a noiseless
+// environment — (a) TVD and (b) JSD per benchmark.
+func Fig09IdealOutputDistance(cfg Config) error {
+	cfg.defaults()
+	ws, err := workloads(cfg)
+	if err != nil {
+		return err
+	}
+	cfg.section("Fig 9: ideal-simulation output distance of the QUEST ensemble")
+	cfg.printf("%16s %10s %10s %10s\n", "algorithm", "samples", "TVD", "JSD")
+
+	for _, w := range ws {
+		if w.circuit.NumQubits > 10 {
+			continue
+		}
+		res, err := questRun(w, cfg)
+		if err != nil {
+			return fmt.Errorf("fig9 %s: %w", w.label(), err)
+		}
+		ideal := sim.Probabilities(w.circuit)
+		ens, err := res.EnsembleProbabilities(idealProbabilities)
+		if err != nil {
+			return err
+		}
+		cfg.printf("%16s %10d %10.4f %10.4f\n",
+			w.label(), len(res.Selected), metrics.TVD(ideal, ens), metrics.JSD(ideal, ens))
+	}
+	return nil
+}

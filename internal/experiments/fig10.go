@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+
+	"repro/internal/circuit"
+	"repro/internal/metrics"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/transpile"
+)
+
+// Fig10Manila reproduces Fig. 10: TVD from ground truth on the (synthetic)
+// IBMQ Manila device for Qiskit-only vs QUEST + Qiskit, on the benchmarks
+// that fit the 5-qubit machine. QUEST + Qiskit should reduce the TVD, in
+// some cases by tens of percentage points.
+func Fig10Manila(cfg Config) error {
+	cfg.defaults()
+	ws, err := workloads(cfg)
+	if err != nil {
+		return err
+	}
+	dev := noise.Manila()
+	const shots = 8192
+	const trajectories = 300 // stabilize the trajectory average
+
+	deviceRun := func(c *circuit.Circuit, seed int64) ([]float64, error) {
+		opt := transpile.Optimize(c)
+		return dev.Run(opt, noise.Options{Shots: shots, Trajectories: trajectories, Seed: seed})
+	}
+
+	cfg.section("Fig 10: TVD on the Manila-class device (Qiskit vs QUEST+Qiskit)")
+	cfg.printf("%16s %12s %16s %12s\n", "algorithm", "qiskit TVD", "quest+qiskit TVD", "Δ (pts)")
+
+	// Device runs use a per-block budget of 0.1, the noisy-execution
+	// optimum identified by the Fig. 16 threshold study (the paper
+	// likewise selects its threshold constant from that sweep).
+	pc := pipelineConfig(cfg)
+	pc.Epsilon = 0.1
+
+	for _, w := range ws {
+		if w.circuit.NumQubits > 5 {
+			continue
+		}
+		ideal := sim.Probabilities(w.circuit)
+
+		qp, err := deviceRun(w.circuit, cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("fig10 %s qiskit: %w", w.label(), err)
+		}
+		qiskitTVD := metrics.TVD(ideal, qp)
+
+		res, err := core.Run(w.circuit, pc)
+		if err != nil {
+			return fmt.Errorf("fig10 %s quest: %w", w.label(), err)
+		}
+		ens, err := res.EnsembleProbabilities(func(c *circuit.Circuit) ([]float64, error) {
+			return deviceRun(c, cfg.Seed)
+		})
+		if err != nil {
+			return err
+		}
+		questTVD := metrics.TVD(ideal, ens)
+		cfg.printf("%16s %12.4f %16.4f %12.4f\n", w.label(), qiskitTVD, questTVD, qiskitTVD-questTVD)
+	}
+	return nil
+}

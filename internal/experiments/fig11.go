@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/transpile"
+)
+
+// noiseLevels is the paper's p_gate sweep: 1%, 0.5%, 0.1%.
+var noiseLevels = []float64{0.01, 0.005, 0.001}
+
+// Fig11NoiseSweep reproduces Fig. 11: percent TVD reduction relative to
+// the noisy Baseline run, for Qiskit and QUEST + Qiskit, at decreasing
+// hardware noise (projecting QUEST onto future NISQ devices).
+func Fig11NoiseSweep(cfg Config) error {
+	cfg.defaults()
+	ws, err := workloads(cfg)
+	if err != nil {
+		return err
+	}
+	shots := 8192
+	trajectories := 100
+	if cfg.Quick {
+		trajectories = 60
+	}
+
+	// The pipeline output is noise-independent; run it once per workload.
+	type prepared struct {
+		w   workload
+		res *core.Result
+	}
+	var prep []prepared
+	for _, w := range ws {
+		if w.circuit.NumQubits > 8 {
+			continue
+		}
+		res, err := questRun(w, cfg)
+		if err != nil {
+			return fmt.Errorf("fig11 %s: %w", w.label(), err)
+		}
+		prep = append(prep, prepared{w, res})
+	}
+
+	for _, p := range noiseLevels {
+		m := noise.Uniform(p)
+		cfg.section(fmt.Sprintf("Fig 11: %% TVD reduction vs noisy Baseline at noise %.1f%%", p*100))
+		cfg.printf("%16s %14s %12s %16s\n", "algorithm", "baseline TVD", "qiskit %", "quest+qiskit %")
+
+		for _, pr := range prep {
+			w := pr.w
+			ideal := sim.Probabilities(w.circuit)
+			opts := noise.Options{Shots: shots, Trajectories: trajectories, Seed: cfg.Seed}
+
+			baseTVD := metrics.TVD(ideal, m.Run(transpile.Lower(w.circuit), opts))
+			qiskitTVD := metrics.TVD(ideal, m.Run(transpile.Optimize(w.circuit), opts))
+
+			ens, err := pr.res.EnsembleProbabilities(noisyRunner(m, shots, cfg.Seed+7, true))
+			if err != nil {
+				return err
+			}
+			questTVD := metrics.TVD(ideal, ens)
+
+			cfg.printf("%16s %14.4f %12.1f %16.1f\n",
+				w.label(), baseTVD,
+				reductionPct(baseTVD, qiskitTVD),
+				reductionPct(baseTVD, questTVD))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fig12Overhead reproduces Fig. 12: QUEST's one-time compilation cost per
+// algorithm and its breakdown across partitioning, synthesis and the dual
+// annealing engine. (Absolute times depend on the host; the paper's claim
+// is that the cost is a one-time, hours-scale overhead dominated by
+// synthesis/partitioning, amortized across executions.)
+func Fig12Overhead(cfg Config) error {
+	cfg.defaults()
+	ws, err := workloads(cfg)
+	if err != nil {
+		return err
+	}
+	cfg.section("Fig 12: QUEST one-time cost and stage breakdown")
+	cfg.printf("%16s %12s %12s %12s %12s\n", "algorithm", "total", "partition%", "synthesis%", "annealing%")
+
+	for _, w := range ws {
+		res, err := questRun(w, cfg)
+		if err != nil {
+			return fmt.Errorf("fig12 %s: %w", w.label(), err)
+		}
+		tot := res.Timing.Total()
+		pct := func(d time.Duration) float64 {
+			if tot == 0 {
+				return 0
+			}
+			return 100 * float64(d) / float64(tot)
+		}
+		cfg.printf("%16s %12s %12.1f %12.1f %12.1f\n",
+			w.label(), tot.Round(time.Millisecond),
+			pct(res.Timing.Partition), pct(res.Timing.Synthesis), pct(res.Timing.Annealing))
+	}
+	return nil
+}

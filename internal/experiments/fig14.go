@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/noise"
+	"repro/internal/transpile"
+)
+
+// Fig14CaseStudyNoise reproduces Fig. 14: the TFIM and Heisenberg case
+// studies under the simulated Pauli noise sweep (1%, 0.5%, 0.1%) — as
+// hardware noise decreases, QUEST's output approaches the ground truth.
+func Fig14CaseStudyNoise(cfg Config) error {
+	cfg.defaults()
+	shots := 8192
+	trajectories := 100
+	if cfg.Quick {
+		trajectories = 60
+	}
+	for _, p := range noiseLevels {
+		m := noise.Uniform(p)
+		run := func(c *circuit.Circuit, seed int64) ([]float64, error) {
+			opt := transpile.Optimize(c)
+			return m.Run(opt, noise.Options{Shots: shots, Trajectories: trajectories, Seed: seed}), nil
+		}
+		if err := caseStudy(cfg, fmt.Sprintf("Fig 14 (noise %.1f%%)", p*100), run); err != nil {
+			return err
+		}
+	}
+	return nil
+}

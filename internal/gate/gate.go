@@ -1,0 +1,420 @@
+// Package gate defines the quantum gate library: fixed and parameterized
+// gates, their unitaries, analytic parameter derivatives (used by the
+// synthesis optimizer), and inverses.
+//
+// Qubit-ordering convention: within a k-qubit gate matrix, the FIRST qubit
+// argument is the most significant bit of the 2^k basis index. For CX the
+// first qubit is the control.
+package gate
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/linalg"
+)
+
+// Spec describes a gate type.
+type Spec struct {
+	// Name is the canonical lower-case gate name (matches OpenQASM 2.0
+	// where a standard name exists).
+	Name string
+	// Qubits is the number of qubits the gate acts on.
+	Qubits int
+	// Params is the number of real parameters.
+	Params int
+	// Build returns the 2^Qubits x 2^Qubits unitary for the parameters.
+	Build func(p []float64) *linalg.Matrix
+	// Deriv returns dU/dp[i], or nil if the gate has no parameters.
+	Deriv func(p []float64, i int) *linalg.Matrix
+	// InverseName is the gate that implements the inverse with params
+	// negated/remapped by InverseParams. For self-describing cases
+	// (for example rz → rz with negated angle) it is the same name.
+	InverseName string
+	// InverseParams maps parameters to the inverse gate's parameters.
+	// nil means negate all parameters (correct for all R-type gates).
+	InverseParams func(p []float64) []float64
+	// Entangling CNOT-equivalent cost: how many CNOTs this gate counts
+	// as in QUEST's CNOT-count metric (0 for one-qubit gates, 1 for CX,
+	// 3 for SWAP, ...).
+	CNOTCost int
+}
+
+var registry = map[string]*Spec{}
+
+// Lookup returns the Spec for a gate name, or an error for unknown gates.
+func Lookup(name string) (*Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("gate: unknown gate %q", name)
+	}
+	return s, nil
+}
+
+// MustLookup is Lookup for gate names known at compile time.
+func MustLookup(name string) *Spec {
+	s, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns all registered gate names (unordered).
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	return out
+}
+
+func register(s *Spec) *Spec {
+	if _, dup := registry[s.Name]; dup {
+		panic("gate: duplicate registration " + s.Name)
+	}
+	registry[s.Name] = s
+	return s
+}
+
+func fixed(name string, qubits int, cnotCost int, rows [][]complex128, inverseName string) *Spec {
+	m := linalg.FromRows(rows)
+	return register(&Spec{
+		Name:        name,
+		Qubits:      qubits,
+		Params:      0,
+		Build:       func([]float64) *linalg.Matrix { return m.Copy() },
+		InverseName: inverseName,
+		CNOTCost:    cnotCost,
+	})
+}
+
+func e(theta float64) complex128 { return cmplx.Exp(complex(0, theta)) }
+
+// Matrix constructors for the parameterized gates. Exported so tests and
+// the synthesizer can build raw matrices without a Spec.
+
+// U3Matrix returns the generic one-qubit rotation
+// U3(θ,φ,λ) = [[cos(θ/2), -e^{iλ} sin(θ/2)], [e^{iφ} sin(θ/2), e^{i(φ+λ)} cos(θ/2)]].
+func U3Matrix(theta, phi, lambda float64) *linalg.Matrix {
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	return linalg.FromRows([][]complex128{
+		{complex(c, 0), -e(lambda) * complex(s, 0)},
+		{e(phi) * complex(s, 0), e(phi+lambda) * complex(c, 0)},
+	})
+}
+
+// RXMatrix returns exp(-iθX/2).
+func RXMatrix(theta float64) *linalg.Matrix {
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	return linalg.FromRows([][]complex128{
+		{complex(c, 0), complex(0, -s)},
+		{complex(0, -s), complex(c, 0)},
+	})
+}
+
+// RYMatrix returns exp(-iθY/2).
+func RYMatrix(theta float64) *linalg.Matrix {
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	return linalg.FromRows([][]complex128{
+		{complex(c, 0), complex(-s, 0)},
+		{complex(s, 0), complex(c, 0)},
+	})
+}
+
+// RZMatrix returns exp(-iθZ/2).
+func RZMatrix(theta float64) *linalg.Matrix {
+	return linalg.FromRows([][]complex128{
+		{e(-theta / 2), 0},
+		{0, e(theta / 2)},
+	})
+}
+
+// PhaseMatrix returns diag(1, e^{iλ}).
+func PhaseMatrix(lambda float64) *linalg.Matrix {
+	return linalg.FromRows([][]complex128{
+		{1, 0},
+		{0, e(lambda)},
+	})
+}
+
+// RZZMatrix returns exp(-iθ Z⊗Z /2) (diagonal).
+func RZZMatrix(theta float64) *linalg.Matrix {
+	m := linalg.New(4, 4)
+	m.Set(0, 0, e(-theta/2))
+	m.Set(1, 1, e(theta/2))
+	m.Set(2, 2, e(theta/2))
+	m.Set(3, 3, e(-theta/2))
+	return m
+}
+
+// RXXMatrix returns exp(-iθ X⊗X /2).
+func RXXMatrix(theta float64) *linalg.Matrix {
+	c, s := complex(math.Cos(theta/2), 0), complex(0, -math.Sin(theta/2))
+	m := linalg.New(4, 4)
+	m.Set(0, 0, c)
+	m.Set(1, 1, c)
+	m.Set(2, 2, c)
+	m.Set(3, 3, c)
+	m.Set(0, 3, s)
+	m.Set(1, 2, s)
+	m.Set(2, 1, s)
+	m.Set(3, 0, s)
+	return m
+}
+
+// RYYMatrix returns exp(-iθ Y⊗Y /2).
+func RYYMatrix(theta float64) *linalg.Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	m := linalg.New(4, 4)
+	m.Set(0, 0, c)
+	m.Set(1, 1, c)
+	m.Set(2, 2, c)
+	m.Set(3, 3, c)
+	m.Set(0, 3, -s)
+	m.Set(1, 2, s)
+	m.Set(2, 1, s)
+	m.Set(3, 0, -s)
+	return m
+}
+
+// CPMatrix returns the controlled-phase gate diag(1,1,1,e^{iλ}).
+func CPMatrix(lambda float64) *linalg.Matrix {
+	m := linalg.Identity(4)
+	m.Set(3, 3, e(lambda))
+	return m
+}
+
+// CRZMatrix returns the controlled-RZ gate diag(RZ applied when control=1).
+func CRZMatrix(theta float64) *linalg.Matrix {
+	m := linalg.Identity(4)
+	m.Set(2, 2, e(-theta/2))
+	m.Set(3, 3, e(theta/2))
+	return m
+}
+
+func negateParams(p []float64) []float64 {
+	q := make([]float64, len(p))
+	for i, v := range p {
+		q[i] = -v
+	}
+	return q
+}
+
+// Pauli matrices, exported for the noise model and derivative formulas.
+var (
+	// PauliI is the 2x2 identity.
+	PauliI = linalg.Identity(2)
+	// PauliX is the bit-flip Pauli matrix.
+	PauliX = linalg.FromRows([][]complex128{{0, 1}, {1, 0}})
+	// PauliY is the Y Pauli matrix.
+	PauliY = linalg.FromRows([][]complex128{{0, complex(0, -1)}, {complex(0, 1), 0}})
+	// PauliZ is the phase-flip Pauli matrix.
+	PauliZ = linalg.FromRows([][]complex128{{1, 0}, {0, -1}})
+)
+
+// rotDeriv returns d/dθ exp(-iθP/2) = (-i/2) P exp(-iθP/2).
+func rotDeriv(p *linalg.Matrix, u *linalg.Matrix) *linalg.Matrix {
+	return linalg.Scale(complex(0, -0.5), linalg.Mul(p, u))
+}
+
+func init() {
+	inv := math.Sqrt2 / 2
+	i := complex(0, 1)
+
+	fixed("id", 1, 0, [][]complex128{{1, 0}, {0, 1}}, "id")
+	fixed("x", 1, 0, [][]complex128{{0, 1}, {1, 0}}, "x")
+	fixed("y", 1, 0, [][]complex128{{0, -i}, {i, 0}}, "y")
+	fixed("z", 1, 0, [][]complex128{{1, 0}, {0, -1}}, "z")
+	fixed("h", 1, 0, [][]complex128{
+		{complex(inv, 0), complex(inv, 0)},
+		{complex(inv, 0), complex(-inv, 0)},
+	}, "h")
+	fixed("s", 1, 0, [][]complex128{{1, 0}, {0, i}}, "sdg")
+	fixed("sdg", 1, 0, [][]complex128{{1, 0}, {0, -i}}, "s")
+	fixed("t", 1, 0, [][]complex128{{1, 0}, {0, e(math.Pi / 4)}}, "tdg")
+	fixed("tdg", 1, 0, [][]complex128{{1, 0}, {0, e(-math.Pi / 4)}}, "t")
+	fixed("sx", 1, 0, [][]complex128{
+		{(1 + i) / 2, (1 - i) / 2},
+		{(1 - i) / 2, (1 + i) / 2},
+	}, "sxdg")
+	fixed("sxdg", 1, 0, [][]complex128{
+		{(1 - i) / 2, (1 + i) / 2},
+		{(1 + i) / 2, (1 - i) / 2},
+	}, "sx")
+
+	// Two-qubit fixed gates. First qubit = most significant bit; for cx
+	// the first qubit is the control.
+	fixed("cx", 2, 1, [][]complex128{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 1, 0},
+	}, "cx")
+	fixed("cz", 2, 1, [][]complex128{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, -1},
+	}, "cz")
+	fixed("swap", 2, 3, [][]complex128{
+		{1, 0, 0, 0},
+		{0, 0, 1, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+	}, "swap")
+	fixed("ch", 2, 2, [][]complex128{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, complex(inv, 0), complex(inv, 0)},
+		{0, 0, complex(inv, 0), complex(-inv, 0)},
+	}, "ch")
+
+	// Toffoli: 6 CNOTs in the standard decomposition.
+	ccx := linalg.Identity(8)
+	ccx.Set(6, 6, 0)
+	ccx.Set(7, 7, 0)
+	ccx.Set(6, 7, 1)
+	ccx.Set(7, 6, 1)
+	register(&Spec{
+		Name: "ccx", Qubits: 3, Params: 0,
+		Build:       func([]float64) *linalg.Matrix { return ccx.Copy() },
+		InverseName: "ccx",
+		CNOTCost:    6,
+	})
+
+	register(&Spec{
+		Name: "rx", Qubits: 1, Params: 1,
+		Build: func(p []float64) *linalg.Matrix { return RXMatrix(p[0]) },
+		Deriv: func(p []float64, _ int) *linalg.Matrix {
+			return rotDeriv(PauliX, RXMatrix(p[0]))
+		},
+		InverseName: "rx", CNOTCost: 0,
+	})
+	register(&Spec{
+		Name: "ry", Qubits: 1, Params: 1,
+		Build: func(p []float64) *linalg.Matrix { return RYMatrix(p[0]) },
+		Deriv: func(p []float64, _ int) *linalg.Matrix {
+			return rotDeriv(PauliY, RYMatrix(p[0]))
+		},
+		InverseName: "ry", CNOTCost: 0,
+	})
+	register(&Spec{
+		Name: "rz", Qubits: 1, Params: 1,
+		Build: func(p []float64) *linalg.Matrix { return RZMatrix(p[0]) },
+		Deriv: func(p []float64, _ int) *linalg.Matrix {
+			return rotDeriv(PauliZ, RZMatrix(p[0]))
+		},
+		InverseName: "rz", CNOTCost: 0,
+	})
+	register(&Spec{
+		Name: "p", Qubits: 1, Params: 1,
+		Build: func(p []float64) *linalg.Matrix { return PhaseMatrix(p[0]) },
+		Deriv: func(p []float64, _ int) *linalg.Matrix {
+			m := linalg.New(2, 2)
+			m.Set(1, 1, i*e(p[0]))
+			return m
+		},
+		InverseName: "p", CNOTCost: 0,
+	})
+	register(&Spec{
+		Name: "u3", Qubits: 1, Params: 3,
+		Build: func(p []float64) *linalg.Matrix { return U3Matrix(p[0], p[1], p[2]) },
+		Deriv: u3Deriv, InverseName: "u3",
+		InverseParams: func(p []float64) []float64 {
+			// U3(θ,φ,λ)^-1 = U3(-θ,-λ,-φ)
+			return []float64{-p[0], -p[2], -p[1]}
+		},
+		CNOTCost: 0,
+	})
+
+	zz := linalg.Kron(PauliZ, PauliZ)
+	xx := linalg.Kron(PauliX, PauliX)
+	yy := linalg.Kron(PauliY, PauliY)
+	register(&Spec{
+		Name: "rzz", Qubits: 2, Params: 1,
+		Build: func(p []float64) *linalg.Matrix { return RZZMatrix(p[0]) },
+		Deriv: func(p []float64, _ int) *linalg.Matrix {
+			return rotDeriv(zz, RZZMatrix(p[0]))
+		},
+		InverseName: "rzz", CNOTCost: 2,
+	})
+	register(&Spec{
+		Name: "rxx", Qubits: 2, Params: 1,
+		Build: func(p []float64) *linalg.Matrix { return RXXMatrix(p[0]) },
+		Deriv: func(p []float64, _ int) *linalg.Matrix {
+			return rotDeriv(xx, RXXMatrix(p[0]))
+		},
+		InverseName: "rxx", CNOTCost: 2,
+	})
+	register(&Spec{
+		Name: "ryy", Qubits: 2, Params: 1,
+		Build: func(p []float64) *linalg.Matrix { return RYYMatrix(p[0]) },
+		Deriv: func(p []float64, _ int) *linalg.Matrix {
+			return rotDeriv(yy, RYYMatrix(p[0]))
+		},
+		InverseName: "ryy", CNOTCost: 2,
+	})
+	register(&Spec{
+		Name: "cp", Qubits: 2, Params: 1,
+		Build: func(p []float64) *linalg.Matrix { return CPMatrix(p[0]) },
+		Deriv: func(p []float64, _ int) *linalg.Matrix {
+			m := linalg.New(4, 4)
+			m.Set(3, 3, i*e(p[0]))
+			return m
+		},
+		InverseName: "cp", CNOTCost: 2,
+	})
+	register(&Spec{
+		Name: "crz", Qubits: 2, Params: 1,
+		Build: func(p []float64) *linalg.Matrix { return CRZMatrix(p[0]) },
+		Deriv: func(p []float64, _ int) *linalg.Matrix {
+			m := linalg.New(4, 4)
+			m.Set(2, 2, complex(0, -0.5)*e(-p[0]/2))
+			m.Set(3, 3, complex(0, 0.5)*e(p[0]/2))
+			return m
+		},
+		InverseName: "crz", CNOTCost: 2,
+	})
+}
+
+func u3Deriv(p []float64, k int) *linalg.Matrix {
+	theta, phi, lambda := p[0], p[1], p[2]
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	i := complex(0, 1)
+	switch k {
+	case 0: // d/dθ
+		return linalg.FromRows([][]complex128{
+			{complex(-s/2, 0), -e(lambda) * complex(c/2, 0)},
+			{e(phi) * complex(c/2, 0), e(phi+lambda) * complex(-s/2, 0)},
+		})
+	case 1: // d/dφ
+		return linalg.FromRows([][]complex128{
+			{0, 0},
+			{i * e(phi) * complex(s, 0), i * e(phi+lambda) * complex(c, 0)},
+		})
+	case 2: // d/dλ
+		return linalg.FromRows([][]complex128{
+			{0, -i * e(lambda) * complex(s, 0)},
+			{0, i * e(phi+lambda) * complex(c, 0)},
+		})
+	}
+	panic("gate: u3 derivative index out of range")
+}
+
+// Inverse returns the gate name and parameters implementing s(p)^-1.
+func (s *Spec) Inverse(p []float64) (string, []float64) {
+	name := s.InverseName
+	if name == "" {
+		name = s.Name
+	}
+	if s.Params == 0 {
+		return name, nil
+	}
+	if s.InverseParams != nil {
+		return name, s.InverseParams(p)
+	}
+	return name, negateParams(p)
+}

@@ -1,0 +1,238 @@
+package gate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+const tol = 1e-10
+
+func TestAllGatesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range Names() {
+		s := MustLookup(name)
+		for trial := 0; trial < 3; trial++ {
+			p := make([]float64, s.Params)
+			for i := range p {
+				p[i] = rng.Float64()*4*math.Pi - 2*math.Pi
+			}
+			u := s.Build(p)
+			if !u.IsUnitary(1e-9) {
+				t.Errorf("gate %s(%v) is not unitary", name, p)
+			}
+			if u.Rows != 1<<s.Qubits {
+				t.Errorf("gate %s dimension %d, want %d", name, u.Rows, 1<<s.Qubits)
+			}
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nonsense"); err == nil {
+		t.Error("Lookup of unknown gate succeeded")
+	}
+}
+
+func TestHadamardSquaresToIdentity(t *testing.T) {
+	h := MustLookup("h").Build(nil)
+	if !linalg.EqualApprox(linalg.Mul(h, h), linalg.Identity(2), tol) {
+		t.Error("H^2 != I")
+	}
+}
+
+func TestSIsSquareRootOfZ(t *testing.T) {
+	s := MustLookup("s").Build(nil)
+	if !linalg.EqualApprox(linalg.Mul(s, s), PauliZ, tol) {
+		t.Error("S^2 != Z")
+	}
+}
+
+func TestTIsFourthRootOfZ(t *testing.T) {
+	tm := MustLookup("t").Build(nil)
+	got := linalg.MulChain(tm, tm, tm, tm)
+	if !linalg.EqualApprox(got, PauliZ, tol) {
+		t.Error("T^4 != Z")
+	}
+}
+
+func TestSXSquaresToX(t *testing.T) {
+	sx := MustLookup("sx").Build(nil)
+	if !linalg.EqualApprox(linalg.Mul(sx, sx), PauliX, tol) {
+		t.Error("SX^2 != X")
+	}
+}
+
+func TestCXAction(t *testing.T) {
+	cx := MustLookup("cx").Build(nil)
+	// |10> -> |11> (first qubit is control = MSB)
+	v := linalg.BasisVector(4, 2)
+	got := linalg.ApplyMatrix(cx, v)
+	want := linalg.BasisVector(4, 3)
+	for i := range got {
+		if d := got[i] - want[i]; real(d)*real(d)+imag(d)*imag(d) > tol {
+			t.Fatalf("CX|10> = %v, want |11>", got)
+		}
+	}
+}
+
+func TestSwapDecomposesToThreeCX(t *testing.T) {
+	cx := MustLookup("cx").Build(nil)
+	// cx reversed (control on second qubit): permute basis 1<->2
+	cxr := linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 1, 0},
+		{0, 1, 0, 0},
+	})
+	swap := MustLookup("swap").Build(nil)
+	got := linalg.MulChain(cx, cxr, cx)
+	if !linalg.EqualApprox(got, swap, tol) {
+		t.Error("CX·CX(reversed)·CX != SWAP")
+	}
+}
+
+func TestRotationsAtZeroAreIdentity(t *testing.T) {
+	for _, name := range []string{"rx", "ry", "rz", "p", "rzz", "rxx", "ryy", "cp", "crz"} {
+		s := MustLookup(name)
+		u := s.Build([]float64{0})
+		if !linalg.EqualApprox(u, linalg.Identity(u.Rows), tol) {
+			t.Errorf("%s(0) != I", name)
+		}
+	}
+}
+
+func TestRXAtPiIsXUpToPhase(t *testing.T) {
+	u := RXMatrix(math.Pi)
+	// RX(π) = -iX
+	want := linalg.Scale(complex(0, -1), PauliX)
+	if !linalg.EqualApprox(u, want, tol) {
+		t.Errorf("RX(π) = %v, want -iX", u)
+	}
+}
+
+func TestU3Specializations(t *testing.T) {
+	// U3(θ, -π/2, π/2) = RX(θ)
+	theta := 0.7
+	if !linalg.EqualApprox(U3Matrix(theta, -math.Pi/2, math.Pi/2), RXMatrix(theta), tol) {
+		t.Error("U3(θ,-π/2,π/2) != RX(θ)")
+	}
+	// U3(θ, 0, 0) = RY(θ)
+	if !linalg.EqualApprox(U3Matrix(theta, 0, 0), RYMatrix(theta), tol) {
+		t.Error("U3(θ,0,0) != RY(θ)")
+	}
+}
+
+func TestRZZDiagonal(t *testing.T) {
+	theta := 1.3
+	u := RZZMatrix(theta)
+	// exp(-iθ/2) on |00>,|11>; exp(+iθ/2) on |01>,|10>
+	if math.Abs(real(u.At(0, 0))-math.Cos(theta/2)) > tol {
+		t.Error("RZZ diagonal wrong")
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if r != c && u.At(r, c) != 0 {
+				t.Fatal("RZZ not diagonal")
+			}
+		}
+	}
+}
+
+func TestInverses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, name := range Names() {
+		s := MustLookup(name)
+		p := make([]float64, s.Params)
+		for i := range p {
+			p[i] = rng.Float64()*2*math.Pi - math.Pi
+		}
+		invName, invP := s.Inverse(p)
+		invSpec := MustLookup(invName)
+		u := s.Build(p)
+		ui := invSpec.Build(invP)
+		if !linalg.EqualApprox(linalg.Mul(u, ui), linalg.Identity(u.Rows), 1e-9) {
+			t.Errorf("gate %s: U * U^-1 != I", name)
+		}
+	}
+}
+
+// TestDerivatives compares every analytic derivative against central
+// finite differences.
+func TestDerivatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const h = 1e-6
+	for _, name := range Names() {
+		s := MustLookup(name)
+		if s.Params == 0 {
+			continue
+		}
+		for trial := 0; trial < 3; trial++ {
+			p := make([]float64, s.Params)
+			for i := range p {
+				p[i] = rng.Float64()*4 - 2
+			}
+			for k := 0; k < s.Params; k++ {
+				got := s.Deriv(p, k)
+				pp := append([]float64(nil), p...)
+				pp[k] += h
+				up := s.Build(pp)
+				pp[k] -= 2 * h
+				um := s.Build(pp)
+				num := linalg.Scale(complex(1/(2*h), 0), linalg.Sub(up, um))
+				if linalg.MaxAbsDiff(got, num) > 1e-6 {
+					t.Errorf("gate %s d/dp[%d] analytic != numeric (diff %g)",
+						name, k, linalg.MaxAbsDiff(got, num))
+				}
+			}
+		}
+	}
+}
+
+func TestPropRZComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(a, b float64) bool {
+		a = math.Mod(a, math.Pi)
+		b = math.Mod(b, math.Pi)
+		lhs := linalg.Mul(RZMatrix(a), RZMatrix(b))
+		rhs := RZMatrix(a + b)
+		return linalg.EqualApprox(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRotationPeriodicity(t *testing.T) {
+	// R(θ+4π) == R(θ) exactly (period 4π due to half-angle).
+	rng := rand.New(rand.NewSource(5))
+	f := func(theta float64) bool {
+		theta = math.Mod(theta, math.Pi)
+		for _, mk := range []func(float64) *linalg.Matrix{RXMatrix, RYMatrix, RZMatrix} {
+			if !linalg.EqualApprox(mk(theta), mk(theta+4*math.Pi), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCNOTCosts(t *testing.T) {
+	want := map[string]int{
+		"h": 0, "x": 0, "rz": 0, "u3": 0, "sx": 0,
+		"cx": 1, "cz": 1,
+		"swap": 3, "ccx": 6, "ch": 2,
+		"rzz": 2, "rxx": 2, "ryy": 2, "cp": 2, "crz": 2,
+	}
+	for name, cost := range want {
+		if got := MustLookup(name).CNOTCost; got != cost {
+			t.Errorf("CNOTCost(%s) = %d, want %d", name, got, cost)
+		}
+	}
+}

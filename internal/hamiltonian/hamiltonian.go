@@ -1,0 +1,254 @@
+// Package hamiltonian provides the materials-simulation substrate behind
+// the paper's TFIM/Heisenberg/XY workloads (generated there with ArQTiC):
+// Pauli-string Hamiltonians, expectation values, matrix construction, and
+// first- and second-order Trotterized time-evolution circuits.
+package hamiltonian
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+)
+
+// Term is one weighted Pauli string: Coefficient · P_0 ⊗ P_1 ⊗ ... where
+// Paulis maps qubit index → 'X', 'Y' or 'Z' (identity elsewhere).
+type Term struct {
+	// Coefficient is the term's real weight (Hamiltonians are Hermitian).
+	Coefficient float64
+	// Paulis maps qubit → Pauli letter ('X', 'Y', 'Z').
+	Paulis map[int]byte
+}
+
+// Clone returns a deep copy of the term.
+func (t Term) Clone() Term {
+	p := make(map[int]byte, len(t.Paulis))
+	for q, b := range t.Paulis {
+		p[q] = b
+	}
+	return Term{Coefficient: t.Coefficient, Paulis: p}
+}
+
+// qubits returns the term's sorted support.
+func (t Term) qubits() []int {
+	qs := make([]int, 0, len(t.Paulis))
+	for q := range t.Paulis {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	return qs
+}
+
+// String renders the term like "0.5·XZ[0,2]".
+func (t Term) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%g·", t.Coefficient)
+	qs := t.qubits()
+	for _, q := range qs {
+		b.WriteByte(t.Paulis[q])
+	}
+	fmt.Fprintf(&b, "%v", qs)
+	return b.String()
+}
+
+// Hamiltonian is a sum of Pauli-string terms on NumQubits qubits.
+type Hamiltonian struct {
+	NumQubits int
+	Terms     []Term
+}
+
+// New returns an empty Hamiltonian on n qubits.
+func New(n int) *Hamiltonian { return &Hamiltonian{NumQubits: n} }
+
+// Add appends a term, validating its support and Pauli letters.
+func (h *Hamiltonian) Add(coeff float64, paulis map[int]byte) error {
+	if len(paulis) == 0 {
+		return fmt.Errorf("hamiltonian: empty Pauli string")
+	}
+	cp := make(map[int]byte, len(paulis))
+	for q, p := range paulis {
+		if q < 0 || q >= h.NumQubits {
+			return fmt.Errorf("hamiltonian: qubit %d out of range [0,%d)", q, h.NumQubits)
+		}
+		if p != 'X' && p != 'Y' && p != 'Z' {
+			return fmt.Errorf("hamiltonian: bad Pauli %q", string(p))
+		}
+		cp[q] = p
+	}
+	h.Terms = append(h.Terms, Term{Coefficient: coeff, Paulis: cp})
+	return nil
+}
+
+// MustAdd is Add that panics on error (for literal model definitions).
+func (h *Hamiltonian) MustAdd(coeff float64, paulis map[int]byte) {
+	if err := h.Add(coeff, paulis); err != nil {
+		panic(err)
+	}
+}
+
+// TFIM returns the open-chain transverse-field Ising Hamiltonian
+// H = -J Σ Z_i Z_{i+1} - g Σ X_i.
+func TFIM(n int, j, g float64) *Hamiltonian {
+	h := New(n)
+	for q := 0; q+1 < n; q++ {
+		h.MustAdd(-j, map[int]byte{q: 'Z', q + 1: 'Z'})
+	}
+	for q := 0; q < n; q++ {
+		h.MustAdd(-g, map[int]byte{q: 'X'})
+	}
+	return h
+}
+
+// Heisenberg returns H = -J Σ (XX + YY + ZZ) - g Σ Z on an open chain.
+func Heisenberg(n int, j, g float64) *Hamiltonian {
+	h := New(n)
+	for q := 0; q+1 < n; q++ {
+		h.MustAdd(-j, map[int]byte{q: 'X', q + 1: 'X'})
+		h.MustAdd(-j, map[int]byte{q: 'Y', q + 1: 'Y'})
+		h.MustAdd(-j, map[int]byte{q: 'Z', q + 1: 'Z'})
+	}
+	if g != 0 {
+		for q := 0; q < n; q++ {
+			h.MustAdd(-g, map[int]byte{q: 'Z'})
+		}
+	}
+	return h
+}
+
+// XY returns H = -J Σ (XX + YY) on an open chain.
+func XY(n int, j float64) *Hamiltonian {
+	h := New(n)
+	for q := 0; q+1 < n; q++ {
+		h.MustAdd(-j, map[int]byte{q: 'X', q + 1: 'X'})
+		h.MustAdd(-j, map[int]byte{q: 'Y', q + 1: 'Y'})
+	}
+	return h
+}
+
+var pauliMatrices = map[byte]*linalg.Matrix{
+	'X': gate.PauliX,
+	'Y': gate.PauliY,
+	'Z': gate.PauliZ,
+}
+
+// Matrix builds the dense 2^n x 2^n Hamiltonian matrix (n ≲ 12).
+func (h *Hamiltonian) Matrix() *linalg.Matrix {
+	dim := 1 << h.NumQubits
+	out := linalg.New(dim, dim)
+	for _, t := range h.Terms {
+		m := linalg.FromRows([][]complex128{{complex(t.Coefficient, 0)}})
+		// Build qubit-by-qubit from the most significant qubit down so
+		// qubit 0 is the least significant bit of the basis index.
+		for q := h.NumQubits - 1; q >= 0; q-- {
+			factor := linalg.Identity(2)
+			if p, ok := t.Paulis[q]; ok {
+				factor = pauliMatrices[p]
+			}
+			m = linalg.Kron(m, factor)
+		}
+		out = linalg.Add(out, m)
+	}
+	return out
+}
+
+// Expectation returns <ψ|H|ψ> for a statevector.
+func (h *Hamiltonian) Expectation(state linalg.Vector) float64 {
+	hv := linalg.ApplyMatrix(h.Matrix(), state)
+	return real(linalg.Dot(state, hv))
+}
+
+// evolveTerm appends exp(-i·coeff·dt·P) for one Pauli string to the
+// circuit: basis changes into Z, a CNOT ladder, RZ(2·coeff·dt), and the
+// inverse ladder/basis changes.
+func evolveTerm(c *circuit.Circuit, t Term, dt float64) {
+	qs := t.qubits()
+	// Basis change: X → H, Y → S† then H (so that the Pauli becomes Z).
+	for _, q := range qs {
+		switch t.Paulis[q] {
+		case 'X':
+			c.H(q)
+		case 'Y':
+			c.Sdg(q)
+			c.H(q)
+		}
+	}
+	// Parity ladder onto the last qubit.
+	for i := 0; i+1 < len(qs); i++ {
+		c.CX(qs[i], qs[i+1])
+	}
+	c.RZ(qs[len(qs)-1], 2*t.Coefficient*dt)
+	for i := len(qs) - 2; i >= 0; i-- {
+		c.CX(qs[i], qs[i+1])
+	}
+	for _, q := range qs {
+		switch t.Paulis[q] {
+		case 'X':
+			c.H(q)
+		case 'Y':
+			c.H(q)
+			c.S(q)
+		}
+	}
+}
+
+// Trotter returns `steps` first-order Trotter steps of exp(-iHt) with
+// t = steps·dt: each step applies exp(-i·term·dt) for every term in order.
+func (h *Hamiltonian) Trotter(steps int, dt float64) *circuit.Circuit {
+	c := circuit.New(h.NumQubits)
+	for s := 0; s < steps; s++ {
+		for _, t := range h.Terms {
+			evolveTerm(c, t, dt)
+		}
+	}
+	return c
+}
+
+// Trotter2 returns `steps` second-order (Strang) Trotter steps: half-steps
+// of the terms forward then backward, halving the Trotter error order.
+func (h *Hamiltonian) Trotter2(steps int, dt float64) *circuit.Circuit {
+	c := circuit.New(h.NumQubits)
+	for s := 0; s < steps; s++ {
+		for _, t := range h.Terms {
+			evolveTerm(c, t, dt/2)
+		}
+		for i := len(h.Terms) - 1; i >= 0; i-- {
+			evolveTerm(c, h.Terms[i], dt/2)
+		}
+	}
+	return c
+}
+
+// ExactEvolution returns the exact evolution operator exp(-iHt) computed
+// by scaling-and-squaring with a Taylor series (dense; n ≲ 10).
+func (h *Hamiltonian) ExactEvolution(t float64) *linalg.Matrix {
+	m := h.Matrix()
+	// Scale so the argument is small, Taylor-expand, then square back.
+	norm := m.FrobeniusNorm() * t
+	squarings := 0
+	for norm > 0.5 {
+		norm /= 2
+		squarings++
+	}
+	scale := t
+	for i := 0; i < squarings; i++ {
+		scale /= 2
+	}
+	dim := m.Rows
+	// exp(-i·scale·M) via Taylor to machine precision.
+	result := linalg.Identity(dim)
+	term := linalg.Identity(dim)
+	for k := 1; k <= 30; k++ {
+		term = linalg.Mul(term, linalg.Scale(complex(0, -scale/float64(k)), m))
+		result = linalg.Add(result, term)
+		if term.FrobeniusNorm() < 1e-16 {
+			break
+		}
+	}
+	for i := 0; i < squarings; i++ {
+		result = linalg.Mul(result, result)
+	}
+	return result
+}

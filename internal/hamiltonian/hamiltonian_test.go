@@ -1,0 +1,161 @@
+package hamiltonian
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algos"
+	"repro/internal/linalg"
+	"repro/internal/sim"
+)
+
+func TestAddValidation(t *testing.T) {
+	h := New(2)
+	if err := h.Add(1, nil); err == nil {
+		t.Error("empty Pauli string accepted")
+	}
+	if err := h.Add(1, map[int]byte{5: 'Z'}); err == nil {
+		t.Error("out-of-range qubit accepted")
+	}
+	if err := h.Add(1, map[int]byte{0: 'Q'}); err == nil {
+		t.Error("bad Pauli letter accepted")
+	}
+	if err := h.Add(1, map[int]byte{0: 'Z', 1: 'X'}); err != nil {
+		t.Errorf("valid term rejected: %v", err)
+	}
+}
+
+func TestMatrixSingleZ(t *testing.T) {
+	// H = Z on qubit 0 of 2: diag(+1,-1,+1,-1) with q0 = LSB.
+	h := New(2)
+	h.MustAdd(1, map[int]byte{0: 'Z'})
+	m := h.Matrix()
+	want := []float64{1, -1, 1, -1}
+	for k := 0; k < 4; k++ {
+		if math.Abs(real(m.At(k, k))-want[k]) > 1e-12 {
+			t.Errorf("H[%d][%d] = %v, want %g", k, k, m.At(k, k), want[k])
+		}
+	}
+}
+
+func TestMatrixHermitian(t *testing.T) {
+	h := Heisenberg(3, 1, 0.5)
+	m := h.Matrix()
+	if !linalg.EqualApprox(m, m.Dagger(), 1e-12) {
+		t.Error("Hamiltonian matrix not Hermitian")
+	}
+}
+
+func TestExpectationGroundState(t *testing.T) {
+	// TFIM with J=1, g=0: |0000> is a ground state with energy -(n-1)·J
+	// (all ZZ bonds aligned, coefficient -J each).
+	h := TFIM(4, 1, 0)
+	e := h.Expectation(linalg.BasisVector(16, 0))
+	if math.Abs(e-(-3)) > 1e-12 {
+		t.Errorf("TFIM |0000> energy = %g, want -3", e)
+	}
+}
+
+func TestTrotterMatchesAlgosTFIM(t *testing.T) {
+	// The hamiltonian-built first-order Trotter circuit must implement
+	// the same unitary as the hand-written algos.TFIM generator.
+	n, steps, dt := 3, 2, 0.1
+	ours := TFIM(n, 1, 1).Trotter(steps, dt)
+	theirs := algos.TFIM(n, steps, dt, 1, 1)
+	d := linalg.HSDistance(sim.Unitary(ours), sim.Unitary(theirs))
+	if d > 1e-6 {
+		t.Errorf("hamiltonian TFIM Trotter differs from algos.TFIM: HS %g", d)
+	}
+}
+
+func TestTrotterMatchesAlgosHeisenberg(t *testing.T) {
+	n, steps, dt := 3, 2, 0.1
+	ours := Heisenberg(n, 1, 1).Trotter(steps, dt)
+	theirs := algos.Heisenberg(n, steps, dt, 1, 1)
+	d := linalg.HSDistance(sim.Unitary(ours), sim.Unitary(theirs))
+	if d > 1e-6 {
+		t.Errorf("hamiltonian Heisenberg Trotter differs from algos: HS %g", d)
+	}
+}
+
+func TestTrotterMatchesAlgosXY(t *testing.T) {
+	n, steps, dt := 3, 2, 0.15
+	ours := XY(n, 1).Trotter(steps, dt)
+	theirs := algos.XY(n, steps, dt, 1)
+	d := linalg.HSDistance(sim.Unitary(ours), sim.Unitary(theirs))
+	if d > 1e-6 {
+		t.Errorf("hamiltonian XY Trotter differs from algos: HS %g", d)
+	}
+}
+
+func TestExactEvolutionUnitary(t *testing.T) {
+	h := TFIM(3, 1, 1)
+	u := h.ExactEvolution(0.7)
+	if !u.IsUnitary(1e-9) {
+		t.Error("exp(-iHt) not unitary")
+	}
+	// t = 0 → identity.
+	if !linalg.EqualApprox(h.ExactEvolution(0), linalg.Identity(8), 1e-9) {
+		t.Error("exp(0) != I")
+	}
+}
+
+func TestTrotterConvergesToExact(t *testing.T) {
+	h := TFIM(3, 1, 1)
+	const totalT = 0.4
+	exact := h.ExactEvolution(totalT)
+	var prev float64 = math.Inf(1)
+	for _, steps := range []int{1, 4, 16, 64} {
+		c := h.Trotter(steps, totalT/float64(steps))
+		d := linalg.HSDistance(exact, sim.Unitary(c))
+		if d > prev+1e-9 {
+			t.Errorf("Trotter error grew with more steps: %g -> %g", prev, d)
+		}
+		prev = d
+	}
+	if prev > 0.01 {
+		t.Errorf("64-step Trotter error %g still large", prev)
+	}
+}
+
+func TestTrotter2MoreAccurateThanTrotter1(t *testing.T) {
+	h := Heisenberg(3, 1, 0.5)
+	const totalT = 0.6
+	exact := h.ExactEvolution(totalT)
+	steps := 4
+	d1 := linalg.HSDistance(exact, sim.Unitary(h.Trotter(steps, totalT/float64(steps))))
+	d2 := linalg.HSDistance(exact, sim.Unitary(h.Trotter2(steps, totalT/float64(steps))))
+	if d2 >= d1 {
+		t.Errorf("second-order Trotter (%g) not better than first-order (%g)", d2, d1)
+	}
+}
+
+func TestEvolveTermYBasis(t *testing.T) {
+	// exp(-i·θ·Y) on one qubit must equal RY(2θ).
+	h := New(1)
+	h.MustAdd(0.3, map[int]byte{0: 'Y'})
+	c := h.Trotter(1, 1)
+	u := sim.Unitary(c)
+	want := h.ExactEvolution(1)
+	if d := linalg.HSDistance(u, want); d > 1e-9 {
+		t.Errorf("Y-term evolution distance %g", d)
+	}
+}
+
+func TestEnergyConservationUnderExactEvolution(t *testing.T) {
+	h := TFIM(3, 1, 1)
+	u := h.ExactEvolution(0.9)
+	state := linalg.BasisVector(8, 3)
+	e0 := h.Expectation(state)
+	e1 := h.Expectation(linalg.ApplyMatrix(u, state))
+	if math.Abs(e0-e1) > 1e-9 {
+		t.Errorf("energy not conserved: %g -> %g", e0, e1)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	tm := Term{Coefficient: 0.5, Paulis: map[int]byte{2: 'Z', 0: 'X'}}
+	if got := tm.String(); got != "0.5·XZ[0 2]" {
+		t.Errorf("Term.String = %q", got)
+	}
+}

@@ -1,0 +1,80 @@
+// Package kak implements the Cartan (KAK) decomposition of two-qubit
+// unitaries via the magic basis: U = e^{iφ} (A1⊗A0) · N(a,b,c) · (B1⊗B0)
+// with N(a,b,c) = exp(i(a·XX + b·YY + c·ZZ)), plus the Makhlin-invariant
+// classification of how many CNOTs a two-qubit unitary requires (0-3).
+// This is the analytic machinery behind Qiskit's two-qubit resynthesis;
+// the transpile package uses it to ask the numerical synthesizer for
+// exactly the minimal CNOT depth.
+package kak
+
+import (
+	"math"
+)
+
+// jacobiEigen diagonalizes a real symmetric n x n matrix (given as a flat
+// row-major slice) with cyclic Jacobi rotations. It returns the
+// eigenvalues and the orthogonal eigenvector matrix P (columns are
+// eigenvectors): S = P · diag(vals) · Pᵀ.
+func jacobiEigen(s []float64, n int) (vals []float64, p []float64) {
+	a := append([]float64(nil), s...)
+	p = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		p[i*n+i] = 1
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i*n+j] * a[i*n+j]
+			}
+		}
+		if off < 1e-26 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				apq := a[i*n+j]
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app := a[i*n+i]
+				aqq := a[j*n+j]
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := t * c
+				// Rotate rows/columns i and j of a.
+				for k := 0; k < n; k++ {
+					aik := a[i*n+k]
+					ajk := a[j*n+k]
+					a[i*n+k] = c*aik - sn*ajk
+					a[j*n+k] = sn*aik + c*ajk
+				}
+				for k := 0; k < n; k++ {
+					aki := a[k*n+i]
+					akj := a[k*n+j]
+					a[k*n+i] = c*aki - sn*akj
+					a[k*n+j] = sn*aki + c*akj
+				}
+				// Accumulate the rotation into p.
+				for k := 0; k < n; k++ {
+					pki := p[k*n+i]
+					pkj := p[k*n+j]
+					p[k*n+i] = c*pki - sn*pkj
+					p[k*n+j] = sn*pki + c*pkj
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = a[i*n+i]
+	}
+	return vals, p
+}

@@ -1,0 +1,337 @@
+package kak
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/gate"
+	"repro/internal/linalg"
+)
+
+// magic is the magic basis change matrix B (Makhlin convention): in this
+// basis SU(2)⊗SU(2) becomes SO(4) and the canonical two-qubit gates
+// become diagonal.
+var magic = func() *linalg.Matrix {
+	i := complex(0, 1)
+	s := complex(math.Sqrt2/2, 0)
+	return linalg.FromRows([][]complex128{
+		{s, 0, 0, s * i},
+		{0, s * i, s, 0},
+		{0, s * i, -s, 0},
+		{s, 0, 0, -s * i},
+	})
+}()
+
+var magicDagger = magic.Dagger()
+
+// det4 computes the determinant of a 4x4 complex matrix by cofactor
+// expansion.
+func det4(m *linalg.Matrix) complex128 {
+	var det complex128
+	for c := 0; c < 4; c++ {
+		sign := complex128(1)
+		if c%2 == 1 {
+			sign = -1
+		}
+		det += sign * m.At(0, c) * det3(m, c)
+	}
+	return det
+}
+
+// det3 returns the minor determinant of m with row 0 and column skip
+// removed.
+func det3(m *linalg.Matrix, skip int) complex128 {
+	var cols []int
+	for c := 0; c < 4; c++ {
+		if c != skip {
+			cols = append(cols, c)
+		}
+	}
+	a := m.At(1, cols[0])
+	b := m.At(1, cols[1])
+	c := m.At(1, cols[2])
+	d := m.At(2, cols[0])
+	e := m.At(2, cols[1])
+	f := m.At(2, cols[2])
+	g := m.At(3, cols[0])
+	h := m.At(3, cols[1])
+	i := m.At(3, cols[2])
+	return a*(e*i-f*h) - b*(d*i-f*g) + c*(d*h-e*g)
+}
+
+// Decomposition is the KAK form of a two-qubit unitary:
+//
+//	U = Phase · (L1 ⊗ L0) · N(A, B, C) · (R1 ⊗ R0)
+//
+// where N(a,b,c) = exp(i(a·XX + b·YY + c·ZZ)), L1/R1 act on the gate's
+// first (most significant) qubit and L0/R0 on the second.
+type Decomposition struct {
+	Phase   complex128
+	L1, L0  *linalg.Matrix
+	A, B, C float64
+	R1, R0  *linalg.Matrix
+}
+
+// Canonical returns the 4x4 matrix of N(a,b,c) = exp(i(aXX + bYY + cZZ)).
+// The three terms commute, so it is the product of the gate library's
+// interaction rotations: rxx(-2a)·ryy(-2b)·rzz(-2c).
+func Canonical(a, b, c float64) *linalg.Matrix {
+	return linalg.MulChain(
+		gate.RXXMatrix(-2*a),
+		gate.RYYMatrix(-2*b),
+		gate.RZZMatrix(-2*c),
+	)
+}
+
+// Reconstruct multiplies the decomposition back into a 4x4 unitary.
+func (d *Decomposition) Reconstruct() *linalg.Matrix {
+	left := linalg.Kron(d.L1, d.L0)
+	right := linalg.Kron(d.R1, d.R0)
+	u := linalg.MulChain(left, Canonical(d.A, d.B, d.C), right)
+	return linalg.Scale(d.Phase, u)
+}
+
+// Decompose computes the KAK decomposition of a 4x4 unitary.
+func Decompose(u *linalg.Matrix) (*Decomposition, error) {
+	if u.Rows != 4 || u.Cols != 4 {
+		return nil, fmt.Errorf("kak: need a 4x4 matrix, got %dx%d", u.Rows, u.Cols)
+	}
+	if !u.IsUnitary(1e-8) {
+		return nil, fmt.Errorf("kak: matrix is not unitary")
+	}
+
+	// Move to the magic basis and normalize the determinant.
+	v := linalg.MulChain(magicDagger, u, magic)
+	det := det4(v)
+	phase := cmplx.Pow(det, 0.25)
+	v = linalg.Scale(1/phase, v) // det(v) = 1 (up to a 4th-root branch)
+
+	// W = Vᵀ V is complex symmetric unitary; its real and imaginary
+	// parts are commuting real symmetric matrices, so they diagonalize
+	// simultaneously over the reals.
+	w := linalg.Mul(v.Transpose(), v)
+	p, err := simultaneousDiagonalize(w)
+	if err != nil {
+		return nil, err
+	}
+
+	// D = Pᵀ W P: diagonal with unit-modulus entries e^{2iθ_j}.
+	pm := realToComplex(p)
+	d := linalg.MulChain(pm.Transpose(), w, pm)
+	theta := make([]float64, 4)
+	for j := 0; j < 4; j++ {
+		theta[j] = cmplx.Phase(d.At(j, j)) / 2
+	}
+	// Branch fixing: det Δ = e^{iΣθ} must be +1 so the left factor is
+	// real orthogonal. Adjust θ_0 by π steps (Δ_00 sign flip).
+	sum := theta[0] + theta[1] + theta[2] + theta[3]
+	k := math.Round(sum / math.Pi)
+	theta[0] -= k * math.Pi
+
+	delta := linalg.New(4, 4)
+	deltaInv := linalg.New(4, 4)
+	for j := 0; j < 4; j++ {
+		e := cmplx.Exp(complex(0, theta[j]))
+		delta.Set(j, j, e)
+		deltaInv.Set(j, j, 1/e)
+	}
+
+	// V = O1 · Δ · Pᵀ with O1 = V P Δ⁻¹ real orthogonal.
+	o1 := linalg.MulChain(v, pm, deltaInv)
+	if imagNorm(o1) > 1e-6 {
+		return nil, fmt.Errorf("kak: left factor not real (residual %g)", imagNorm(o1))
+	}
+
+	// Back to the computational basis. Δ in the magic basis is the
+	// canonical gate with θ = (a-b+c, a+b-c, -a-b-c, -a+b+c)
+	// (verified against Canonical in the tests), so
+	// a = (θ0+θ1)/2, b = (θ1+θ3)/2, c = (θ0+θ3)/2.
+	a := (theta[0] + theta[1]) / 2
+	b := (theta[1] + theta[3]) / 2
+	c := (theta[0] + theta[3]) / 2
+
+	left := linalg.MulChain(magic, o1, magicDagger)
+	right := linalg.MulChain(magic, pm.Transpose(), magicDagger)
+
+	l1, l0, lphase, err := factorTensor(left)
+	if err != nil {
+		return nil, fmt.Errorf("kak: left factor: %w", err)
+	}
+	r1, r0, rphase, err := factorTensor(right)
+	if err != nil {
+		return nil, fmt.Errorf("kak: right factor: %w", err)
+	}
+
+	dec := &Decomposition{
+		Phase: phase * lphase * rphase,
+		L1:    l1, L0: l0,
+		A: a, B: b, C: c,
+		R1: r1, R0: r0,
+	}
+	// Validate: the reconstruction must match. The quarter-root branch
+	// of det makes the global phase ambiguous up to i^k; fix it by
+	// comparison.
+	rec := dec.Reconstruct()
+	corr := phaseCorrection(u, rec)
+	if corr == 0 {
+		return nil, fmt.Errorf("kak: reconstruction degenerate")
+	}
+	dec.Phase *= corr
+	rec = linalg.Scale(corr, rec)
+	if linalg.MaxAbsDiff(rec, u) > 1e-6 {
+		return nil, fmt.Errorf("kak: reconstruction error %g", linalg.MaxAbsDiff(rec, u))
+	}
+	return dec, nil
+}
+
+// phaseCorrection returns the unit phase c minimizing |c·rec - u|.
+func phaseCorrection(u, rec *linalg.Matrix) complex128 {
+	inner := linalg.HSInner(rec, u) // Tr(rec† u)
+	if cmplx.Abs(inner) < 1e-9 {
+		return 0
+	}
+	return inner / complex(cmplx.Abs(inner), 0)
+}
+
+// simultaneousDiagonalize finds a real orthogonal P diagonalizing both the
+// real and imaginary parts of the complex symmetric unitary w. It
+// diagonalizes Re(w) + t·Im(w) for a sequence of mixing values t until the
+// other part also comes out diagonal (handles eigenvalue degeneracies).
+func simultaneousDiagonalize(w *linalg.Matrix) ([]float64, error) {
+	re := make([]float64, 16)
+	im := make([]float64, 16)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			re[i*4+j] = real(w.At(i, j))
+			im[i*4+j] = imag(w.At(i, j))
+		}
+	}
+	mix := []float64{0.0, 1.0, 0.618033988749895, 2.414213562373095, 0.267949192431123, 5.0}
+	for _, t := range mix {
+		s := make([]float64, 16)
+		for i := range s {
+			s[i] = re[i] + t*im[i]
+		}
+		_, p := jacobiEigen(s, 4)
+		if isDiagonalized(re, p) && isDiagonalized(im, p) {
+			// Fix det(P) = +1 by flipping one column if needed.
+			if det4Real(p) < 0 {
+				for r := 0; r < 4; r++ {
+					p[r*4] = -p[r*4]
+				}
+			}
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("kak: simultaneous diagonalization failed")
+}
+
+// isDiagonalized reports whether Pᵀ S P is diagonal within tolerance.
+func isDiagonalized(s, p []float64) bool {
+	// m = Pᵀ S P
+	var sp [16]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var acc float64
+			for k := 0; k < 4; k++ {
+				acc += s[i*4+k] * p[k*4+j]
+			}
+			sp[i*4+j] = acc
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			var acc float64
+			for k := 0; k < 4; k++ {
+				acc += p[k*4+i] * sp[k*4+j]
+			}
+			if math.Abs(acc) > 1e-8 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func det4Real(p []float64) float64 {
+	m := linalg.New(4, 4)
+	for i := range p {
+		m.Data[i] = complex(p[i], 0)
+	}
+	return real(det4(m))
+}
+
+func realToComplex(p []float64) *linalg.Matrix {
+	m := linalg.New(4, 4)
+	for i, v := range p {
+		m.Data[i] = complex(v, 0)
+	}
+	return m
+}
+
+func imagNorm(m *linalg.Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += imag(v) * imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// factorTensor factors a 4x4 matrix of the form phase·(A ⊗ B) into
+// unit-determinant 2x2 factors and the scalar phase.
+func factorTensor(g *linalg.Matrix) (a, b *linalg.Matrix, phase complex128, err error) {
+	// Find the largest entry to anchor the factorization.
+	var mi, mj int
+	var best float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if v := cmplx.Abs(g.At(i, j)); v > best {
+				best = v
+				mi, mj = i, j
+			}
+		}
+	}
+	if best < 1e-9 {
+		return nil, nil, 0, fmt.Errorf("kak: zero matrix in tensor factorization")
+	}
+	i0, j0 := mi>>1, mi&1
+	k0, l0 := mj>>1, mj&1
+	ap := linalg.New(2, 2)
+	bp := linalg.New(2, 2)
+	for i := 0; i < 2; i++ {
+		for k := 0; k < 2; k++ {
+			ap.Set(i, k, g.At(i<<1|j0, k<<1|l0))
+		}
+	}
+	for j := 0; j < 2; j++ {
+		for l := 0; l < 2; l++ {
+			bp.Set(j, l, g.At(i0<<1|j, k0<<1|l))
+		}
+	}
+	pivot := g.At(mi, mj)
+	// g = (ap ⊗ bp) / pivot. Distribute the scale so both factors have
+	// unit determinant.
+	detA := ap.At(0, 0)*ap.At(1, 1) - ap.At(0, 1)*ap.At(1, 0)
+	if cmplx.Abs(detA) < 1e-12 {
+		return nil, nil, 0, fmt.Errorf("kak: singular tensor factor")
+	}
+	alpha := cmplx.Sqrt(detA)
+	a = linalg.Scale(1/alpha, ap)
+	b = linalg.Scale(alpha/pivot, bp)
+	detB := b.At(0, 0)*b.At(1, 1) - b.At(0, 1)*b.At(1, 0)
+	beta := cmplx.Sqrt(detB)
+	if cmplx.Abs(beta) < 1e-12 {
+		return nil, nil, 0, fmt.Errorf("kak: singular tensor factor")
+	}
+	b = linalg.Scale(1/beta, b)
+	phase = beta
+	// Sanity: a ⊗ b must reproduce g up to the returned phase.
+	if linalg.MaxAbsDiff(linalg.Scale(phase, linalg.Kron(a, b)), g) > 1e-6 {
+		return nil, nil, 0, fmt.Errorf("kak: tensor factorization residual too large")
+	}
+	return a, b, phase, nil
+}

@@ -1,0 +1,324 @@
+package kak
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+	"repro/internal/sim"
+)
+
+func TestJacobiEigen(t *testing.T) {
+	// Symmetric matrix with known eigenvalues.
+	s := []float64{
+		2, 1, 0, 0,
+		1, 2, 0, 0,
+		0, 0, 3, 0,
+		0, 0, 0, 5,
+	}
+	vals, p := jacobiEigen(s, 4)
+	// Verify S = P D Pᵀ.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var acc float64
+			for k := 0; k < 4; k++ {
+				acc += p[i*4+k] * vals[k] * p[j*4+k]
+			}
+			if math.Abs(acc-s[i*4+j]) > 1e-9 {
+				t.Fatalf("PDPᵀ[%d][%d] = %g, want %g", i, j, acc, s[i*4+j])
+			}
+		}
+	}
+	// Eigenvalues {1,3,3,5} in some order.
+	var sum, prod float64 = 0, 1
+	for _, v := range vals {
+		sum += v
+		prod *= v
+	}
+	if math.Abs(sum-12) > 1e-9 || math.Abs(prod-45) > 1e-9 {
+		t.Errorf("eigenvalues = %v", vals)
+	}
+}
+
+func TestJacobiOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		s := make([]float64, 16)
+		for i := 0; i < 4; i++ {
+			for j := i; j < 4; j++ {
+				v := rng.NormFloat64()
+				s[i*4+j] = v
+				s[j*4+i] = v
+			}
+		}
+		_, p := jacobiEigen(s, 4)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				var acc float64
+				for k := 0; k < 4; k++ {
+					acc += p[k*4+i] * p[k*4+j]
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(acc-want) > 1e-9 {
+					t.Fatalf("PᵀP not identity at (%d,%d): %g", i, j, acc)
+				}
+			}
+		}
+	}
+}
+
+func TestMagicBasisUnitary(t *testing.T) {
+	if !magic.IsUnitary(1e-12) {
+		t.Fatal("magic basis matrix is not unitary")
+	}
+}
+
+func TestCanonicalThetaPattern(t *testing.T) {
+	// The code assumes M† N(a,b,c) M = diag(e^{iθ}) with
+	// θ = (a-b+c, a+b-c, -a+b+c, -a-b-c). Verify numerically.
+	a, b, c := 0.3, 0.2, 0.1
+	n := Canonical(a, b, c)
+	d := linalg.MulChain(magicDagger, n, magic)
+	want := []float64{a - b + c, a + b - c, -a - b - c, -a + b + c}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j && cmplx.Abs(d.At(i, j)) > 1e-9 {
+				t.Fatalf("canonical gate not diagonal in magic basis at (%d,%d): %v", i, j, d.At(i, j))
+			}
+		}
+		got := cmplx.Phase(d.At(i, i))
+		if math.Abs(got-want[i]) > 1e-9 {
+			t.Errorf("θ[%d] = %g, want %g", i, got, want[i])
+		}
+	}
+}
+
+func TestDecomposeRandomUnitaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		u := linalg.RandomUnitary(4, rng)
+		dec, err := Decompose(u)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rec := dec.Reconstruct()
+		if d := linalg.MaxAbsDiff(rec, u); d > 1e-6 {
+			t.Fatalf("trial %d: reconstruction error %g", trial, d)
+		}
+		for _, m := range []*linalg.Matrix{dec.L1, dec.L0, dec.R1, dec.R0} {
+			if !m.IsUnitary(1e-7) {
+				t.Fatalf("trial %d: non-unitary local factor", trial)
+			}
+		}
+	}
+}
+
+func TestDecomposeKnownGates(t *testing.T) {
+	for _, name := range []string{"cx", "cz", "swap", "id"} {
+		var u *linalg.Matrix
+		if name == "id" {
+			u = linalg.Identity(4)
+		} else {
+			u = gate.MustLookup(name).Build(nil)
+		}
+		dec, err := Decompose(u)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d := linalg.MaxAbsDiff(dec.Reconstruct(), u); d > 1e-6 {
+			t.Errorf("%s: reconstruction error %g", name, d)
+		}
+	}
+}
+
+func TestDecomposeTensorProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		a := linalg.RandomUnitary(2, rng)
+		b := linalg.RandomUnitary(2, rng)
+		u := linalg.Kron(a, b)
+		dec, err := Decompose(u)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := linalg.MaxAbsDiff(dec.Reconstruct(), u); d > 1e-6 {
+			t.Fatalf("trial %d: reconstruction error %g", trial, d)
+		}
+	}
+}
+
+func TestDecomposeRejectsBadInput(t *testing.T) {
+	if _, err := Decompose(linalg.Identity(2)); err == nil {
+		t.Error("2x2 accepted")
+	}
+	notU := linalg.Identity(4)
+	notU.Set(0, 0, 3)
+	if _, err := Decompose(notU); err == nil {
+		t.Error("non-unitary accepted")
+	}
+}
+
+func TestMinCNOTsKnownClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// 0 CNOTs: tensor products.
+	for trial := 0; trial < 5; trial++ {
+		u := linalg.Kron(linalg.RandomUnitary(2, rng), linalg.RandomUnitary(2, rng))
+		if got := MinCNOTs(u); got != 0 {
+			t.Errorf("tensor product: MinCNOTs = %d", got)
+		}
+	}
+	// 1 CNOT: CX and CZ (same class), also dressed with local gates.
+	cx := gate.MustLookup("cx").Build(nil)
+	if got := MinCNOTs(cx); got != 1 {
+		t.Errorf("CX: MinCNOTs = %d", got)
+	}
+	cz := gate.MustLookup("cz").Build(nil)
+	if got := MinCNOTs(cz); got != 1 {
+		t.Errorf("CZ: MinCNOTs = %d", got)
+	}
+	dressed := linalg.MulChain(
+		linalg.Kron(linalg.RandomUnitary(2, rng), linalg.RandomUnitary(2, rng)),
+		cx,
+		linalg.Kron(linalg.RandomUnitary(2, rng), linalg.RandomUnitary(2, rng)),
+	)
+	if got := MinCNOTs(dressed); got != 1 {
+		t.Errorf("dressed CX: MinCNOTs = %d", got)
+	}
+	// 3 CNOTs: SWAP.
+	swap := gate.MustLookup("swap").Build(nil)
+	if got := MinCNOTs(swap); got != 3 {
+		t.Errorf("SWAP: MinCNOTs = %d", got)
+	}
+	// 2 CNOTs: a circuit with exactly two CNOTs and generic rotations.
+	c := circuit.New(2)
+	c.CX(0, 1)
+	c.RZ(1, 0.7)
+	c.RY(0, 0.4)
+	c.CX(0, 1)
+	u2 := sim.Unitary(c)
+	if got := MinCNOTs(u2); got != 2 {
+		t.Errorf("2-CNOT circuit: MinCNOTs = %d", got)
+	}
+	// Generic random: almost surely 3.
+	three := 0
+	for trial := 0; trial < 10; trial++ {
+		if MinCNOTs(linalg.RandomUnitary(4, rng)) == 3 {
+			three++
+		}
+	}
+	if three < 9 {
+		t.Errorf("only %d/10 random unitaries classified as 3-CNOT", three)
+	}
+}
+
+func TestMinCNOTsMatchesCircuitConstruction(t *testing.T) {
+	// Circuits built with exactly k CNOTs must never be classified as
+	// needing more than k.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		k := rng.Intn(4)
+		c := circuit.New(2)
+		c.U3(0, rng.Float64(), rng.Float64(), rng.Float64())
+		c.U3(1, rng.Float64(), rng.Float64(), rng.Float64())
+		for i := 0; i < k; i++ {
+			c.CX(i%2, (i+1)%2)
+			c.U3(0, rng.Float64(), rng.Float64(), rng.Float64())
+			c.U3(1, rng.Float64(), rng.Float64(), rng.Float64())
+		}
+		u := sim.Unitary(c)
+		if got := MinCNOTs(u); got > k {
+			t.Errorf("trial %d: %d-CNOT circuit classified as needing %d", trial, k, got)
+		}
+	}
+}
+
+func TestWeylCoordinatesKnown(t *testing.T) {
+	// CX class: (π/4, 0, 0).
+	a, b, c, err := WeylCoordinates(gate.MustLookup("cx").Build(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-math.Pi/4) > 1e-6 || math.Abs(b) > 1e-6 || math.Abs(c) > 1e-6 {
+		t.Errorf("CX Weyl coords = (%g, %g, %g), want (π/4, 0, 0)", a, b, c)
+	}
+	// SWAP class: (π/4, π/4, π/4).
+	a, b, c, err = WeylCoordinates(gate.MustLookup("swap").Build(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-math.Pi/4) > 1e-6 || math.Abs(b-math.Pi/4) > 1e-6 || math.Abs(c-math.Pi/4) > 1e-6 {
+		t.Errorf("SWAP Weyl coords = (%g, %g, %g), want (π/4, π/4, π/4)", a, b, c)
+	}
+	// Identity: (0,0,0).
+	a, b, c, err = WeylCoordinates(linalg.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a > 1e-6 || b > 1e-6 || c > 1e-6 {
+		t.Errorf("I Weyl coords = (%g, %g, %g)", a, b, c)
+	}
+}
+
+func TestDet4(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	u := linalg.RandomUnitary(4, rng)
+	if d := cmplx.Abs(det4(u)); math.Abs(d-1) > 1e-9 {
+		t.Errorf("|det(U)| = %g for unitary", d)
+	}
+	if d := det4(linalg.Identity(4)); cmplx.Abs(d-1) > 1e-12 {
+		t.Errorf("det(I) = %v", d)
+	}
+	scaled := linalg.Scale(2, linalg.Identity(4))
+	if d := det4(scaled); cmplx.Abs(d-16) > 1e-9 {
+		t.Errorf("det(2I) = %v, want 16", d)
+	}
+}
+
+func TestPropMinCNOTsLocalEquivalenceInvariant(t *testing.T) {
+	// MinCNOTs is a local-equivalence-class invariant: dressing U with
+	// arbitrary single-qubit gates on either side must not change it.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		u := linalg.RandomUnitary(4, rng)
+		base := MinCNOTs(u)
+		dressed := linalg.MulChain(
+			linalg.Kron(linalg.RandomUnitary(2, rng), linalg.RandomUnitary(2, rng)),
+			u,
+			linalg.Kron(linalg.RandomUnitary(2, rng), linalg.RandomUnitary(2, rng)),
+		)
+		if got := MinCNOTs(dressed); got != base {
+			t.Fatalf("trial %d: MinCNOTs changed under local dressing: %d -> %d", trial, base, got)
+		}
+	}
+}
+
+func TestPropWeylCoordsLocalEquivalenceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		u := linalg.RandomUnitary(4, rng)
+		a1, b1, c1, err := WeylCoordinates(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dressed := linalg.MulChain(
+			linalg.Kron(linalg.RandomUnitary(2, rng), linalg.RandomUnitary(2, rng)),
+			u,
+			linalg.Kron(linalg.RandomUnitary(2, rng), linalg.RandomUnitary(2, rng)),
+		)
+		a2, b2, c2, err := WeylCoordinates(dressed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a1-a2)+math.Abs(b1-b2)+math.Abs(c1-c2) > 1e-5 {
+			t.Fatalf("trial %d: Weyl coords changed under local dressing: (%g,%g,%g) vs (%g,%g,%g)",
+				trial, a1, b1, c1, a2, b2, c2)
+		}
+	}
+}

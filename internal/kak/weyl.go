@@ -1,0 +1,75 @@
+package kak
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/linalg"
+)
+
+// MinCNOTs returns the number of CNOT gates (0-3) required to implement a
+// 4x4 unitary exactly, using the Makhlin-invariant tests of Shende,
+// Bullock and Markov: with V the determinant-normalized magic-basis image
+// of U and W = VᵀV,
+//
+//   - 0 CNOTs  iff Tr W = ±4             (W = ±I: U is a tensor product)
+//   - 1 CNOT   iff Tr W = 0 ∧ Tr W² = -4 (CNOT local-equivalence class)
+//   - 2 CNOTs  iff Tr W is real
+//   - 3 CNOTs  otherwise.
+//
+// The quarter-root determinant branch only changes Tr W by a sign
+// (V scales by i^k, W by ±1), which none of the tests depend on. Note
+// SWAP has W = ±iI — |Tr W| = 4 but imaginary, hence 3 CNOTs.
+func MinCNOTs(u *linalg.Matrix) int {
+	const tol = 1e-6
+	v := linalg.MulChain(magicDagger, u, magic)
+	det := det4(v)
+	phase := cmplx.Pow(det, 0.25)
+	v = linalg.Scale(1/phase, v)
+	w := linalg.Mul(v.Transpose(), v)
+	t := w.Trace()
+	switch {
+	case math.Abs(imag(t)) < tol && math.Abs(math.Abs(real(t))-4) < tol:
+		return 0
+	case cmplx.Abs(t) < tol && cmplx.Abs(linalg.Mul(w, w).Trace()+4) < tol:
+		return 1
+	case math.Abs(imag(t)) < tol:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// WeylCoordinates returns the canonical-class coordinates (a, b, c) of a
+// two-qubit unitary, folded into the Weyl chamber
+// π/4 ≥ a ≥ b ≥ |c|, a ≥ |c| ≥ 0 (best effort; coordinates are exact up
+// to the chamber symmetries).
+func WeylCoordinates(u *linalg.Matrix) (a, b, c float64, err error) {
+	dec, err := Decompose(u)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	coords := []float64{dec.A, dec.B, dec.C}
+	// Fold into [0, π/2) and reflect into [0, π/4].
+	for i, x := range coords {
+		x = math.Mod(x, math.Pi/2)
+		if x < 0 {
+			x += math.Pi / 2
+		}
+		if x > math.Pi/4 {
+			x = math.Pi/2 - x
+		}
+		coords[i] = x
+	}
+	// Sort descending.
+	if coords[0] < coords[1] {
+		coords[0], coords[1] = coords[1], coords[0]
+	}
+	if coords[1] < coords[2] {
+		coords[1], coords[2] = coords[2], coords[1]
+	}
+	if coords[0] < coords[1] {
+		coords[0], coords[1] = coords[1], coords[0]
+	}
+	return coords[0], coords[1], coords[2], nil
+}

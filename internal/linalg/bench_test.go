@@ -1,0 +1,44 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMul16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandomUnitary(16, rng)
+	y := RandomUnitary(16, rng)
+	dst := New(16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulInto(dst, x, y)
+	}
+}
+
+func BenchmarkKron4x4(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := RandomUnitary(4, rng)
+	y := RandomUnitary(4, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Kron(x, y)
+	}
+}
+
+func BenchmarkHSDistance16(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := RandomUnitary(16, rng)
+	y := RandomUnitary(16, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HSDistance(x, y)
+	}
+}
+
+func BenchmarkRandomUnitary8(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < b.N; i++ {
+		RandomUnitary(8, rng)
+	}
+}

@@ -1,0 +1,303 @@
+// Package linalg provides dense complex linear algebra for quantum
+// unitaries: matrix products, Kronecker products, conjugate transposes,
+// traces, and the Hilbert-Schmidt process distance used throughout QUEST.
+//
+// Matrices are stored row-major in a flat []complex128. All operations
+// allocate their result unless an explicit *Into variant is used; the
+// *Into variants exist for the hot paths in synthesis and simulation.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense complex matrix stored in row-major order.
+// The zero value is an empty (0x0) matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// New returns a zeroed rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]complex128) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Copy returns a deep copy of m.
+func (m *Matrix) Copy() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyInto copies m's contents into dst, which must share m's shape.
+func (m *Matrix) CopyInto(dst *Matrix) {
+	if dst.Rows != m.Rows || dst.Cols != m.Cols {
+		panic("linalg: CopyInto shape mismatch")
+	}
+	copy(dst.Data, m.Data)
+}
+
+// IsSquare reports whether m has equal row and column counts.
+func (m *Matrix) IsSquare() bool { return m.Rows == m.Cols }
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto computes dst = a*b. dst must not alias a or b.
+func MulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("linalg: MulInto dst shape mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	// ikj loop order: stream through b's rows for cache friendliness.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulChain multiplies matrices left to right: MulChain(a,b,c) = a*b*c.
+func MulChain(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("linalg: MulChain of nothing")
+	}
+	out := ms[0].Copy()
+	for _, m := range ms[1:] {
+		out = Mul(out, m)
+	}
+	return out
+}
+
+// Kron returns the Kronecker product a ⊗ b.
+func Kron(a, b *Matrix) *Matrix {
+	out := New(a.Rows*b.Rows, a.Cols*b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			av := a.At(i, j)
+			if av == 0 {
+				continue
+			}
+			for k := 0; k < b.Rows; k++ {
+				row := (i*b.Rows + k) * out.Cols
+				boff := k * b.Cols
+				coff := j * b.Cols
+				for l := 0; l < b.Cols; l++ {
+					out.Data[row+coff+l] = av * b.Data[boff+l]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Dagger returns the conjugate transpose of m.
+func (m *Matrix) Dagger() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = cmplx.Conj(m.Data[i*m.Cols+j])
+		}
+	}
+	return out
+}
+
+// Transpose returns the (unconjugated) transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Trace returns the trace of a square matrix.
+func (m *Matrix) Trace() complex128 {
+	if !m.IsSquare() {
+		panic("linalg: Trace of non-square matrix")
+	}
+	var t complex128
+	for i := 0; i < m.Rows; i++ {
+		t += m.Data[i*m.Cols+i]
+	}
+	return t
+}
+
+// Add returns a+b.
+func Add(a, b *Matrix) *Matrix {
+	checkSameShape(a, b, "Add")
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a-b.
+func Sub(a, b *Matrix) *Matrix {
+	checkSameShape(a, b, "Sub")
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s*m.
+func Scale(s complex128, m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = s * v
+	}
+	return out
+}
+
+func checkSameShape(a, b *Matrix, op string) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// FrobeniusNorm returns sqrt(sum |m_ij|^2).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max_ij |a_ij - b_ij|.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	checkSameShape(a, b, "MaxAbsDiff")
+	var mx float64
+	for i := range a.Data {
+		if d := cmplx.Abs(a.Data[i] - b.Data[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// EqualApprox reports whether a and b agree elementwise within tol.
+func EqualApprox(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	return MaxAbsDiff(a, b) <= tol
+}
+
+// IsUnitary reports whether m†m is the identity within tol.
+func (m *Matrix) IsUnitary(tol float64) bool {
+	if !m.IsSquare() {
+		return false
+	}
+	prod := Mul(m.Dagger(), m)
+	return EqualApprox(prod, Identity(m.Rows), tol)
+}
+
+// HSInner returns the Hilbert-Schmidt inner product Tr(a† b).
+func HSInner(a, b *Matrix) complex128 {
+	checkSameShape(a, b, "HSInner")
+	var t complex128
+	for i := range a.Data {
+		t += cmplx.Conj(a.Data[i]) * b.Data[i]
+	}
+	return t
+}
+
+// HSDistance returns the QUEST process distance
+//
+//	sqrt(1 - |Tr(a† b)|² / N²)
+//
+// between two N x N unitaries. The value is clamped to [0, 1] to absorb
+// floating-point round-off for near-identical matrices.
+func HSDistance(a, b *Matrix) float64 {
+	if !a.IsSquare() {
+		panic("linalg: HSDistance of non-square matrix")
+	}
+	n := float64(a.Rows)
+	t := cmplx.Abs(HSInner(a, b))
+	v := 1 - (t*t)/(n*n)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return math.Sqrt(v)
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		b.WriteByte('[')
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			v := m.At(i, j)
+			fmt.Fprintf(&b, "%.4f%+.4fi", real(v), imag(v))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

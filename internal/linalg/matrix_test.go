@@ -1,0 +1,288 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-10
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("Identity(3)[%d][%d] = %v, want %v", i, j, id.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMulBasic(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	b := FromRows([][]complex128{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]complex128{{19, 22}, {43, 50}})
+	if !EqualApprox(got, want, tol) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := RandomUnitary(4, rng)
+	if !EqualApprox(Mul(u, Identity(4)), u, tol) {
+		t.Error("U*I != U")
+	}
+	if !EqualApprox(Mul(Identity(4), u), u, tol) {
+		t.Error("I*U != U")
+	}
+}
+
+func TestMulComplex(t *testing.T) {
+	i := complex(0, 1)
+	a := FromRows([][]complex128{{0, -i}, {i, 0}}) // Pauli Y
+	got := Mul(a, a)
+	if !EqualApprox(got, Identity(2), tol) {
+		t.Errorf("Y*Y = %v, want I", got)
+	}
+}
+
+func TestMulChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b, c := RandomUnitary(3, rng), RandomUnitary(3, rng), RandomUnitary(3, rng)
+	got := MulChain(a, b, c)
+	want := Mul(Mul(a, b), c)
+	if !EqualApprox(got, want, tol) {
+		t.Error("MulChain(a,b,c) != (a*b)*c")
+	}
+}
+
+func TestKronBasic(t *testing.T) {
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	id := Identity(2)
+	// X ⊗ I
+	got := Kron(x, id)
+	want := FromRows([][]complex128{
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+	})
+	if !EqualApprox(got, want, tol) {
+		t.Errorf("X ⊗ I = %v, want %v", got, want)
+	}
+}
+
+func TestKronMixedProduct(t *testing.T) {
+	// (A⊗B)(C⊗D) = (AC)⊗(BD)
+	rng := rand.New(rand.NewSource(3))
+	a, b := RandomUnitary(2, rng), RandomUnitary(3, rng)
+	c, d := RandomUnitary(2, rng), RandomUnitary(3, rng)
+	lhs := Mul(Kron(a, b), Kron(c, d))
+	rhs := Kron(Mul(a, c), Mul(b, d))
+	if !EqualApprox(lhs, rhs, 1e-9) {
+		t.Error("Kron mixed-product identity violated")
+	}
+}
+
+func TestTraceKron(t *testing.T) {
+	// Tr(A⊗B) = Tr(A)Tr(B)
+	rng := rand.New(rand.NewSource(4))
+	a, b := RandomUnitary(2, rng), RandomUnitary(4, rng)
+	lhs := Kron(a, b).Trace()
+	rhs := a.Trace() * b.Trace()
+	if cmplx.Abs(lhs-rhs) > 1e-9 {
+		t.Errorf("Tr(A⊗B)=%v, Tr(A)Tr(B)=%v", lhs, rhs)
+	}
+}
+
+func TestDagger(t *testing.T) {
+	i := complex(0, 1)
+	m := FromRows([][]complex128{{1 + i, 2}, {3, 4 - i}})
+	d := m.Dagger()
+	want := FromRows([][]complex128{{1 - i, 3}, {2, 4 + i}})
+	if !EqualApprox(d, want, tol) {
+		t.Errorf("Dagger = %v, want %v", d, want)
+	}
+}
+
+func TestDaggerInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := RandomUnitary(5, rng)
+	if !EqualApprox(m.Dagger().Dagger(), m, tol) {
+		t.Error("(M†)† != M")
+	}
+}
+
+func TestUnitaryInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	u := RandomUnitary(8, rng)
+	if !u.IsUnitary(1e-9) {
+		t.Fatal("RandomUnitary not unitary")
+	}
+	if !EqualApprox(Mul(u, u.Dagger()), Identity(8), 1e-9) {
+		t.Error("U U† != I")
+	}
+}
+
+func TestHSDistanceSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	u := RandomUnitary(4, rng)
+	if d := HSDistance(u, u); d > 1e-7 {
+		t.Errorf("HSDistance(U,U) = %g, want ~0", d)
+	}
+}
+
+func TestHSDistanceGlobalPhaseInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	u := RandomUnitary(4, rng)
+	v := Scale(RandomPhase(rng), u)
+	if d := HSDistance(u, v); d > 1e-7 {
+		t.Errorf("HSDistance(U, e^{it}U) = %g, want ~0", d)
+	}
+}
+
+func TestHSDistanceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	u, v := RandomUnitary(4, rng), RandomUnitary(4, rng)
+	if d1, d2 := HSDistance(u, v), HSDistance(v, u); math.Abs(d1-d2) > tol {
+		t.Errorf("HSDistance asymmetric: %g vs %g", d1, d2)
+	}
+}
+
+func TestHSDistanceRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		u, v := RandomUnitary(4, rng), RandomUnitary(4, rng)
+		d := HSDistance(u, v)
+		if d < 0 || d > 1 {
+			t.Fatalf("HSDistance out of [0,1]: %g", d)
+		}
+	}
+}
+
+func TestHSDistanceKronExtension(t *testing.T) {
+	// Paper Sec 3.8: HS(U1⊗I, U1'⊗I) == HS(U1, U1').
+	rng := rand.New(rand.NewSource(11))
+	u, v := RandomUnitary(4, rng), RandomUnitary(4, rng)
+	id := Identity(4)
+	d1 := HSDistance(u, v)
+	d2 := HSDistance(Kron(u, id), Kron(v, id))
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("HS distance not preserved under ⊗I: %g vs %g", d1, d2)
+	}
+}
+
+func TestTraceCyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a, b := RandomUnitary(4, rng), RandomUnitary(4, rng)
+	lhs := Mul(a, b).Trace()
+	rhs := Mul(b, a).Trace()
+	if cmplx.Abs(lhs-rhs) > 1e-9 {
+		t.Errorf("Tr(AB)=%v != Tr(BA)=%v", lhs, rhs)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	b := FromRows([][]complex128{{4, 3}, {2, 1}})
+	if got, want := Add(a, b), FromRows([][]complex128{{5, 5}, {5, 5}}); !EqualApprox(got, want, tol) {
+		t.Errorf("Add = %v", got)
+	}
+	if got, want := Sub(a, b), FromRows([][]complex128{{-3, -1}, {1, 3}}); !EqualApprox(got, want, tol) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got, want := Scale(2, a), FromRows([][]complex128{{2, 4}, {6, 8}}); !EqualApprox(got, want, tol) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := FromRows([][]complex128{{3, 0}, {0, 4}})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > tol {
+		t.Errorf("FrobeniusNorm = %g, want 5", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]complex128{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("Transpose shape = %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != 6 {
+		t.Errorf("Transpose[2][1] = %v, want 6", tr.At(2, 1))
+	}
+}
+
+func TestMulIntoPanicsOnAlias(t *testing.T) {
+	// Shape mismatch must panic (aliasing is documented away, shapes are checked).
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on shape mismatch")
+		}
+	}()
+	a := New(2, 3)
+	b := New(2, 3) // incompatible inner dims
+	MulInto(New(2, 3), a, b)
+}
+
+// Property-based tests.
+
+func TestPropMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := RandomUnitary(4, r), RandomUnitary(4, r), RandomUnitary(4, r)
+		return EqualApprox(Mul(Mul(a, b), c), Mul(a, Mul(b, c)), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnitaryClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := RandomUnitary(4, r), RandomUnitary(4, r)
+		return Mul(a, b).IsUnitary(1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropKronUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := RandomUnitary(2, r), RandomUnitary(4, r)
+		return Kron(a, b).IsUnitary(1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropHSDistanceTriangleish(t *testing.T) {
+	// HS distance satisfies a weak triangle inequality per Wang-Zhang:
+	// d(A,C) <= d(A,B) + d(B,C). This is the inequality the bound proof uses.
+	rng := rand.New(rand.NewSource(16))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := RandomUnitary(4, r), RandomUnitary(4, r), RandomUnitary(4, r)
+		return HSDistance(a, c) <= HSDistance(a, b)+HSDistance(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

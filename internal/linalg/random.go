@@ -1,0 +1,56 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomUnitary returns a Haar-ish random n x n unitary built by applying
+// Gram-Schmidt orthonormalization (QR) to a complex Ginibre matrix.
+func RandomUnitary(n int, rng *rand.Rand) *Matrix {
+	m := New(n, n)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	// Modified Gram-Schmidt on columns.
+	cols := make([]Vector, n)
+	for j := 0; j < n; j++ {
+		c := NewVector(n)
+		for i := 0; i < n; i++ {
+			c[i] = m.At(i, j)
+		}
+		cols[j] = c
+	}
+	for j := 0; j < n; j++ {
+		for k := 0; k < j; k++ {
+			proj := Dot(cols[k], cols[j])
+			for i := 0; i < n; i++ {
+				cols[j][i] -= proj * cols[k][i]
+			}
+		}
+		cols[j].Normalize()
+	}
+	out := New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			out.Set(i, j, cols[j][i])
+		}
+	}
+	return out
+}
+
+// RandomState returns a Haar-random normalized statevector of length n.
+func RandomState(n int, rng *rand.Rand) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	v.Normalize()
+	return v
+}
+
+// RandomPhase returns e^{i t} for a uniform t in [0, 2π).
+func RandomPhase(rng *rand.Rand) complex128 {
+	t := rng.Float64() * 2 * math.Pi
+	return complex(math.Cos(t), math.Sin(t))
+}

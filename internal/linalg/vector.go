@@ -1,0 +1,91 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Vector is a dense complex vector (a quantum statevector when normalized).
+type Vector []complex128
+
+// NewVector returns a zeroed vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// BasisVector returns the length-n computational basis state |k>.
+func BasisVector(n, k int) Vector {
+	if k < 0 || k >= n {
+		panic(fmt.Sprintf("linalg: basis index %d out of range [0,%d)", k, n))
+	}
+	v := NewVector(n)
+	v[k] = 1
+	return v
+}
+
+// Copy returns a deep copy of v.
+func (v Vector) Copy() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v in place to unit norm. A zero vector is left unchanged.
+func (v Vector) Normalize() {
+	n := v.Norm()
+	if n == 0 {
+		return
+	}
+	inv := complex(1/n, 0)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Dot returns the inner product <a|b> (conjugating a).
+func Dot(a, b Vector) complex128 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s complex128
+	for i := range a {
+		s += cmplx.Conj(a[i]) * b[i]
+	}
+	return s
+}
+
+// ApplyMatrix returns m*v.
+func ApplyMatrix(m *Matrix, v Vector) Vector {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("linalg: ApplyMatrix shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
+	}
+	out := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s complex128
+		for j, mv := range row {
+			if mv != 0 {
+				s += mv * v[j]
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Probabilities returns |v_k|^2 for every amplitude.
+func (v Vector) Probabilities() []float64 {
+	p := make([]float64, len(v))
+	for i, x := range v {
+		p[i] = real(x)*real(x) + imag(x)*imag(x)
+	}
+	return p
+}

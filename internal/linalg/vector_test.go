@@ -1,0 +1,107 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasisVector(t *testing.T) {
+	v := BasisVector(4, 2)
+	for i, x := range v {
+		want := complex128(0)
+		if i == 2 {
+			want = 1
+		}
+		if x != want {
+			t.Errorf("BasisVector(4,2)[%d] = %v", i, x)
+		}
+	}
+}
+
+func TestBasisVectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range basis index")
+		}
+	}()
+	BasisVector(4, 4)
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Norm(); math.Abs(got-5) > tol {
+		t.Errorf("Norm = %g, want 5", got)
+	}
+	v.Normalize()
+	if got := v.Norm(); math.Abs(got-1) > tol {
+		t.Errorf("Norm after Normalize = %g, want 1", got)
+	}
+}
+
+func TestNormalizeZeroVector(t *testing.T) {
+	v := Vector{0, 0}
+	v.Normalize() // must not NaN
+	if v[0] != 0 || v[1] != 0 {
+		t.Errorf("Normalize(0) changed vector: %v", v)
+	}
+}
+
+func TestDot(t *testing.T) {
+	i := complex(0, 1)
+	a := Vector{1, i}
+	b := Vector{1, 1}
+	// <a|b> = conj(1)*1 + conj(i)*1 = 1 - i
+	if got := Dot(a, b); cmplx.Abs(got-(1-i)) > tol {
+		t.Errorf("Dot = %v, want 1-1i", got)
+	}
+}
+
+func TestApplyMatrix(t *testing.T) {
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	v := Vector{1, 0}
+	got := ApplyMatrix(x, v)
+	if cmplx.Abs(got[0]) > tol || cmplx.Abs(got[1]-1) > tol {
+		t.Errorf("X|0> = %v, want |1>", got)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	v := RandomState(8, rng)
+	p := v.Probabilities()
+	var s float64
+	for _, x := range p {
+		s += x
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", s)
+	}
+}
+
+func TestPropUnitaryPreservesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := RandomUnitary(8, r)
+		v := RandomState(8, r)
+		return math.Abs(ApplyMatrix(u, v).Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDotConjSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := RandomState(4, r), RandomState(4, r)
+		return cmplx.Abs(Dot(a, b)-cmplx.Conj(Dot(b, a))) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package metrics implements the output- and process-distance measures of
+// QUEST Sec. 2: Total Variation Distance, Jensen-Shannon Divergence (with
+// Kullback-Leibler divergence), the Hilbert-Schmidt process distance, and
+// the magnetization observables used by the TFIM/Heisenberg case studies.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// TVD returns the total variation distance  ½ Σ_k |p(k) - q(k)|
+// between two distributions of equal length. The result is in [0, 1] for
+// normalized distributions.
+func TVD(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("metrics: TVD length mismatch %d vs %d", len(p), len(q)))
+	}
+	var s float64
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s / 2
+}
+
+// KL returns the Kullback-Leibler divergence Σ_k q(k) log(q(k)/r(k)) in
+// nats. Terms with q(k)=0 contribute zero; a term with q(k)>0 and r(k)=0
+// contributes +Inf as per the definition.
+func KL(q, r []float64) float64 {
+	if len(q) != len(r) {
+		panic(fmt.Sprintf("metrics: KL length mismatch %d vs %d", len(q), len(r)))
+	}
+	var s float64
+	for i := range q {
+		if q[i] == 0 {
+			continue
+		}
+		if r[i] == 0 {
+			return math.Inf(1)
+		}
+		s += q[i] * math.Log(q[i]/r[i])
+	}
+	return s
+}
+
+// JSD returns the Jensen-Shannon distance
+//
+//	sqrt( ½ [ D(p||m) + D(q||m) ] ),  m = (p+q)/2
+//
+// using natural-log KL divergence normalized by log 2 so the result is in
+// [0, 1] (0 is identical distributions).
+func JSD(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("metrics: JSD length mismatch %d vs %d", len(p), len(q)))
+	}
+	m := make([]float64, len(p))
+	for i := range p {
+		m[i] = (p[i] + q[i]) / 2
+	}
+	v := (KL(p, m) + KL(q, m)) / 2 / math.Ln2
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return math.Sqrt(v)
+}
+
+// HSDistance is the process distance sqrt(1 - |Tr(U†V)|²/N²) re-exported
+// for callers that import metrics but not linalg.
+func HSDistance(u, v *linalg.Matrix) float64 { return linalg.HSDistance(u, v) }
+
+// AverageDistributions returns the pointwise mean of the given
+// distributions, QUEST's ensemble-output rule.
+func AverageDistributions(dists ...[]float64) []float64 {
+	if len(dists) == 0 {
+		panic("metrics: AverageDistributions of nothing")
+	}
+	n := len(dists[0])
+	out := make([]float64, n)
+	for _, d := range dists {
+		if len(d) != n {
+			panic("metrics: AverageDistributions length mismatch")
+		}
+		for i, v := range d {
+			out[i] += v
+		}
+	}
+	inv := 1 / float64(len(dists))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Normalize scales a nonnegative histogram to sum to 1 (no-op on an
+// all-zero histogram) and returns it.
+func Normalize(p []float64) []float64 {
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	if s == 0 {
+		return p
+	}
+	for i := range p {
+		p[i] /= s
+	}
+	return p
+}
+
+// AverageMagnetization returns <Σ_q Z_q>/n for an n-qubit output
+// distribution: the average magnetization observable that the TFIM and
+// Heisenberg case studies track over time (Fig. 1/13/14). Z eigenvalue is
+// +1 for bit 0 and -1 for bit 1.
+func AverageMagnetization(p []float64, n int) float64 {
+	if len(p) != 1<<n {
+		panic(fmt.Sprintf("metrics: distribution length %d != 2^%d", len(p), n))
+	}
+	var m float64
+	for k, pk := range p {
+		if pk == 0 {
+			continue
+		}
+		z := 0
+		for q := 0; q < n; q++ {
+			if k&(1<<q) == 0 {
+				z++
+			} else {
+				z--
+			}
+		}
+		m += pk * float64(z)
+	}
+	return m / float64(n)
+}
+
+// StaggeredMagnetization returns <Σ_q (-1)^q Z_q>/n, the antiferromagnetic
+// order parameter used for the Heisenberg model.
+func StaggeredMagnetization(p []float64, n int) float64 {
+	if len(p) != 1<<n {
+		panic(fmt.Sprintf("metrics: distribution length %d != 2^%d", len(p), n))
+	}
+	var m float64
+	for k, pk := range p {
+		if pk == 0 {
+			continue
+		}
+		var z float64
+		for q := 0; q < n; q++ {
+			v := 1.0
+			if k&(1<<q) != 0 {
+				v = -1.0
+			}
+			if q%2 == 1 {
+				v = -v
+			}
+			z += v
+		}
+		m += pk * z
+	}
+	return m / float64(n)
+}

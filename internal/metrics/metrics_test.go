@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTVDIdentical(t *testing.T) {
+	p := []float64{0.25, 0.25, 0.25, 0.25}
+	if got := TVD(p, p); got != 0 {
+		t.Errorf("TVD(p,p) = %g", got)
+	}
+}
+
+func TestTVDDisjoint(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if got := TVD(p, q); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("TVD disjoint = %g, want 1", got)
+	}
+}
+
+func TestTVDKnownValue(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.8, 0.2}
+	if got := TVD(p, q); !almostEqual(got, 0.3, 1e-12) {
+		t.Errorf("TVD = %g, want 0.3", got)
+	}
+}
+
+func TestKL(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.25, 0.75}
+	want := 0.5*math.Log(2) + 0.5*math.Log(2.0/3.0)
+	if got := KL(p, q); !almostEqual(got, want, 1e-12) {
+		t.Errorf("KL = %g, want %g", got, want)
+	}
+}
+
+func TestKLZeroHandling(t *testing.T) {
+	if got := KL([]float64{0, 1}, []float64{0.5, 0.5}); !almostEqual(got, math.Log(2), 1e-12) {
+		t.Errorf("KL with q=0 term = %g", got)
+	}
+	if got := KL([]float64{0.5, 0.5}, []float64{1, 0}); !math.IsInf(got, 1) {
+		t.Errorf("KL with r=0 = %g, want +Inf", got)
+	}
+}
+
+func TestJSDBounds(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if got := JSD(p, q); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("JSD disjoint = %g, want 1", got)
+	}
+	if got := JSD(p, p); got != 0 {
+		t.Errorf("JSD(p,p) = %g", got)
+	}
+}
+
+func TestAverageDistributions(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	got := AverageDistributions(a, b)
+	if !almostEqual(got[0], 0.5, 1e-12) || !almostEqual(got[1], 0.5, 1e-12) {
+		t.Errorf("Average = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := Normalize([]float64{2, 2, 4})
+	if !almostEqual(p[0], 0.25, 1e-12) || !almostEqual(p[2], 0.5, 1e-12) {
+		t.Errorf("Normalize = %v", p)
+	}
+	z := Normalize([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("Normalize(0) = %v", z)
+	}
+}
+
+func TestAverageMagnetization(t *testing.T) {
+	// all |00>: magnetization +1
+	p := []float64{1, 0, 0, 0}
+	if got := AverageMagnetization(p, 2); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("mag |00> = %g, want 1", got)
+	}
+	// all |11>: -1
+	p = []float64{0, 0, 0, 1}
+	if got := AverageMagnetization(p, 2); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("mag |11> = %g, want -1", got)
+	}
+	// |01>: qubit0 down... wait |01> index 1 = q0 is 1 → z = (-1 + 1)/2 = 0
+	p = []float64{0, 1, 0, 0}
+	if got := AverageMagnetization(p, 2); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("mag |01> = %g, want 0", got)
+	}
+}
+
+func TestStaggeredMagnetization(t *testing.T) {
+	// Néel state |0101...>: staggered magnetization +1.
+	// Index with q0=0,q1=1,q2=0,q3=1 → bits 1010 binary = 10.
+	p := make([]float64, 16)
+	p[10] = 1
+	if got := StaggeredMagnetization(p, 4); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("staggered Néel = %g, want 1", got)
+	}
+	// Uniform all-up |0000>: staggered magnetization 0.
+	p = make([]float64, 16)
+	p[0] = 1
+	if got := StaggeredMagnetization(p, 4); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("staggered uniform = %g, want 0", got)
+	}
+}
+
+func randomDist(n int, rng *rand.Rand) []float64 {
+	p := make([]float64, n)
+	var s float64
+	for i := range p {
+		p[i] = rng.Float64()
+		s += p[i]
+	}
+	for i := range p {
+		p[i] /= s
+	}
+	return p
+}
+
+func TestPropTVDAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q := randomDist(8, r), randomDist(8, r)
+		d := TVD(p, q)
+		// symmetric, in [0,1], zero iff equal (approx)
+		return d >= 0 && d <= 1 && almostEqual(d, TVD(q, p), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTVDTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q, m := randomDist(8, r), randomDist(8, r), randomDist(8, r)
+		return TVD(p, q) <= TVD(p, m)+TVD(m, q)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJSDBoundsAndSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q := randomDist(8, r), randomDist(8, r)
+		d := JSD(p, q)
+		return d >= 0 && d <= 1 && almostEqual(d, JSD(q, p), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMagnetizationBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomDist(16, r)
+		m := AverageMagnetization(p, 4)
+		s := StaggeredMagnetization(p, 4)
+		return m >= -1-1e-12 && m <= 1+1e-12 && s >= -1-1e-12 && s <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Package mitigation implements measurement-error mitigation: inverting
+// the per-qubit readout confusion matrix on measured distributions. This
+// is the standard complement to the noise package's readout model — on a
+// distribution corrupted only by readout bit flips, mitigation recovers
+// the true distribution exactly (up to shot noise and clipping).
+package mitigation
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion describes one qubit's readout errors:
+// P(read 1 | prepared 0) = Eps01 and P(read 0 | prepared 1) = Eps10.
+type Confusion struct {
+	Eps01 float64
+	Eps10 float64
+}
+
+// Symmetric returns the confusion of a symmetric bit-flip channel with
+// probability e.
+func Symmetric(e float64) Confusion { return Confusion{Eps01: e, Eps10: e} }
+
+// invertible reports whether the confusion matrix can be inverted.
+func (c Confusion) invertible() bool {
+	det := (1 - c.Eps01) * (1 - c.Eps10) - c.Eps01*c.Eps10
+	return math.Abs(det) > 1e-12
+}
+
+// Mitigator corrects measured distributions on n qubits.
+type Mitigator struct {
+	conf []Confusion
+}
+
+// New builds a mitigator from per-qubit confusions.
+func New(conf []Confusion) (*Mitigator, error) {
+	for q, c := range conf {
+		if c.Eps01 < 0 || c.Eps01 > 1 || c.Eps10 < 0 || c.Eps10 > 1 {
+			return nil, fmt.Errorf("mitigation: qubit %d: probabilities out of range", q)
+		}
+		if !c.invertible() {
+			return nil, fmt.Errorf("mitigation: qubit %d: confusion matrix singular", q)
+		}
+	}
+	return &Mitigator{conf: append([]Confusion(nil), conf...)}, nil
+}
+
+// NewUniform builds a mitigator for n qubits with the same symmetric
+// readout error e on each (matching noise.Model.ReadoutError).
+func NewUniform(n int, e float64) (*Mitigator, error) {
+	conf := make([]Confusion, n)
+	for i := range conf {
+		conf[i] = Symmetric(e)
+	}
+	return New(conf)
+}
+
+// Apply corrects a measured distribution in place-free fashion: it applies
+// the inverse confusion matrix per qubit, then clips negatives (a shot-
+// noise artifact) and renormalizes. The input must have length 2^n for the
+// mitigator's n qubits.
+func (m *Mitigator) Apply(p []float64) ([]float64, error) {
+	n := len(m.conf)
+	if len(p) != 1<<n {
+		return nil, fmt.Errorf("mitigation: distribution length %d != 2^%d", len(p), n)
+	}
+	out := append([]float64(nil), p...)
+	for q, c := range m.conf {
+		// Inverse of [[1-e01, e10], [e01, 1-e10]].
+		det := (1-c.Eps01)*(1-c.Eps10) - c.Eps01*c.Eps10
+		i00 := (1 - c.Eps10) / det
+		i01 := -c.Eps10 / det
+		i10 := -c.Eps01 / det
+		i11 := (1 - c.Eps01) / det
+		bit := 1 << q
+		for k := range out {
+			if k&bit != 0 {
+				continue
+			}
+			a, b := out[k], out[k|bit]
+			out[k] = i00*a + i01*b
+			out[k|bit] = i10*a + i11*b
+		}
+	}
+	// Clip and renormalize (inverse confusion can leave small negatives
+	// on finite-shot histograms).
+	var sum float64
+	for i, v := range out {
+		if v < 0 {
+			out[i] = 0
+		} else {
+			sum += v
+		}
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package mitigation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/metrics"
+	"repro/internal/noise"
+	"repro/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Confusion{{Eps01: -0.1}}); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := New([]Confusion{{Eps01: 0.5, Eps10: 0.5}}); err == nil {
+		t.Error("singular confusion accepted")
+	}
+	if _, err := NewUniform(3, 0.02); err != nil {
+		t.Errorf("valid uniform mitigator rejected: %v", err)
+	}
+}
+
+func TestApplyLengthCheck(t *testing.T) {
+	m, _ := NewUniform(2, 0.1)
+	if _, err := m.Apply([]float64{1, 0}); err == nil {
+		t.Error("wrong-length distribution accepted")
+	}
+}
+
+func TestExactInversionOfReadoutChannel(t *testing.T) {
+	// Apply the readout channel analytically, then mitigate: must
+	// recover the original distribution exactly.
+	c := circuit.New(3)
+	c.H(0)
+	c.CX(0, 1)
+	c.RY(2, 0.7)
+	truth := sim.Probabilities(c)
+	corrupted := noise.ApplyReadoutError(truth, 3, 0.08)
+	m, err := NewUniform(3, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Apply(corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvd := metrics.TVD(truth, got); tvd > 1e-10 {
+		t.Errorf("mitigation did not invert readout channel: TVD %g", tvd)
+	}
+}
+
+func TestMitigationImprovesNoisyRun(t *testing.T) {
+	c := circuit.New(2)
+	for i := 0; i < 4; i++ {
+		c.RY(0, 0.4)
+		c.CX(0, 1)
+		c.RY(1, 0.3)
+	}
+	truth := sim.Probabilities(c)
+	nm := noise.Model{ReadoutError: 0.06}
+	raw := nm.Run(c, noise.Options{Seed: 3})
+	m, _ := NewUniform(2, 0.06)
+	fixed, err := m.Apply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.TVD(truth, fixed) >= metrics.TVD(truth, raw) {
+		t.Errorf("mitigation did not improve: raw %g, fixed %g",
+			metrics.TVD(truth, raw), metrics.TVD(truth, fixed))
+	}
+}
+
+func TestMitigationWithShotNoiseClips(t *testing.T) {
+	// With finite shots the inverse can produce negatives; the result
+	// must still be a valid distribution close to the truth.
+	c := circuit.New(2)
+	c.H(0)
+	c.CX(0, 1)
+	truth := sim.Probabilities(c)
+	nm := noise.Model{ReadoutError: 0.05}
+	raw := nm.Run(c, noise.Options{Seed: 5, Shots: 4096})
+	m, _ := NewUniform(2, 0.05)
+	fixed, err := m.Apply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range fixed {
+		if v < 0 {
+			t.Fatal("mitigated distribution has negative entries")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("mitigated distribution sums to %g", sum)
+	}
+	if metrics.TVD(truth, fixed) > 0.05 {
+		t.Errorf("mitigated TVD %g too large", metrics.TVD(truth, fixed))
+	}
+}
+
+func TestAsymmetricConfusion(t *testing.T) {
+	// Asymmetric errors (realistic: 1->0 decay dominates).
+	conf := []Confusion{{Eps01: 0.01, Eps10: 0.08}}
+	m, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepared |1>: measured distribution (0.08, 0.92).
+	measured := []float64{0.08, 0.92}
+	fixed, err := m.Apply(measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fixed[1]-1) > 1e-10 {
+		t.Errorf("asymmetric mitigation: P(1) = %g, want 1", fixed[1])
+	}
+}
+
+func TestMitigationRandomDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, _ := NewUniform(3, 0.1)
+	for trial := 0; trial < 20; trial++ {
+		p := make([]float64, 8)
+		var s float64
+		for i := range p {
+			p[i] = rng.Float64()
+			s += p[i]
+		}
+		for i := range p {
+			p[i] /= s
+		}
+		corrupted := noise.ApplyReadoutError(p, 3, 0.1)
+		fixed, err := m.Apply(corrupted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tvd := metrics.TVD(p, fixed); tvd > 1e-9 {
+			t.Fatalf("trial %d: inversion error %g", trial, tvd)
+		}
+	}
+}

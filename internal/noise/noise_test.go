@@ -1,0 +1,245 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func bell() *circuit.Circuit {
+	c := circuit.New(2)
+	c.H(0)
+	c.CX(0, 1)
+	return c
+}
+
+func sumsToOne(t *testing.T, p []float64, context string) {
+	t.Helper()
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("%s: distribution sums to %g", context, s)
+	}
+}
+
+func TestZeroNoiseMatchesIdeal(t *testing.T) {
+	c := bell()
+	p := Model{}.Run(c, Options{Seed: 1})
+	ideal := sim.Probabilities(c)
+	if metrics.TVD(p, ideal) > 1e-12 {
+		t.Errorf("zero-noise run differs from ideal: %v vs %v", p, ideal)
+	}
+}
+
+func TestNoiseIncreasesTVDWithErrorRate(t *testing.T) {
+	// A workload whose output distribution is NOT invariant under Pauli
+	// errors (unlike a uniform Bell-chain output).
+	big := circuit.New(2)
+	for i := 0; i < 10; i++ {
+		big.RY(0, 0.4)
+		big.CX(0, 1)
+		big.RY(1, 0.3)
+	}
+	ideal := sim.Probabilities(big)
+	var prev float64
+	for _, p := range []float64{0.001, 0.01, 0.05} {
+		out := Uniform(p).Run(big, Options{Seed: 2, Trajectories: 300})
+		tvd := metrics.TVD(out, ideal)
+		if tvd < prev-0.02 {
+			t.Errorf("TVD decreased when noise grew: p=%g tvd=%g prev=%g", p, tvd, prev)
+		}
+		prev = tvd
+	}
+	if prev < 0.01 {
+		t.Errorf("5%% noise barely moved the output (tvd=%g)", prev)
+	}
+}
+
+func TestMoreCNOTsMoreError(t *testing.T) {
+	// The core premise of QUEST: error grows with CNOT count.
+	mk := func(reps int) *circuit.Circuit {
+		c := circuit.New(2)
+		for i := 0; i < reps; i++ {
+			c.RY(0, 0.4)
+			c.CX(0, 1)
+			c.RY(1, 0.3)
+		}
+		return c
+	}
+	short, long := mk(1), mk(10)
+	m := Uniform(0.02)
+	tvdShort := metrics.TVD(m.Run(short, Options{Seed: 3, Trajectories: 400}), sim.Probabilities(short))
+	tvdLong := metrics.TVD(m.Run(long, Options{Seed: 3, Trajectories: 400}), sim.Probabilities(long))
+	if tvdLong <= tvdShort {
+		t.Errorf("longer circuit has less error: short=%g long=%g", tvdShort, tvdLong)
+	}
+}
+
+func TestRunNormalized(t *testing.T) {
+	c := bell()
+	p := Uniform(0.01).Run(c, Options{Seed: 4, Trajectories: 50})
+	sumsToOne(t, p, "noisy run")
+	p2 := Uniform(0.01).Run(c, Options{Seed: 5, Shots: 1024, Trajectories: 50})
+	sumsToOne(t, p2, "noisy run with shots")
+}
+
+func TestRunDeterministic(t *testing.T) {
+	c := bell()
+	a := Uniform(0.01).Run(c, Options{Seed: 6, Shots: 256})
+	b := Uniform(0.01).Run(c, Options{Seed: 6, Shots: 256})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("noisy run not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestApplyReadoutError(t *testing.T) {
+	// Deterministic |00> with 10% readout error per qubit.
+	p := []float64{1, 0, 0, 0}
+	out := ApplyReadoutError(p, 2, 0.1)
+	if math.Abs(out[0]-0.81) > 1e-12 {
+		t.Errorf("P(00) = %g, want 0.81", out[0])
+	}
+	if math.Abs(out[1]-0.09) > 1e-12 || math.Abs(out[2]-0.09) > 1e-12 {
+		t.Errorf("P(01)/P(10) = %g/%g, want 0.09", out[1], out[2])
+	}
+	if math.Abs(out[3]-0.01) > 1e-12 {
+		t.Errorf("P(11) = %g, want 0.01", out[3])
+	}
+	sumsToOne(t, out, "readout")
+}
+
+func TestSampleShotsConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := []float64{0.5, 0.25, 0.125, 0.125}
+	hist := SampleShots(p, 200000, rng)
+	if metrics.TVD(hist, p) > 0.01 {
+		t.Errorf("sampled histogram far from distribution: %v", hist)
+	}
+	sumsToOne(t, hist, "sampled")
+}
+
+func TestUniformModelShape(t *testing.T) {
+	m := Uniform(0.01)
+	if m.TwoQubitError != 0.01 || math.Abs(m.OneQubitError-0.001) > 1e-15 {
+		t.Errorf("Uniform(0.01) = %+v", m)
+	}
+	if !Uniform(0).IsZero() {
+		t.Error("Uniform(0) not zero")
+	}
+}
+
+func TestManilaDevice(t *testing.T) {
+	d := Manila()
+	if d.Coupling.NumQubits != 5 {
+		t.Fatalf("Manila has %d qubits", d.Coupling.NumQubits)
+	}
+	if d.Model.TwoQubitError <= d.Model.OneQubitError {
+		t.Error("Manila CNOT error should dominate 1q error")
+	}
+	// Run a Bell pair on non-adjacent qubits to force routing.
+	c := circuit.New(3)
+	c.H(0)
+	c.CX(0, 2)
+	p, err := d.Run(c, Options{Seed: 8, Trajectories: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, p, "manila run")
+	// Output should still be recognizably Bell-like: mass on |000> and |101>.
+	if p[0]+p[5] < 0.8 {
+		t.Errorf("Manila Bell output degraded too much: %v", p)
+	}
+	ideal := sim.Probabilities(c)
+	if tvd := metrics.TVD(p, ideal); tvd < 1e-4 {
+		t.Errorf("Manila run suspiciously noiseless (tvd=%g)", tvd)
+	}
+}
+
+func TestDeviceRunRejectsOversized(t *testing.T) {
+	c := circuit.New(6)
+	c.H(0)
+	if _, err := Manila().Run(c, Options{}); err == nil {
+		t.Error("Manila accepted a 6-qubit circuit")
+	}
+}
+
+func TestTrajectoryPreservesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := bell()
+	for i := 0; i < 20; i++ {
+		state := Uniform(0.3).Trajectory(c, rng)
+		if math.Abs(state.Norm()-1) > 1e-9 {
+			t.Fatal("trajectory broke normalization")
+		}
+	}
+}
+
+func TestAmplitudeDampingJumpSingleQubit(t *testing.T) {
+	// |1> with damping gamma: P(0) -> gamma exactly (averaged).
+	c := circuit.New(1)
+	c.X(0)
+	m := Model{DampingError: 0.3}
+	p := m.Run(c, Options{Trajectories: 20000, Seed: 11})
+	if math.Abs(p[0]-0.3) > 0.02 {
+		t.Errorf("P(0) after damping = %g, want ~0.3", p[0])
+	}
+}
+
+func TestAmplitudeDampingJumpPreservesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c := bell()
+	m := Model{DampingError: 0.4}
+	for i := 0; i < 30; i++ {
+		state := m.Trajectory(c, rng)
+		if math.Abs(state.Norm()-1) > 1e-9 {
+			t.Fatal("damping trajectory broke normalization")
+		}
+	}
+}
+
+func TestAmplitudeDampingOnSuperposition(t *testing.T) {
+	// H|0> then damping: exact channel gives
+	// P(1) = (1-gamma)/2; cross-validate the trajectory average.
+	c := circuit.New(1)
+	c.H(0)
+	gamma := 0.5
+	m := Model{DampingError: gamma}
+	p := m.Run(c, Options{Trajectories: 40000, Seed: 13})
+	want1 := (1 - gamma) / 2
+	if math.Abs(p[1]-want1) > 0.02 {
+		t.Errorf("P(1) = %g, want ~%g", p[1], want1)
+	}
+}
+
+func TestQuitoDevice(t *testing.T) {
+	d := QuitoT()
+	if d.Coupling.NumQubits != 5 || d.Coupling.Distance(0, 4) != 3 {
+		t.Fatalf("Quito topology wrong: d(0,4)=%d", d.Coupling.Distance(0, 4))
+	}
+	c := circuit.New(5)
+	c.H(0)
+	c.CX(0, 4) // needs routing through the T junction
+	p, err := d.Run(c, Options{Seed: 9, Trajectories: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("Quito run sums to %g", s)
+	}
+	// Bell-like mass on |00000> and |10001>.
+	if p[0]+p[17] < 0.75 {
+		t.Errorf("Quito Bell output degraded too much: P(00000)+P(10001) = %g", p[0]+p[17])
+	}
+}

@@ -1,0 +1,82 @@
+package opt
+
+import "math"
+
+// AdamOptions configures Adam. The zero value selects the standard
+// hyperparameters (lr 0.01, β1 0.9, β2 0.999).
+type AdamOptions struct {
+	// MaxIterations bounds the update loop (default 500).
+	MaxIterations int
+	// LearningRate is the step size (default 0.01).
+	LearningRate float64
+	// Beta1 and Beta2 are the moment decay rates.
+	Beta1, Beta2 float64
+	// GradTolerance stops when the gradient inf-norm falls below it
+	// (default 1e-8).
+	GradTolerance float64
+}
+
+func (o *AdamOptions) defaults() {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 500
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.01
+	}
+	if o.Beta1 == 0 {
+		o.Beta1 = 0.9
+	}
+	if o.Beta2 == 0 {
+		o.Beta2 = 0.999
+	}
+	if o.GradTolerance == 0 {
+		o.GradTolerance = 1e-8
+	}
+}
+
+// Adam minimizes g with the Adam stochastic-gradient method. It is the
+// robust-but-slow fallback next to LBFGS: useful on noisy or very
+// ill-conditioned landscapes. x0 is not modified.
+func Adam(g Gradient, x0 []float64, opts AdamOptions) Result {
+	opts.defaults()
+	const eps = 1e-8
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	grad := make([]float64, n)
+	m := make([]float64, n)
+	v := make([]float64, n)
+
+	res := Result{X: append([]float64(nil), x...), F: math.Inf(1)}
+	evals := 0
+	b1t, b2t := 1.0, 1.0
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		f := g(x, grad)
+		evals++
+		if f < res.F {
+			res.F = f
+			copy(res.X, x)
+		}
+		if infNorm(grad) < opts.GradTolerance {
+			res.Converged = true
+			break
+		}
+		b1t *= opts.Beta1
+		b2t *= opts.Beta2
+		for i := 0; i < n; i++ {
+			m[i] = opts.Beta1*m[i] + (1-opts.Beta1)*grad[i]
+			v[i] = opts.Beta2*v[i] + (1-opts.Beta2)*grad[i]*grad[i]
+			mhat := m[i] / (1 - b1t)
+			vhat := v[i] / (1 - b2t)
+			x[i] -= opts.LearningRate * mhat / (math.Sqrt(vhat) + eps)
+		}
+	}
+	// Final evaluation at the last point.
+	if f := g(x, grad); f < res.F {
+		res.F = f
+		copy(res.X, x)
+	}
+	evals++
+	res.Evaluations = evals
+	return res
+}

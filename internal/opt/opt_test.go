@@ -1,0 +1,185 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// quadratic: f(x) = Σ (x_i - i)^2, minimum at x_i = i.
+func quadratic(x []float64) float64 {
+	var s float64
+	for i, v := range x {
+		d := v - float64(i)
+		s += d * d
+	}
+	return s
+}
+
+func quadraticGrad(x, grad []float64) float64 {
+	var s float64
+	for i, v := range x {
+		d := v - float64(i)
+		s += d * d
+		grad[i] = 2 * d
+	}
+	return s
+}
+
+// rosenbrock: classic banana function, minimum 0 at (1,1).
+func rosenbrock(x []float64) float64 {
+	a := 1 - x[0]
+	b := x[1] - x[0]*x[0]
+	return a*a + 100*b*b
+}
+
+func rosenbrockGrad(x, grad []float64) float64 {
+	a := 1 - x[0]
+	b := x[1] - x[0]*x[0]
+	grad[0] = -2*a - 400*x[0]*b
+	grad[1] = 200 * b
+	return a*a + 100*b*b
+}
+
+func TestLBFGSQuadratic(t *testing.T) {
+	res := LBFGS(quadraticGrad, []float64{5, -3, 10, 0}, LBFGSOptions{})
+	if res.F > 1e-10 {
+		t.Errorf("LBFGS quadratic F = %g", res.F)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-float64(i)) > 1e-5 {
+			t.Errorf("LBFGS x[%d] = %g, want %d", i, v, i)
+		}
+	}
+}
+
+func TestLBFGSRosenbrock(t *testing.T) {
+	res := LBFGS(rosenbrockGrad, []float64{-1.2, 1}, LBFGSOptions{MaxIterations: 500})
+	if res.F > 1e-8 {
+		t.Errorf("LBFGS rosenbrock F = %g after %d iters", res.F, res.Iterations)
+	}
+}
+
+func TestLBFGSDoesNotModifyX0(t *testing.T) {
+	x0 := []float64{5, 5}
+	LBFGS(quadraticGrad, x0, LBFGSOptions{})
+	if x0[0] != 5 || x0[1] != 5 {
+		t.Error("LBFGS modified x0")
+	}
+}
+
+func TestLBFGSWithNumericGradient(t *testing.T) {
+	g := NumericGradient(rosenbrock, 1e-7)
+	res := LBFGS(g, []float64{-1.2, 1}, LBFGSOptions{MaxIterations: 500})
+	if res.F > 1e-5 {
+		t.Errorf("LBFGS numeric-grad rosenbrock F = %g", res.F)
+	}
+}
+
+func TestNumericGradientAccuracy(t *testing.T) {
+	g := NumericGradient(quadratic, 1e-6)
+	x := []float64{3, 4}
+	grad := make([]float64, 2)
+	g(x, grad)
+	if math.Abs(grad[0]-2*(3-0)) > 1e-4 || math.Abs(grad[1]-2*(4-1)) > 1e-4 {
+		t.Errorf("NumericGradient = %v", grad)
+	}
+	// x must be restored.
+	if x[0] != 3 || x[1] != 4 {
+		t.Error("NumericGradient perturbed x")
+	}
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	res := NelderMead(quadratic, []float64{5, -3, 10}, NelderMeadOptions{})
+	if res.F > 1e-6 {
+		t.Errorf("NelderMead quadratic F = %g", res.F)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	res := NelderMead(rosenbrock, []float64{-1.2, 1}, NelderMeadOptions{MaxIterations: 5000})
+	if res.F > 1e-6 {
+		t.Errorf("NelderMead rosenbrock F = %g", res.F)
+	}
+}
+
+func TestNelderMeadZeroDim(t *testing.T) {
+	res := NelderMead(func(x []float64) float64 { return 7 }, nil, NelderMeadOptions{})
+	if res.F != 7 || !res.Converged {
+		t.Errorf("NelderMead zero-dim = %+v", res)
+	}
+}
+
+func TestNelderMeadNonSmooth(t *testing.T) {
+	// |x| + |y|: non-smooth at the minimum; NM should still find it.
+	f := func(x []float64) float64 { return math.Abs(x[0]) + math.Abs(x[1]-2) }
+	res := NelderMead(f, []float64{3, -3}, NelderMeadOptions{})
+	if res.F > 1e-5 {
+		t.Errorf("NelderMead non-smooth F = %g", res.F)
+	}
+}
+
+func TestLBFGSTrigLandscape(t *testing.T) {
+	// A smooth periodic landscape like the synthesis objective.
+	g := func(x, grad []float64) float64 {
+		f := 2.0
+		for i, v := range x {
+			f -= math.Cos(v - float64(i))
+			grad[i] = math.Sin(v - float64(i))
+		}
+		return f
+	}
+	res := LBFGS(g, []float64{0.4, 1.7}, LBFGSOptions{})
+	if res.F > 1e-9 {
+		t.Errorf("LBFGS trig F = %g", res.F)
+	}
+}
+
+func TestResultReportsEvaluations(t *testing.T) {
+	res := LBFGS(quadraticGrad, []float64{5}, LBFGSOptions{})
+	if res.Evaluations < 2 {
+		t.Errorf("Evaluations = %d, want >= 2", res.Evaluations)
+	}
+	res2 := NelderMead(quadratic, []float64{5}, NelderMeadOptions{})
+	if res2.Evaluations < 3 {
+		t.Errorf("NM Evaluations = %d", res2.Evaluations)
+	}
+}
+
+func TestAdamQuadratic(t *testing.T) {
+	res := Adam(quadraticGrad, []float64{5, -3, 10}, AdamOptions{MaxIterations: 3000, LearningRate: 0.1})
+	if res.F > 1e-4 {
+		t.Errorf("Adam quadratic F = %g", res.F)
+	}
+}
+
+func TestAdamTrigLandscape(t *testing.T) {
+	g := func(x, grad []float64) float64 {
+		f := 2.0
+		for i, v := range x {
+			f -= math.Cos(v - float64(i))
+			grad[i] = math.Sin(v - float64(i))
+		}
+		return f
+	}
+	res := Adam(g, []float64{0.4, 1.7}, AdamOptions{MaxIterations: 2000, LearningRate: 0.05})
+	if res.F > 1e-4 {
+		t.Errorf("Adam trig F = %g", res.F)
+	}
+}
+
+func TestAdamDoesNotModifyX0(t *testing.T) {
+	x0 := []float64{5, 5}
+	Adam(quadraticGrad, x0, AdamOptions{MaxIterations: 10})
+	if x0[0] != 5 || x0[1] != 5 {
+		t.Error("Adam modified x0")
+	}
+}
+
+func TestAdamConvergedFlag(t *testing.T) {
+	// Start at the optimum: gradient ~0 immediately.
+	res := Adam(quadraticGrad, []float64{0, 1, 2}, AdamOptions{})
+	if !res.Converged {
+		t.Error("Adam at optimum did not report convergence")
+	}
+}

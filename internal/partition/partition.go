@@ -1,0 +1,128 @@
+// Package partition implements QUEST's STEP 1 (Sec. 3.3): splitting a
+// large circuit into blocks of at most maxSize qubits with a single
+// front-to-back scan, the scalable "scan partitioner" the paper adopts
+// from BQSKit. Blocks are emitted in topological order: executing the
+// blocks sequentially reproduces the original circuit's unitary.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// Block is one partition: a sub-circuit on a small set of global qubits.
+type Block struct {
+	// Qubits lists the global qubit indices the block acts on, sorted
+	// ascending. Local qubit i of Circuit corresponds to Qubits[i].
+	Qubits []int
+	// Circuit is the block's operations on local qubits 0..len(Qubits)-1.
+	Circuit *circuit.Circuit
+}
+
+// CNOTCount returns the block's CNOT-equivalent gate count.
+func (b Block) CNOTCount() int { return b.Circuit.CNOTCount() }
+
+// openBlock accumulates global-qubit ops during the scan.
+type openBlock struct {
+	qubits map[int]bool
+	ops    []circuit.Op
+}
+
+func (b *openBlock) fits(qs []int, maxSize int) bool {
+	extra := 0
+	for _, q := range qs {
+		if !b.qubits[q] {
+			extra++
+		}
+	}
+	return len(b.qubits)+extra <= maxSize
+}
+
+// Scan partitions the circuit into blocks of at most maxSize qubits.
+// Each operation is placed in the latest open block that can hold it and
+// that is not ordered before another block touching the op's qubits; a new
+// block is opened when none fits. This preserves all per-qubit gate
+// orderings, so sequential reassembly is exact.
+func Scan(c *circuit.Circuit, maxSize int) ([]Block, error) {
+	if maxSize < 1 {
+		return nil, fmt.Errorf("partition: maxSize %d < 1", maxSize)
+	}
+	for _, op := range c.Ops {
+		if len(op.Qubits) > maxSize {
+			return nil, fmt.Errorf("partition: op %s spans %d qubits > block size %d",
+				op.Name, len(op.Qubits), maxSize)
+		}
+	}
+
+	var blocks []*openBlock
+	// lastTouch[q] = index of the last block that touched qubit q.
+	lastTouch := make([]int, c.NumQubits)
+	for i := range lastTouch {
+		lastTouch[i] = -1
+	}
+
+	for _, op := range c.Ops {
+		last := -1
+		for _, q := range op.Qubits {
+			if lastTouch[q] > last {
+				last = lastTouch[q]
+			}
+		}
+		placed := -1
+		for b := len(blocks) - 1; b >= last && b >= 0; b-- {
+			if blocks[b].fits(op.Qubits, maxSize) {
+				placed = b
+				break
+			}
+		}
+		if placed == -1 {
+			blocks = append(blocks, &openBlock{qubits: map[int]bool{}})
+			placed = len(blocks) - 1
+		}
+		blk := blocks[placed]
+		for _, q := range op.Qubits {
+			blk.qubits[q] = true
+			lastTouch[q] = placed
+		}
+		blk.ops = append(blk.ops, op.Clone())
+	}
+
+	out := make([]Block, 0, len(blocks))
+	for _, b := range blocks {
+		qs := make([]int, 0, len(b.qubits))
+		for q := range b.qubits {
+			qs = append(qs, q)
+		}
+		sort.Ints(qs)
+		local := map[int]int{}
+		for i, q := range qs {
+			local[q] = i
+		}
+		bc := circuit.New(len(qs))
+		for _, op := range b.ops {
+			lq := make([]int, len(op.Qubits))
+			for i, q := range op.Qubits {
+				lq[i] = local[q]
+			}
+			if err := bc.Append(op.Name, lq, op.Params); err != nil {
+				return nil, fmt.Errorf("partition: localize op %s: %w", op.Name, err)
+			}
+		}
+		out = append(out, Block{Qubits: qs, Circuit: bc})
+	}
+	return out, nil
+}
+
+// Reassemble rebuilds a full circuit on n qubits from blocks in order,
+// mapping each block's local qubits back to its global qubits.
+func Reassemble(n int, blocks []Block) (*circuit.Circuit, error) {
+	c := circuit.New(n)
+	for i, b := range blocks {
+		if err := c.AppendCircuit(b.Circuit, b.Qubits); err != nil {
+			return nil, fmt.Errorf("partition: reassemble block %d: %w", i, err)
+		}
+	}
+	return c, nil
+}

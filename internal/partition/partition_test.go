@@ -1,0 +1,206 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algos"
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+	"repro/internal/sim"
+)
+
+func randomCircuit(n, ops int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.RZ(rng.Intn(n), rng.Float64()*2*math.Pi)
+		case 2:
+			c.RY(rng.Intn(n), rng.Float64()*2*math.Pi)
+		default:
+			a, b := rng.Intn(n), rng.Intn(n)
+			for b == a {
+				b = rng.Intn(n)
+			}
+			c.CX(a, b)
+		}
+	}
+	return c
+}
+
+func TestScanBlockSizeRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := randomCircuit(6, 60, rng)
+	blocks, err := Scan(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range blocks {
+		if len(b.Qubits) > 3 {
+			t.Errorf("block %d has %d qubits", i, len(b.Qubits))
+		}
+		if b.Circuit.NumQubits != len(b.Qubits) {
+			t.Errorf("block %d circuit width mismatch", i)
+		}
+	}
+}
+
+func TestScanAllOpsPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := randomCircuit(5, 40, rng)
+	blocks, err := Scan(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range blocks {
+		total += b.Circuit.Size()
+	}
+	if total != c.Size() {
+		t.Errorf("blocks hold %d ops, original has %d", total, c.Size())
+	}
+}
+
+func TestScanReassembleExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		c := randomCircuit(4, 30, rng)
+		blocks, err := Scan(c, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := Reassemble(4, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !linalg.EqualApprox(sim.Unitary(c), sim.Unitary(re), 1e-9) {
+			t.Errorf("trial %d: reassembled circuit differs", trial)
+		}
+	}
+}
+
+func TestScanRejectsTooWideOp(t *testing.T) {
+	c := circuit.New(3)
+	c.CCX(0, 1, 2)
+	if _, err := Scan(c, 2); err == nil {
+		t.Error("3-qubit op accepted into 2-qubit blocks")
+	}
+	if _, err := Scan(c, 0); err == nil {
+		t.Error("maxSize 0 accepted")
+	}
+}
+
+func TestScanSingleBlockWhenSmall(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0)
+	c.CX(0, 1)
+	c.CX(1, 2)
+	blocks, err := Scan(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 {
+		t.Errorf("got %d blocks, want 1", len(blocks))
+	}
+}
+
+func TestScanPaperExampleShape(t *testing.T) {
+	// Fig. 3-style circuit: 4 qubits, 3-qubit blocks. Gates confined to
+	// qubits {0,1,2} then {1,2,3} must give exactly two blocks.
+	c := circuit.New(4)
+	c.CX(0, 1)
+	c.CX(1, 2)
+	c.CX(2, 3)
+	c.CX(1, 3)
+	blocks, err := Scan(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("got %d blocks, want 2", len(blocks))
+	}
+	if len(blocks[0].Qubits) != 3 || blocks[0].Qubits[0] != 0 {
+		t.Errorf("block 0 qubits = %v", blocks[0].Qubits)
+	}
+	if len(blocks[1].Qubits) != 3 || blocks[1].Qubits[0] != 1 {
+		t.Errorf("block 1 qubits = %v", blocks[1].Qubits)
+	}
+}
+
+func TestScanDisjointOpsShareBlocksWhenPossible(t *testing.T) {
+	// Interleaved ops on {0,1} and {2,3} with 4-qubit blocks: one block.
+	c := circuit.New(4)
+	c.CX(0, 1)
+	c.CX(2, 3)
+	c.CX(0, 1)
+	c.CX(2, 3)
+	blocks, err := Scan(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 {
+		t.Errorf("got %d blocks, want 1", len(blocks))
+	}
+}
+
+func TestScanOnBenchmarks(t *testing.T) {
+	for _, name := range algos.Names() {
+		c, err := algos.Generate(name, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks, err := Scan(c, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		re, err := Reassemble(c.NumQubits, blocks)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !linalg.EqualApprox(sim.Unitary(c), sim.Unitary(re), 1e-9) {
+			t.Errorf("%s: reassembly changed the unitary", name)
+		}
+	}
+}
+
+func TestPropScanReassembleUnitaryEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(2)
+		c := randomCircuit(n, 25, r)
+		maxSize := 2 + r.Intn(2)
+		blocks, err := Scan(c, maxSize)
+		if err != nil {
+			return false
+		}
+		for _, b := range blocks {
+			if len(b.Qubits) > maxSize {
+				return false
+			}
+		}
+		re, err := Reassemble(n, blocks)
+		if err != nil {
+			return false
+		}
+		return linalg.EqualApprox(sim.Unitary(c), sim.Unitary(re), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReassembleEmptyBlocks(t *testing.T) {
+	re, err := Reassemble(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Size() != 0 || re.NumQubits != 3 {
+		t.Errorf("empty reassembly = %v", re)
+	}
+}

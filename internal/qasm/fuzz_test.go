@@ -1,0 +1,61 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that every program it
+// accepts can be re-serialized and re-parsed to a circuit with the same
+// structure (writer/parser closure).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sample,
+		macroSample,
+		"qreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+		"OPENQASM 2.0;\nqreg a[1];\nqreg b[2];\nrz(pi/3) b[1];\n",
+		"qreg q[3];\nccx q[0],q[1],q[2];\nswap q[0],q[2];\n",
+		"gate g(t) a { rz(t) a; }\nqreg q[1];\ng(0.5) q[0];\n",
+		"qreg q[2];\nu3(1,2,3) q;\nbarrier q;\nmeasure q -> c;\n",
+		"qreg q[1];\nrz(((1+2)*3)/4 - sin(0.5)) q[0];\n",
+		"", "qreg", "qreg q[",
+		"qreg q[1];\nh\n", "qreg q[999999999999999999999];",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		c, err := Parse(src) // must not panic
+		if err != nil {
+			return
+		}
+		// Accepted programs round-trip structurally.
+		out := Write(c)
+		c2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse of emitted QASM failed: %v\nprogram:\n%s", err, out)
+		}
+		if c2.NumQubits != c.NumQubits || c2.Size() != c.Size() {
+			t.Fatalf("round trip changed structure: %d/%d qubits, %d/%d ops",
+				c.NumQubits, c2.NumQubits, c.Size(), c2.Size())
+		}
+	})
+}
+
+// TestFuzzSeedsDirect runs the fuzz seeds as a plain test so they are
+// exercised by `go test` without -fuzz.
+func TestFuzzSeedsDirect(t *testing.T) {
+	srcs := []string{
+		sample, macroSample,
+		"qreg q[3];\nccx q[0],q[1],q[2];\nswap q[0],q[2];\n",
+		strings.Repeat("qreg q[1];\n", 1) + "h q[0];\n",
+	}
+	for _, src := range srcs {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("seed rejected: %v", err)
+		}
+	}
+}

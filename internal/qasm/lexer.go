@@ -1,0 +1,126 @@
+// Package qasm implements an OpenQASM 2.0 reader and writer for the subset
+// of the language used by the QUEST benchmarks: version header, includes,
+// qreg/creg declarations, standard-library gate applications with constant
+// parameter expressions (numbers, pi, + - * / and parentheses), barrier,
+// and measure statements.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // one of ; , ( ) [ ] { } + - * / ^ and ->
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("qasm: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: string(l.src[start:l.pos]), line: l.line}, nil
+	case unicode.IsDigit(c) || c == '.':
+		seenE := false
+		for l.pos < len(l.src) {
+			r := l.src[l.pos]
+			if unicode.IsDigit(r) || r == '.' {
+				l.pos++
+				continue
+			}
+			if (r == 'e' || r == 'E') && !seenE {
+				seenE = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: string(l.src[start:l.pos]), line: l.line}, nil
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf("unterminated string")
+		}
+		text := string(l.src[start+1 : l.pos])
+		l.pos++
+		return token{kind: tokString, text: text, line: l.line}, nil
+	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+		l.pos += 2
+		return token{kind: tokSymbol, text: "->", line: l.line}, nil
+	case strings.ContainsRune(";,()[]{}+-*/^", c):
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), line: l.line}, nil
+	}
+	return token{}, l.errorf("unexpected character %q", string(c))
+}
+
+// tokenize lexes the whole source up front.
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// writerAliases maps internal gate names back to OpenQASM 2.0 names.
+var writerAliases = map[string]string{
+	"p":  "u1",
+	"cp": "cu1",
+}
+
+// Write renders a circuit as an OpenQASM 2.0 program with one register q
+// and a matching classical register c, measuring every qubit at the end.
+func Write(c *circuit.Circuit) string {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	fmt.Fprintf(&b, "creg c[%d];\n", c.NumQubits)
+	for _, op := range c.Ops {
+		name := op.Name
+		if alias, ok := writerAliases[name]; ok {
+			name = alias
+		}
+		b.WriteString(name)
+		if len(op.Params) > 0 {
+			b.WriteByte('(')
+			for i, p := range op.Params {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%.17g", p)
+			}
+			b.WriteByte(')')
+		}
+		b.WriteByte(' ')
+		for i, q := range op.Qubits {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "q[%d]", q)
+		}
+		b.WriteString(";\n")
+	}
+	b.WriteString("measure q -> c;\n")
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func benchCircuit(n, ops int) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(7))
+	c := circuit.New(n)
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.RY(rng.Intn(n), rng.Float64()*math.Pi)
+		case 1:
+			c.RZ(rng.Intn(n), rng.Float64()*math.Pi)
+		default:
+			a := rng.Intn(n)
+			bq := (a + 1 + rng.Intn(n-1)) % n
+			c.CX(a, bq)
+		}
+	}
+	return c
+}
+
+func BenchmarkRun12Qubits(b *testing.B) {
+	c := benchCircuit(12, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(c)
+	}
+}
+
+func BenchmarkUnitary4Qubits(b *testing.B) {
+	c := benchCircuit(4, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Unitary(c)
+	}
+}
+
+func BenchmarkApplyCX10Qubits(b *testing.B) {
+	c := circuit.New(10)
+	c.CX(3, 7)
+	state := ZeroState(10)
+	op := c.Ops[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyOp(state, 10, op)
+	}
+}

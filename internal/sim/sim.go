@@ -1,0 +1,176 @@
+// Package sim implements an ideal statevector simulator for the circuit IR.
+// Gates are applied with bit-indexed kernels (no full-matrix expansion), so
+// simulating an n-qubit circuit costs O(gates · 2^n). Full circuit unitaries
+// are built column-by-column by evolving each basis state; this is only used
+// for small circuits (synthesis blocks and ground-truth references).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+)
+
+// ZeroState returns |0...0> on n qubits.
+func ZeroState(n int) linalg.Vector {
+	return linalg.BasisVector(1<<n, 0)
+}
+
+// ApplyOp applies one gate operation to the n-qubit state in place.
+func ApplyOp(state linalg.Vector, n int, op circuit.Op) {
+	spec := op.Spec()
+	m := spec.Build(op.Params)
+	ApplyMatrixOp(state, n, m, op.Qubits)
+}
+
+// ApplyMatrixOp applies an arbitrary 2^k x 2^k matrix to the listed qubits
+// of an n-qubit state in place. The first listed qubit is the most
+// significant local bit, matching the gate-matrix convention.
+func ApplyMatrixOp(state linalg.Vector, n int, m *linalg.Matrix, qubits []int) {
+	if len(state) != 1<<n {
+		panic(fmt.Sprintf("sim: state length %d != 2^%d", len(state), n))
+	}
+	switch len(qubits) {
+	case 1:
+		apply1(state, m, qubits[0])
+	case 2:
+		apply2(state, m, qubits[0], qubits[1])
+	default:
+		applyK(state, n, m, qubits)
+	}
+}
+
+func apply1(state linalg.Vector, m *linalg.Matrix, q int) {
+	bit := 1 << q
+	a, b := m.Data[0], m.Data[1]
+	c, d := m.Data[2], m.Data[3]
+	for i := 0; i < len(state); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		v0, v1 := state[i], state[j]
+		state[i] = a*v0 + b*v1
+		state[j] = c*v0 + d*v1
+	}
+}
+
+func apply2(state linalg.Vector, m *linalg.Matrix, qHi, qLo int) {
+	hi, lo := 1<<qHi, 1<<qLo
+	mask := hi | lo
+	var in, out [4]complex128
+	for i := 0; i < len(state); i++ {
+		if i&mask != 0 {
+			continue
+		}
+		idx := [4]int{i, i | lo, i | hi, i | hi | lo}
+		for l := 0; l < 4; l++ {
+			in[l] = state[idx[l]]
+		}
+		for r := 0; r < 4; r++ {
+			row := m.Data[r*4 : r*4+4]
+			out[r] = row[0]*in[0] + row[1]*in[1] + row[2]*in[2] + row[3]*in[3]
+		}
+		for l := 0; l < 4; l++ {
+			state[idx[l]] = out[l]
+		}
+	}
+}
+
+func applyK(state linalg.Vector, n int, m *linalg.Matrix, qubits []int) {
+	k := len(qubits)
+	dim := 1 << k
+	// pos[j] = global bit position of local bit j (local bit k-1 is the
+	// first listed qubit).
+	pos := make([]int, k)
+	for i, q := range qubits {
+		pos[k-1-i] = q
+	}
+	var mask int
+	for _, p := range pos {
+		mask |= 1 << p
+	}
+	idx := make([]int, dim)
+	in := make([]complex128, dim)
+	for base := 0; base < len(state); base++ {
+		if base&mask != 0 {
+			continue
+		}
+		for l := 0; l < dim; l++ {
+			g := base
+			for j := 0; j < k; j++ {
+				if l&(1<<j) != 0 {
+					g |= 1 << pos[j]
+				}
+			}
+			idx[l] = g
+			in[l] = state[g]
+		}
+		for r := 0; r < dim; r++ {
+			row := m.Data[r*dim : (r+1)*dim]
+			var s complex128
+			for l, v := range in {
+				if row[l] != 0 {
+					s += row[l] * v
+				}
+			}
+			state[idx[r]] = s
+		}
+	}
+}
+
+// Run evolves |0...0> through the circuit and returns the final state.
+func Run(c *circuit.Circuit) linalg.Vector {
+	return RunFrom(c, ZeroState(c.NumQubits))
+}
+
+// RunFrom evolves the given initial state (copied) through the circuit.
+func RunFrom(c *circuit.Circuit, initial linalg.Vector) linalg.Vector {
+	if len(initial) != 1<<c.NumQubits {
+		panic(fmt.Sprintf("sim: initial state length %d != 2^%d", len(initial), c.NumQubits))
+	}
+	state := initial.Copy()
+	for _, op := range c.Ops {
+		ApplyOp(state, c.NumQubits, op)
+	}
+	return state
+}
+
+// Probabilities returns the output distribution of the circuit from |0...0>.
+func Probabilities(c *circuit.Circuit) []float64 {
+	return Run(c).Probabilities()
+}
+
+// Unitary returns the full 2^n x 2^n unitary of the circuit. Cost is
+// O(gates · 4^n); intended for n ≲ 12.
+func Unitary(c *circuit.Circuit) *linalg.Matrix {
+	n := c.NumQubits
+	dim := 1 << n
+	// Evolve all basis states at once: treat the matrix's columns as 2^n
+	// statevectors laid out column-major for kernel reuse.
+	cols := make([]linalg.Vector, dim)
+	for j := 0; j < dim; j++ {
+		cols[j] = linalg.BasisVector(dim, j)
+	}
+	for _, op := range c.Ops {
+		spec := op.Spec()
+		m := spec.Build(op.Params)
+		for j := 0; j < dim; j++ {
+			ApplyMatrixOp(cols[j], n, m, op.Qubits)
+		}
+	}
+	out := linalg.New(dim, dim)
+	for j := 0; j < dim; j++ {
+		for i := 0; i < dim; i++ {
+			out.Set(i, j, cols[j][i])
+		}
+	}
+	return out
+}
+
+// OpMatrix returns the gate matrix for an op (convenience wrapper).
+func OpMatrix(op circuit.Op) *linalg.Matrix {
+	return gate.MustLookup(op.Name).Build(op.Params)
+}

@@ -1,0 +1,140 @@
+// Package synth implements LEAP-style bottom-up approximate circuit
+// synthesis (QUEST Sec. 3.2-3.5): a layered CNOT + rotation ansatz grown
+// one layer at a time, with rotation angles fitted by L-BFGS against the
+// Hilbert-Schmidt process distance using analytic gradients, and a beam
+// search over CNOT placements that harvests MULTIPLE approximate solutions
+// of different CNOT counts — QUEST's modification of the LEAP compiler.
+package synth
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+)
+
+// opKind enumerates the ansatz building blocks.
+type opKind uint8
+
+const (
+	opU3 opKind = iota // 3 params
+	opRY               // 1 param
+	opRZ               // 1 param
+	opCX               // 0 params
+)
+
+// aop is one slot in the ansatz template.
+type aop struct {
+	kind opKind
+	q1   int // single-qubit target, or CX control
+	q2   int // CX target
+	pidx int // offset of this op's parameters in the parameter vector
+}
+
+func (o aop) nparams() int {
+	switch o.kind {
+	case opU3:
+		return 3
+	case opRY, opRZ:
+		return 1
+	}
+	return 0
+}
+
+// ansatz is a parameterized circuit template on n qubits.
+type ansatz struct {
+	n       int
+	ops     []aop
+	nparams int
+}
+
+// newSeedAnsatz returns the root template: one U3 on every qubit.
+func newSeedAnsatz(n int) *ansatz {
+	a := &ansatz{n: n}
+	for q := 0; q < n; q++ {
+		a.ops = append(a.ops, aop{kind: opU3, q1: q, pidx: a.nparams})
+		a.nparams += 3
+	}
+	return a
+}
+
+// withLayer returns a copy of a extended by one LEAP layer: CX(c,t)
+// followed by RY and RZ rotations on both qubits (Fig. 5 of the paper).
+func (a *ansatz) withLayer(c, t int) *ansatz {
+	b := &ansatz{n: a.n, nparams: a.nparams}
+	b.ops = append(append([]aop(nil), a.ops...),
+		aop{kind: opCX, q1: c, q2: t})
+	for _, q := range []int{c, t} {
+		b.ops = append(b.ops,
+			aop{kind: opRY, q1: q, pidx: b.nparams},
+			aop{kind: opRZ, q1: q, pidx: b.nparams + 1})
+		b.nparams += 2
+	}
+	return b
+}
+
+// cnotCount returns the number of CX slots in the template.
+func (a *ansatz) cnotCount() int {
+	var n int
+	for _, o := range a.ops {
+		if o.kind == opCX {
+			n++
+		}
+	}
+	return n
+}
+
+// toCircuit instantiates the template with concrete parameters.
+func (a *ansatz) toCircuit(params []float64) *circuit.Circuit {
+	c := circuit.New(a.n)
+	for _, o := range a.ops {
+		switch o.kind {
+		case opU3:
+			c.U3(o.q1, params[o.pidx], params[o.pidx+1], params[o.pidx+2])
+		case opRY:
+			c.RY(o.q1, params[o.pidx])
+		case opRZ:
+			c.RZ(o.q1, params[o.pidx])
+		case opCX:
+			c.CX(o.q1, o.q2)
+		}
+	}
+	return c
+}
+
+// smallMatrix returns the 2x2 or 4x4 matrix for the op at the given params.
+func (o aop) smallMatrix(params []float64) *linalg.Matrix {
+	switch o.kind {
+	case opU3:
+		return gate.U3Matrix(params[o.pidx], params[o.pidx+1], params[o.pidx+2])
+	case opRY:
+		return gate.RYMatrix(params[o.pidx])
+	case opRZ:
+		return gate.RZMatrix(params[o.pidx])
+	case opCX:
+		return cxMatrix
+	}
+	panic("synth: unknown op kind")
+}
+
+// smallDeriv returns d(matrix)/d(param j) for parameterized ops.
+func (o aop) smallDeriv(params []float64, j int) *linalg.Matrix {
+	switch o.kind {
+	case opU3:
+		return gate.MustLookup("u3").Deriv(params[o.pidx:o.pidx+3], j)
+	case opRY:
+		return gate.MustLookup("ry").Deriv(params[o.pidx:o.pidx+1], 0)
+	case opRZ:
+		return gate.MustLookup("rz").Deriv(params[o.pidx:o.pidx+1], 0)
+	}
+	panic("synth: derivative of parameterless op")
+}
+
+// qubits returns the op's qubit list in gate-operand order.
+func (o aop) qubits() []int {
+	if o.kind == opCX {
+		return []int{o.q1, o.q2}
+	}
+	return []int{o.q1}
+}
+
+var cxMatrix = gate.MustLookup("cx").Build(nil)

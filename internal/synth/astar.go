@@ -1,0 +1,108 @@
+package synth
+
+import (
+	"container/heap"
+
+	"repro/internal/linalg"
+)
+
+// Strategy selects the tree-search policy used by Synthesize.
+type Strategy int
+
+const (
+	// StrategyBeam keeps the best Beam nodes per depth with LEAP-style
+	// prefix reseeding (the default; cheap and predictable).
+	StrategyBeam Strategy = iota
+	// StrategyAStar is LEAP's actual mechanism: a best-first search over
+	// the layer tree ordered by process distance, bounded by NodeBudget
+	// expansions.
+	StrategyAStar
+)
+
+// aStarNode is one frontier entry of the best-first search.
+type aStarNode struct {
+	node
+	depth int
+	index int // heap bookkeeping
+}
+
+// nodeQueue is a min-heap on (distance, depth): among equal distances,
+// shallower circuits first (fewer CNOTs preferred).
+type nodeQueue []*aStarNode
+
+func (q nodeQueue) Len() int { return len(q) }
+func (q nodeQueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].depth < q[j].depth
+}
+func (q nodeQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *nodeQueue) Push(x any) {
+	n := x.(*aStarNode)
+	n.index = len(*q)
+	*q = append(*q, n)
+}
+func (q *nodeQueue) Pop() any {
+	old := *q
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*q = old[:len(old)-1]
+	return n
+}
+
+// searchAStar runs LEAP-style best-first search. optimizeNode evaluates a
+// template (with warm-start parameters) and h harvests every optimized
+// node. The search stops when the threshold is met (unless harvestAll),
+// the node budget is exhausted, or the frontier empties.
+func searchAStar(
+	target *linalg.Matrix,
+	pairs [][2]int,
+	opts Options,
+	optimizeNode func(a *ansatz, warm []float64) node,
+	h *harvester,
+) {
+	n := 0
+	for 1<<n < target.Rows {
+		n++
+	}
+	budget := opts.NodeBudget
+	root := optimizeNode(newSeedAnsatz(n), nil)
+	h.add(root, target)
+	if root.dist < opts.Threshold && !opts.HarvestAll {
+		return
+	}
+
+	frontier := &nodeQueue{}
+	heap.Init(frontier)
+	heap.Push(frontier, &aStarNode{node: root, depth: 0})
+	expanded := 0
+
+	for frontier.Len() > 0 && expanded < budget {
+		cur := heap.Pop(frontier).(*aStarNode)
+		if cur.depth >= opts.MaxCNOTs {
+			continue
+		}
+		expanded++
+		for _, pr := range pairs {
+			child := cur.a.withLayer(pr[0], pr[1])
+			nd := optimizeNode(child, cur.params)
+			h.add(nd, target)
+			if nd.dist < opts.Threshold && !opts.HarvestAll {
+				return
+			}
+			heap.Push(frontier, &aStarNode{node: nd, depth: cur.depth + 1})
+		}
+		// Frontier cap: keep the best half when it grows too large
+		// (bounds memory like LEAP's periodic re-rooting).
+		if frontier.Len() > 4*budget {
+			trimmed := append(nodeQueue(nil), (*frontier)[:2*budget]...)
+			frontier = &trimmed
+			heap.Init(frontier)
+		}
+	}
+}

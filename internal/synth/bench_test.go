@@ -1,0 +1,48 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func BenchmarkObjectiveGradient3Q(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	target := linalg.RandomUnitary(8, rng)
+	a := newSeedAnsatz(3).withLayer(0, 1).withLayer(1, 2).withLayer(0, 2)
+	obj := newObjective(a, target)
+	params := make([]float64, a.nparams)
+	grad := make([]float64, a.nparams)
+	for i := range params {
+		params[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj.valueGrad(params, grad)
+	}
+}
+
+func BenchmarkSynthesizeExact2Q(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	target := linalg.RandomUnitary(4, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(target, Options{Threshold: 1e-6, MaxCNOTs: 3, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthesizeHarvest3Q(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	target := linalg.RandomUnitary(8, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(target, Options{
+			Threshold: 0.05, MaxCNOTs: 6, HarvestAll: true, Beam: 1, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

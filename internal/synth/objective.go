@@ -1,0 +1,231 @@
+package synth
+
+import (
+	"math/cmplx"
+
+	"repro/internal/linalg"
+)
+
+// applyLeft computes m ← G_full · m in place, where g is a small gate
+// matrix on the listed qubits (first listed = most significant local bit).
+// This corresponds to applying the gate to every column of m.
+func applyLeft(m *linalg.Matrix, g *linalg.Matrix, qubits []int) {
+	k := len(qubits)
+	dim := 1 << k
+	pos := make([]int, k)
+	for i, q := range qubits {
+		pos[k-1-i] = q
+	}
+	var mask int
+	for _, p := range pos {
+		mask |= 1 << p
+	}
+	rows := make([]int, dim)
+	in := make([]complex128, dim)
+	for base := 0; base < m.Rows; base++ {
+		if base&mask != 0 {
+			continue
+		}
+		for l := 0; l < dim; l++ {
+			r := base
+			for j := 0; j < k; j++ {
+				if l&(1<<j) != 0 {
+					r |= 1 << pos[j]
+				}
+			}
+			rows[l] = r
+		}
+		for col := 0; col < m.Cols; col++ {
+			for l := 0; l < dim; l++ {
+				in[l] = m.Data[rows[l]*m.Cols+col]
+			}
+			for r := 0; r < dim; r++ {
+				grow := g.Data[r*dim : (r+1)*dim]
+				var s complex128
+				for l, v := range in {
+					if grow[l] != 0 {
+						s += grow[l] * v
+					}
+				}
+				m.Data[rows[r]*m.Cols+col] = s
+			}
+		}
+	}
+}
+
+// applyRight computes m ← m · G_full in place.
+func applyRight(m *linalg.Matrix, g *linalg.Matrix, qubits []int) {
+	k := len(qubits)
+	dim := 1 << k
+	pos := make([]int, k)
+	for i, q := range qubits {
+		pos[k-1-i] = q
+	}
+	var mask int
+	for _, p := range pos {
+		mask |= 1 << p
+	}
+	cols := make([]int, dim)
+	in := make([]complex128, dim)
+	for base := 0; base < m.Cols; base++ {
+		if base&mask != 0 {
+			continue
+		}
+		for l := 0; l < dim; l++ {
+			c := base
+			for j := 0; j < k; j++ {
+				if l&(1<<j) != 0 {
+					c |= 1 << pos[j]
+				}
+			}
+			cols[l] = c
+		}
+		for row := 0; row < m.Rows; row++ {
+			off := row * m.Cols
+			for l := 0; l < dim; l++ {
+				in[l] = m.Data[off+cols[l]]
+			}
+			// (m·G)[row][col(lj)] = Σ_lm in[lm] · g[lm][lj]
+			for lj := 0; lj < dim; lj++ {
+				var s complex128
+				for lm := 0; lm < dim; lm++ {
+					gv := g.Data[lm*dim+lj]
+					if gv != 0 {
+						s += in[lm] * gv
+					}
+				}
+				m.Data[off+cols[lj]] = s
+			}
+		}
+	}
+}
+
+// subspaceTrace returns Tr(A · G_full) where g is a small matrix on the
+// listed qubits, without expanding G to the full space.
+func subspaceTrace(a *linalg.Matrix, g *linalg.Matrix, qubits []int) complex128 {
+	k := len(qubits)
+	dim := 1 << k
+	pos := make([]int, k)
+	for i, q := range qubits {
+		pos[k-1-i] = q
+	}
+	var mask int
+	for _, p := range pos {
+		mask |= 1 << p
+	}
+	idx := make([]int, dim)
+	var t complex128
+	for base := 0; base < a.Rows; base++ {
+		if base&mask != 0 {
+			continue
+		}
+		for l := 0; l < dim; l++ {
+			r := base
+			for j := 0; j < k; j++ {
+				if l&(1<<j) != 0 {
+					r |= 1 << pos[j]
+				}
+			}
+			idx[l] = r
+		}
+		// Tr(A·G) = Σ_{i,j} A[i][j]·G[j][i]; with i=idx[li], j=idx[lj].
+		for li := 0; li < dim; li++ {
+			arow := a.Data[idx[li]*a.Cols:]
+			for lj := 0; lj < dim; lj++ {
+				gv := g.Data[lj*dim+li]
+				if gv != 0 {
+					t += arow[idx[lj]] * gv
+				}
+			}
+		}
+	}
+	return t
+}
+
+// objective evaluates f(θ) = 1 - |Tr(U†V(θ))|²/N² and its gradient for an
+// ansatz against a target unitary. It owns scratch buffers, so one
+// objective instance must not be shared across goroutines.
+type objective struct {
+	a       *ansatz
+	target  *linalg.Matrix // U
+	mdag    *linalg.Matrix // U†
+	dim     int
+	fwd     []*linalg.Matrix // fwd[k] = G_k···G_1, fwd[0] = I
+	bwd     *linalg.Matrix   // scratch: R = U†·G_K···G_{k+1}
+	scratch *linalg.Matrix
+}
+
+func newObjective(a *ansatz, target *linalg.Matrix) *objective {
+	dim := target.Rows
+	o := &objective{
+		a:       a,
+		target:  target,
+		mdag:    target.Dagger(),
+		dim:     dim,
+		bwd:     linalg.New(dim, dim),
+		scratch: linalg.New(dim, dim),
+	}
+	o.fwd = make([]*linalg.Matrix, len(a.ops)+1)
+	for i := range o.fwd {
+		o.fwd[i] = linalg.New(dim, dim)
+	}
+	return o
+}
+
+// value returns f(θ) without gradient work.
+func (o *objective) value(params []float64) float64 {
+	v := linalg.Identity(o.dim)
+	for _, op := range o.a.ops {
+		applyLeft(v, op.smallMatrix(params), op.qubits())
+	}
+	t := linalg.HSInner(o.target, v)
+	return o.distanceSq(t)
+}
+
+func (o *objective) distanceSq(t complex128) float64 {
+	n := float64(o.dim)
+	f := 1 - (real(t)*real(t)+imag(t)*imag(t))/(n*n)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// valueGrad evaluates f and writes ∂f/∂θ into grad.
+func (o *objective) valueGrad(params, grad []float64) float64 {
+	ops := o.a.ops
+	// Forward pass: fwd[0] = I, fwd[k] = G_k···G_1.
+	id := o.fwd[0]
+	for i := range id.Data {
+		id.Data[i] = 0
+	}
+	for i := 0; i < o.dim; i++ {
+		id.Data[i*o.dim+i] = 1
+	}
+	for k, op := range ops {
+		o.fwd[k].CopyInto(o.fwd[k+1])
+		applyLeft(o.fwd[k+1], op.smallMatrix(params), op.qubits())
+	}
+	vFull := o.fwd[len(ops)]
+	t := linalg.HSInner(o.target, vFull)
+	f := o.distanceSq(t)
+
+	// Backward pass: R starts at U† and absorbs gates from the end.
+	o.mdag.CopyInto(o.bwd)
+	n2 := float64(o.dim) * float64(o.dim)
+	tconj := cmplx.Conj(t)
+	for k := len(ops) - 1; k >= 0; k-- {
+		op := ops[k]
+		if np := op.nparams(); np > 0 {
+			// A = F_{k-1} · R_k  (cyclic rearrangement of Tr(R dG F)).
+			linalg.MulInto(o.scratch, o.fwd[k], o.bwd)
+			for j := 0; j < np; j++ {
+				dT := subspaceTrace(o.scratch, op.smallDeriv(params, j), op.qubits())
+				// f = 1 - T T̄ / N² ⇒ ∂f = -2 Re(T̄ ∂T)/N².
+				grad[op.pidx+j] = -2 * real(tconj*dT) / n2
+			}
+		}
+		applyRight(o.bwd, op.smallMatrix(params), op.qubits())
+	}
+	return f
+}

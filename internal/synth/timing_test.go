@@ -1,0 +1,25 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/linalg"
+)
+
+func TestTiming3Qubit(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	rng := rand.New(rand.NewSource(42))
+	target := linalg.RandomUnitary(8, rng)
+	start := time.Now()
+	res, err := Synthesize(target, Options{Seed: 1, MaxCNOTs: 8, HarvestAll: true, Threshold: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("3q random: best dist=%g cnots=%d, %d candidates, evals=%d, took %v\n",
+		res.Best.Distance, res.Best.CNOTs, len(res.Candidates), res.Evaluations, time.Since(start))
+}

@@ -1,0 +1,130 @@
+package transpile
+
+import (
+	"math/cmplx"
+
+	"repro/internal/circuit"
+)
+
+// CancelCX removes pairs of identical CNOTs separated only by gates that
+// commute with the CNOT: diagonal single-qubit gates on the control and
+// X-axis single-qubit gates on the target.
+func CancelCX(c *circuit.Circuit) *circuit.Circuit {
+	ops := make([]circuit.Op, len(c.Ops))
+	for i, op := range c.Ops {
+		ops[i] = op.Clone()
+	}
+	removed := make([]bool, len(ops))
+
+	for i := 0; i < len(ops); i++ {
+		if removed[i] || ops[i].Name != "cx" {
+			continue
+		}
+		ctrl, tgt := ops[i].Qubits[0], ops[i].Qubits[1]
+	scan:
+		for j := i + 1; j < len(ops); j++ {
+			if removed[j] {
+				continue
+			}
+			op := ops[j]
+			touchesCtrl, touchesTgt := touches(op, ctrl), touches(op, tgt)
+			if !touchesCtrl && !touchesTgt {
+				continue
+			}
+			if op.Name == "cx" && op.Qubits[0] == ctrl && op.Qubits[1] == tgt {
+				removed[i], removed[j] = true, true
+				break scan
+			}
+			// Gates that commute with this CX may be skipped over.
+			if len(op.Qubits) == 1 {
+				if touchesCtrl && commutesWithControl(op) {
+					continue
+				}
+				if touchesTgt && commutesWithTarget(op) {
+					continue
+				}
+			}
+			break scan
+		}
+	}
+
+	out := circuit.New(c.NumQubits)
+	for i, op := range ops {
+		if !removed[i] {
+			out.Ops = append(out.Ops, op)
+		}
+	}
+	return out
+}
+
+func touches(op circuit.Op, q int) bool {
+	for _, x := range op.Qubits {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
+
+// commutesWithControl reports whether a one-qubit gate commutes with a CX
+// whose control it sits on (true for diagonal gates).
+func commutesWithControl(op circuit.Op) bool {
+	switch op.Name {
+	case "z", "s", "sdg", "t", "tdg", "rz", "p", "id":
+		return true
+	case "u3":
+		// Diagonal iff θ ≈ 0.
+		m := matrixOf(op)
+		return cmplx.Abs(m.At(0, 1)) < 1e-12 && cmplx.Abs(m.At(1, 0)) < 1e-12
+	}
+	return false
+}
+
+// commutesWithTarget reports whether a one-qubit gate commutes with a CX
+// whose target it sits on (true for X-axis gates).
+func commutesWithTarget(op circuit.Op) bool {
+	switch op.Name {
+	case "x", "rx", "sx", "sxdg", "id":
+		return true
+	}
+	return false
+}
+
+// DropIdentities removes gates whose matrix is the identity up to global
+// phase (for example rz(0) or u3(0,0,0)).
+func DropIdentities(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.NumQubits)
+	for _, op := range c.Ops {
+		if len(op.Qubits) == 1 {
+			if m := matrixOf(op); isIdentityUpToPhase(m, 1e-8) {
+				continue
+			}
+		}
+		out.Ops = append(out.Ops, op.Clone())
+	}
+	return out
+}
+
+// Optimize applies the full Qiskit-style pass pipeline: lowering to
+// {u3, cx}, two-qubit block resynthesis (the KAK-style consolidation of
+// Qiskit level 3), then iterated CX cancellation, single-qubit fusion and
+// identity removal until a fixed point.
+func Optimize(c *circuit.Circuit) *circuit.Circuit {
+	cur := OptimizeLight(Resynthesize2Q(Lower(c)))
+	return cur
+}
+
+// OptimizeLight runs only the cheap local passes (CX cancellation,
+// single-qubit fusion, identity removal) to a fixed point, without the
+// numerical two-qubit resynthesis.
+func OptimizeLight(c *circuit.Circuit) *circuit.Circuit {
+	cur := Lower(c)
+	for i := 0; i < 20; i++ {
+		next := DropIdentities(FuseSingleQubit(CancelCX(cur)))
+		if next.Size() == cur.Size() {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,91 @@
+package transpile
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+)
+
+// ZYZAngles decomposes an arbitrary 2x2 unitary as e^{iγ}·U3(θ,φ,λ) and
+// returns the U3 angles (the global phase γ is discarded).
+func ZYZAngles(u *linalg.Matrix) (theta, phi, lambda float64) {
+	a := u.At(0, 0)
+	b := u.At(0, 1)
+	c := u.At(1, 0)
+	theta = 2 * math.Atan2(cmplx.Abs(c), cmplx.Abs(a))
+	switch {
+	case cmplx.Abs(a) < 1e-12: // θ = π: top-left is zero
+		phi = cmplx.Phase(c)
+		lambda = cmplx.Phase(-b)
+	case cmplx.Abs(c) < 1e-12: // θ = 0: off-diagonals are zero
+		gamma := cmplx.Phase(a)
+		phi = 0
+		lambda = cmplx.Phase(u.At(1, 1)) - gamma
+	default:
+		gamma := cmplx.Phase(a)
+		phi = cmplx.Phase(c) - gamma
+		lambda = cmplx.Phase(-b) - gamma
+	}
+	return theta, phi, lambda
+}
+
+// isIdentityUpToPhase reports whether u ≈ e^{iγ}·I.
+func isIdentityUpToPhase(u *linalg.Matrix, tol float64) bool {
+	if cmplx.Abs(u.At(0, 1)) > tol || cmplx.Abs(u.At(1, 0)) > tol {
+		return false
+	}
+	return cmplx.Abs(u.At(0, 0)-u.At(1, 1)) < tol
+}
+
+// FuseSingleQubit merges runs of adjacent single-qubit gates on the same
+// qubit into one u3 gate (or nothing, when the product is the identity up
+// to phase). Gates of other qubits interleaved between them do not block
+// fusion; any multi-qubit gate touching the qubit does.
+func FuseSingleQubit(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.NumQubits)
+	// pending[q] holds the accumulated 2x2 product for qubit q.
+	pending := make([]*linalg.Matrix, c.NumQubits)
+
+	flush := func(q int) {
+		u := pending[q]
+		pending[q] = nil
+		if u == nil {
+			return
+		}
+		if isIdentityUpToPhase(u, 1e-8) {
+			return
+		}
+		theta, phi, lambda := ZYZAngles(u)
+		out.U3(q, theta, phi, lambda)
+	}
+
+	for _, op := range c.Ops {
+		spec := op.Spec()
+		if spec.Qubits == 1 {
+			m := spec.Build(op.Params)
+			q := op.Qubits[0]
+			if pending[q] == nil {
+				pending[q] = m
+			} else {
+				pending[q] = linalg.Mul(m, pending[q])
+			}
+			continue
+		}
+		for _, q := range op.Qubits {
+			flush(q)
+		}
+		out.Ops = append(out.Ops, op.Clone())
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		flush(q)
+	}
+	return out
+}
+
+// matrixOf returns the 2x2 or larger unitary of an op.
+func matrixOf(op circuit.Op) *linalg.Matrix {
+	return gate.MustLookup(op.Name).Build(op.Params)
+}

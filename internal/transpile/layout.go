@@ -1,0 +1,147 @@
+package transpile
+
+import (
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// RingCoupling returns the cycle topology 0-1-...-(n-1)-0.
+func RingCoupling(n int) *CouplingMap {
+	edges := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return NewCouplingMap(n, edges)
+}
+
+// GridCoupling returns a rows x cols nearest-neighbor grid topology.
+func GridCoupling(rows, cols int) *CouplingMap {
+	var edges [][2]int
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{id(r, c), id(r + 1, c)})
+			}
+		}
+	}
+	return NewCouplingMap(rows*cols, edges)
+}
+
+// ChooseInitialLayout picks a starting logical→physical assignment that
+// places strongly interacting logical qubits on adjacent physical qubits:
+// logical qubits are visited in order of two-qubit-gate degree and each is
+// placed as close as possible to its already-placed interaction partners
+// (a greedy variant of Qiskit's dense layout).
+func ChooseInitialLayout(c *circuit.Circuit, m *CouplingMap) []int {
+	n := c.NumQubits
+	if n > m.NumQubits {
+		// Oversized circuit: return the identity layout and let the
+		// router report the proper error.
+		layout := make([]int, n)
+		for i := range layout {
+			layout[i] = i
+		}
+		return layout
+	}
+	// Interaction weights between logical qubits.
+	weight := make([][]int, n)
+	for i := range weight {
+		weight[i] = make([]int, n)
+	}
+	degree := make([]int, n)
+	for _, op := range c.Ops {
+		if len(op.Qubits) != 2 {
+			continue
+		}
+		a, b := op.Qubits[0], op.Qubits[1]
+		weight[a][b]++
+		weight[b][a]++
+		degree[a]++
+		degree[b]++
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return degree[order[i]] > degree[order[j]] })
+
+	// Physical candidates ordered by connectivity (denser first).
+	physDegree := make([]int, m.NumQubits)
+	for _, e := range m.Edges {
+		physDegree[e[0]]++
+		physDegree[e[1]]++
+	}
+	physOrder := make([]int, m.NumQubits)
+	for i := range physOrder {
+		physOrder[i] = i
+	}
+	sort.SliceStable(physOrder, func(i, j int) bool {
+		return physDegree[physOrder[i]] > physDegree[physOrder[j]]
+	})
+
+	layout := make([]int, n) // logical -> physical
+	for i := range layout {
+		layout[i] = -1
+	}
+	used := make([]bool, m.NumQubits)
+
+	place := func(l, p int) {
+		layout[l] = p
+		used[p] = true
+	}
+
+	for _, l := range order {
+		if layout[l] != -1 {
+			continue
+		}
+		// Cost of placing l at p: weighted distance to placed partners.
+		best, bestCost := -1, 1<<30
+		for _, p := range physOrder {
+			if used[p] {
+				continue
+			}
+			cost := 0
+			connected := true
+			for other := 0; other < n; other++ {
+				if weight[l][other] == 0 || layout[other] == -1 {
+					continue
+				}
+				d := m.Distance(p, layout[other])
+				if d < 0 {
+					connected = false
+					break
+				}
+				cost += weight[l][other] * d
+			}
+			if !connected {
+				continue
+			}
+			if cost < bestCost {
+				best, bestCost = p, cost
+			}
+		}
+		if best == -1 {
+			// Disconnected device region; fall back to any free qubit.
+			for _, p := range physOrder {
+				if !used[p] {
+					best = p
+					break
+				}
+			}
+		}
+		place(l, best)
+	}
+	return layout
+}
+
+// RouteWithLayout is Route with an explicit initial logical→physical
+// layout (see ChooseInitialLayout). The returned final layout reflects
+// both the initial placement and any SWAPs inserted.
+func RouteWithLayout(c *circuit.Circuit, m *CouplingMap, initial []int) (*circuit.Circuit, []int, error) {
+	return route(c, m, initial)
+}

@@ -1,0 +1,130 @@
+// Package transpile implements the "Qiskit" comparison baseline of the
+// paper's evaluation: lowering to the {u3, cx} basis, single-qubit gate
+// fusion (ZYZ resynthesis), adjacent- and commutation-aware CNOT
+// cancellation, identity removal, and greedy SWAP routing onto a hardware
+// coupling map.
+package transpile
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Lower rewrites the circuit into the {u3, cx} basis. Multi-qubit gates
+// are expanded with their standard decompositions. The result is equal to
+// the input up to global phase.
+func Lower(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.NumQubits)
+	for _, op := range c.Ops {
+		lowerOp(out, op)
+	}
+	return out
+}
+
+func lowerOp(out *circuit.Circuit, op circuit.Op) {
+	q := op.Qubits
+	p := op.Params
+	u3 := func(q int, t, f, l float64) { out.U3(q, t, f, l) }
+	switch op.Name {
+	case "cx":
+		out.CX(q[0], q[1])
+	case "u3":
+		u3(q[0], p[0], p[1], p[2])
+	case "id":
+		// dropped
+	case "x":
+		u3(q[0], math.Pi, 0, math.Pi)
+	case "y":
+		u3(q[0], math.Pi, math.Pi/2, math.Pi/2)
+	case "z":
+		u3(q[0], 0, 0, math.Pi)
+	case "h":
+		u3(q[0], math.Pi/2, 0, math.Pi)
+	case "s":
+		u3(q[0], 0, 0, math.Pi/2)
+	case "sdg":
+		u3(q[0], 0, 0, -math.Pi/2)
+	case "t":
+		u3(q[0], 0, 0, math.Pi/4)
+	case "tdg":
+		u3(q[0], 0, 0, -math.Pi/4)
+	case "sx":
+		u3(q[0], math.Pi/2, -math.Pi/2, math.Pi/2)
+	case "sxdg":
+		u3(q[0], math.Pi/2, math.Pi/2, -math.Pi/2)
+	case "rx":
+		u3(q[0], p[0], -math.Pi/2, math.Pi/2)
+	case "ry":
+		u3(q[0], p[0], 0, 0)
+	case "rz", "p":
+		u3(q[0], 0, 0, p[0])
+	case "cz":
+		u3(q[1], math.Pi/2, 0, math.Pi)
+		out.CX(q[0], q[1])
+		u3(q[1], math.Pi/2, 0, math.Pi)
+	case "swap":
+		out.CX(q[0], q[1])
+		out.CX(q[1], q[0])
+		out.CX(q[0], q[1])
+	case "rzz":
+		out.CX(q[0], q[1])
+		u3(q[1], 0, 0, p[0])
+		out.CX(q[0], q[1])
+	case "rxx":
+		u3(q[0], math.Pi/2, 0, math.Pi)
+		u3(q[1], math.Pi/2, 0, math.Pi)
+		out.CX(q[0], q[1])
+		u3(q[1], 0, 0, p[0])
+		out.CX(q[0], q[1])
+		u3(q[0], math.Pi/2, 0, math.Pi)
+		u3(q[1], math.Pi/2, 0, math.Pi)
+	case "ryy":
+		u3(q[0], math.Pi/2, -math.Pi/2, math.Pi/2)
+		u3(q[1], math.Pi/2, -math.Pi/2, math.Pi/2)
+		out.CX(q[0], q[1])
+		u3(q[1], 0, 0, p[0])
+		out.CX(q[0], q[1])
+		u3(q[0], -math.Pi/2, -math.Pi/2, math.Pi/2)
+		u3(q[1], -math.Pi/2, -math.Pi/2, math.Pi/2)
+	case "cp":
+		u3(q[0], 0, 0, p[0]/2)
+		out.CX(q[0], q[1])
+		u3(q[1], 0, 0, -p[0]/2)
+		out.CX(q[0], q[1])
+		u3(q[1], 0, 0, p[0]/2)
+	case "crz":
+		u3(q[1], 0, 0, p[0]/2)
+		out.CX(q[0], q[1])
+		u3(q[1], 0, 0, -p[0]/2)
+		out.CX(q[0], q[1])
+	case "ch":
+		u3(q[1], 0, 0, math.Pi/2)          // s
+		u3(q[1], math.Pi/2, 0, math.Pi)    // h
+		u3(q[1], 0, 0, math.Pi/4)          // t
+		out.CX(q[0], q[1])
+		u3(q[1], 0, 0, -math.Pi/4)         // tdg
+		u3(q[1], math.Pi/2, 0, math.Pi)    // h
+		u3(q[1], 0, 0, -math.Pi/2)         // sdg
+	case "ccx":
+		c1, c2, tg := q[0], q[1], q[2]
+		u3(tg, math.Pi/2, 0, math.Pi) // h
+		out.CX(c2, tg)
+		u3(tg, 0, 0, -math.Pi/4) // tdg
+		out.CX(c1, tg)
+		u3(tg, 0, 0, math.Pi/4) // t
+		out.CX(c2, tg)
+		u3(tg, 0, 0, -math.Pi/4) // tdg
+		out.CX(c1, tg)
+		u3(c2, 0, 0, math.Pi/4) // t
+		u3(tg, 0, 0, math.Pi/4) // t
+		u3(tg, math.Pi/2, 0, math.Pi) // h
+		out.CX(c1, c2)
+		u3(c1, 0, 0, math.Pi/4)  // t
+		u3(c2, 0, 0, -math.Pi/4) // tdg
+		out.CX(c1, c2)
+	default:
+		panic(fmt.Sprintf("transpile: no lowering for gate %q", op.Name))
+	}
+}

@@ -1,0 +1,57 @@
+package transpile
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/kak"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// Resynthesize2Q collects maximal two-qubit runs and resynthesizes each
+// run down to its provably minimal CNOT count: the Makhlin-invariant
+// classification (package kak) determines how many CNOTs (0-3) the run's
+// unitary requires, and the numerical synthesizer is asked for exactly
+// that depth. This mirrors Qiskit level-3's Collect2qBlocks +
+// ConsolidateBlocks + KAK-based UnitarySynthesis pass and is where the
+// Qiskit baseline's CNOT reductions on Trotterized circuits come from.
+// Blocks that fail to resynthesize exactly are kept unchanged, so the
+// output always implements the input up to global phase.
+func Resynthesize2Q(c *circuit.Circuit) *circuit.Circuit {
+	blocks, err := partition.Scan(c, 2)
+	if err != nil {
+		// A gate wider than 2 qubits is present; lower first.
+		return c.Clone()
+	}
+	out := circuit.New(c.NumQubits)
+	for _, b := range blocks {
+		cnots := b.Circuit.CNOTCount()
+		if cnots == 0 || len(b.Qubits) != 2 {
+			out.MustAppendCircuit(b.Circuit, b.Qubits)
+			continue
+		}
+		target := sim.Unitary(b.Circuit)
+		min := kak.MinCNOTs(target)
+		if min >= cnots {
+			out.MustAppendCircuit(b.Circuit, b.Qubits)
+			continue
+		}
+		maxCNOTs := min
+		if maxCNOTs == 0 {
+			maxCNOTs = -1 // rotation-only template
+		}
+		res, err := synth.Synthesize(target, synth.Options{
+			Threshold: 1e-9,
+			MaxCNOTs:  maxCNOTs,
+			Beam:      1,
+			Restarts:  4,
+			Seed:      1,
+		})
+		if err != nil || res.Best.Distance > 5e-6 || res.Best.CNOTs >= cnots {
+			out.MustAppendCircuit(b.Circuit, b.Qubits)
+			continue
+		}
+		out.MustAppendCircuit(res.Best.Circuit, b.Qubits)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package transpile
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// CouplingMap is an undirected hardware connectivity graph over physical
+// qubits; CNOTs may only be applied between listed pairs.
+type CouplingMap struct {
+	// NumQubits is the number of physical qubits.
+	NumQubits int
+	// Edges lists the undirected couplings.
+	Edges [][2]int
+
+	adj  map[int][]int
+	dist [][]int
+}
+
+// NewCouplingMap builds a coupling map and precomputes all-pairs shortest
+// path distances (BFS).
+func NewCouplingMap(numQubits int, edges [][2]int) *CouplingMap {
+	m := &CouplingMap{NumQubits: numQubits, Edges: edges, adj: map[int][]int{}}
+	for _, e := range edges {
+		m.adj[e[0]] = append(m.adj[e[0]], e[1])
+		m.adj[e[1]] = append(m.adj[e[1]], e[0])
+	}
+	m.dist = make([][]int, numQubits)
+	for s := 0; s < numQubits; s++ {
+		d := make([]int, numQubits)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range m.adj[u] {
+				if d[v] == -1 {
+					d[v] = d[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		m.dist[s] = d
+	}
+	return m
+}
+
+// LinearCoupling returns the linear-chain topology 0-1-2-...-(n-1), the
+// layout of the 5-qubit IBMQ Manila-class devices.
+func LinearCoupling(n int) *CouplingMap {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return NewCouplingMap(n, edges)
+}
+
+// Adjacent reports whether physical qubits a and b are coupled.
+func (m *CouplingMap) Adjacent(a, b int) bool { return m.dist[a][b] == 1 }
+
+// Distance returns the shortest-path hop count between physical qubits,
+// or -1 if disconnected.
+func (m *CouplingMap) Distance(a, b int) int { return m.dist[a][b] }
+
+// Route maps the circuit onto the coupling map with greedy SWAP insertion
+// from the trivial (identity) initial layout. The input must already be in
+// a ≤2-qubit basis (call Lower first). It returns the physical circuit and
+// the final layout: layout[logical] = physical qubit holding that logical
+// qubit at the end of the circuit, so callers can un-permute measured
+// bitstrings.
+func Route(c *circuit.Circuit, m *CouplingMap) (*circuit.Circuit, []int, error) {
+	return route(c, m, nil)
+}
+
+// route implements Route with an optional initial layout (nil = identity).
+func route(c *circuit.Circuit, m *CouplingMap, initial []int) (*circuit.Circuit, []int, error) {
+	if c.NumQubits > m.NumQubits {
+		return nil, nil, fmt.Errorf("transpile: circuit has %d qubits, device has %d", c.NumQubits, m.NumQubits)
+	}
+	if initial != nil && len(initial) != c.NumQubits {
+		return nil, nil, fmt.Errorf("transpile: initial layout has %d entries, want %d", len(initial), c.NumQubits)
+	}
+	layout := make([]int, c.NumQubits) // logical -> physical
+	holder := make([]int, m.NumQubits) // physical -> logical (or -1)
+	for i := range holder {
+		holder[i] = -1
+	}
+	for l := 0; l < c.NumQubits; l++ {
+		p := l
+		if initial != nil {
+			p = initial[l]
+		}
+		if p < 0 || p >= m.NumQubits || holder[p] != -1 {
+			return nil, nil, fmt.Errorf("transpile: invalid initial layout (qubit %d -> %d)", l, p)
+		}
+		layout[l] = p
+		holder[p] = l
+	}
+
+	out := circuit.New(m.NumQubits)
+	swapPhys := func(pa, pb int) {
+		out.Swap(pa, pb)
+		la, lb := holder[pa], holder[pb]
+		holder[pa], holder[pb] = lb, la
+		if la >= 0 {
+			layout[la] = pb
+		}
+		if lb >= 0 {
+			layout[lb] = pa
+		}
+	}
+
+	for _, op := range c.Ops {
+		switch len(op.Qubits) {
+		case 1:
+			if err := out.Append(op.Name, []int{layout[op.Qubits[0]]}, op.Params); err != nil {
+				return nil, nil, err
+			}
+		case 2:
+			la, lb := op.Qubits[0], op.Qubits[1]
+			// Walk la's qubit toward lb along a shortest path.
+			for m.Distance(layout[la], layout[lb]) > 1 {
+				pa := layout[la]
+				best, bestD := -1, m.Distance(pa, layout[lb])
+				for _, nb := range m.adj[pa] {
+					if d := m.Distance(nb, layout[lb]); d < bestD {
+						best, bestD = nb, d
+					}
+				}
+				if best == -1 {
+					return nil, nil, fmt.Errorf("transpile: qubits %d and %d are disconnected", la, lb)
+				}
+				swapPhys(pa, best)
+			}
+			if err := out.Append(op.Name, []int{layout[la], layout[lb]}, op.Params); err != nil {
+				return nil, nil, err
+			}
+		default:
+			return nil, nil, fmt.Errorf("transpile: Route requires a ≤2-qubit basis, got %s", op.Name)
+		}
+	}
+	return out, layout, nil
+}
+
+// PermuteDistribution reorders an output probability distribution measured
+// on physical qubits back into logical qubit order: layout[l] = physical
+// position of logical qubit l. Physical qubits holding no logical qubit
+// are traced out (they are never touched, so they stay |0>).
+func PermuteDistribution(phys []float64, layout []int, numLogical int) []float64 {
+	out := make([]float64, 1<<numLogical)
+	for k, p := range phys {
+		if p == 0 {
+			continue
+		}
+		var logical int
+		for l := 0; l < numLogical; l++ {
+			if k&(1<<layout[l]) != 0 {
+				logical |= 1 << l
+			}
+		}
+		out[logical] += p
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package transpile
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// SabreRoute maps a circuit onto the coupling map with a SABRE-style
+// lookahead heuristic: when the front layer of two-qubit gates is blocked,
+// it inserts the SWAP that minimizes the summed distance of the front
+// layer plus a discounted extended window of upcoming gates, instead of
+// greedily walking one operand toward the other like Route. initial is an
+// optional starting layout (nil = identity). Returns the physical circuit
+// and the final logical→physical layout.
+func SabreRoute(c *circuit.Circuit, m *CouplingMap, initial []int) (*circuit.Circuit, []int, error) {
+	if c.NumQubits > m.NumQubits {
+		return nil, nil, fmt.Errorf("transpile: circuit has %d qubits, device has %d", c.NumQubits, m.NumQubits)
+	}
+	for _, op := range c.Ops {
+		if len(op.Qubits) > 2 {
+			return nil, nil, fmt.Errorf("transpile: SabreRoute requires a ≤2-qubit basis, got %s", op.Name)
+		}
+	}
+	if initial != nil && len(initial) != c.NumQubits {
+		return nil, nil, fmt.Errorf("transpile: initial layout has %d entries, want %d", len(initial), c.NumQubits)
+	}
+
+	layout := make([]int, c.NumQubits)
+	holder := make([]int, m.NumQubits)
+	for i := range holder {
+		holder[i] = -1
+	}
+	for l := 0; l < c.NumQubits; l++ {
+		p := l
+		if initial != nil {
+			p = initial[l]
+		}
+		if p < 0 || p >= m.NumQubits || holder[p] != -1 {
+			return nil, nil, fmt.Errorf("transpile: invalid initial layout (qubit %d -> %d)", l, p)
+		}
+		layout[l] = p
+		holder[p] = l
+	}
+
+	// Dependency structure: op i is ready when, for each of its qubits,
+	// it is that qubit's next pending op.
+	nextOn := make([]int, c.NumQubits) // per-qubit cursor into perQubit lists
+	perQubit := make([][]int, c.NumQubits)
+	for i, op := range c.Ops {
+		for _, q := range op.Qubits {
+			perQubit[q] = append(perQubit[q], i)
+		}
+	}
+	done := make([]bool, len(c.Ops))
+	ready := func(i int) bool {
+		for _, q := range c.Ops[i].Qubits {
+			if perQubit[q][nextOn[q]] != i {
+				return false
+			}
+		}
+		return true
+	}
+	complete := func(i int) {
+		done[i] = true
+		for _, q := range c.Ops[i].Qubits {
+			nextOn[q]++
+		}
+	}
+
+	out := circuit.New(m.NumQubits)
+	emit := func(op circuit.Op) error {
+		qs := make([]int, len(op.Qubits))
+		for j, q := range op.Qubits {
+			qs[j] = layout[q]
+		}
+		return out.Append(op.Name, qs, op.Params)
+	}
+	// moveSwap updates the layout bookkeeping only; swapPhys also emits
+	// the gate. Candidate evaluation uses moveSwap so trial swaps never
+	// reach the output circuit.
+	moveSwap := func(pa, pb int) {
+		la, lb := holder[pa], holder[pb]
+		holder[pa], holder[pb] = lb, la
+		if la >= 0 {
+			layout[la] = pb
+		}
+		if lb >= 0 {
+			layout[lb] = pa
+		}
+	}
+	swapPhys := func(pa, pb int) {
+		out.Swap(pa, pb)
+		moveSwap(pa, pb)
+	}
+
+	remaining := len(c.Ops)
+	const (
+		lookahead   = 12  // extended-window size
+		extWeight   = 0.5 // discount for extended-window gates
+		maxStallFix = 1 << 16
+	)
+	guard := 0
+	stalled := 0              // swaps since an op last executed
+	lastSwap := [2]int{-1, 0} // previous swap, to forbid immediate reversal
+	decay := make([]float64, m.NumQubits)
+	for i := range decay {
+		decay[i] = 1
+	}
+	for remaining > 0 {
+		if guard++; guard > maxStallFix {
+			return nil, nil, fmt.Errorf("transpile: SabreRoute failed to make progress")
+		}
+		// Execute everything executable.
+		progressed := true
+		for progressed {
+			progressed = false
+			for i, op := range c.Ops {
+				if done[i] || !ready(i) {
+					continue
+				}
+				if len(op.Qubits) == 2 && !m.Adjacent(layout[op.Qubits[0]], layout[op.Qubits[1]]) {
+					continue
+				}
+				if err := emit(op); err != nil {
+					return nil, nil, err
+				}
+				complete(i)
+				remaining--
+				progressed = true
+				stalled = 0
+				lastSwap = [2]int{-1, 0}
+				for j := range decay {
+					decay[j] = 1
+				}
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+
+		// Front layer: ready-but-blocked two-qubit gates. Extended
+		// window: the next `lookahead` pending two-qubit gates.
+		var front, extended [][2]int
+		for i, op := range c.Ops {
+			if done[i] || len(op.Qubits) != 2 {
+				continue
+			}
+			pair := [2]int{op.Qubits[0], op.Qubits[1]}
+			if ready(i) {
+				front = append(front, pair)
+			} else if len(extended) < lookahead {
+				extended = append(extended, pair)
+			}
+		}
+		if len(front) == 0 {
+			return nil, nil, fmt.Errorf("transpile: SabreRoute deadlock (disconnected device?)")
+		}
+
+		// Anti-livelock: if the heuristic has inserted many swaps without
+		// unblocking anything, resolve the first front gate greedily (a
+		// shortest-path walk guarantees progress).
+		if stalled > 2*m.NumQubits {
+			g := front[0]
+			for m.Distance(layout[g[0]], layout[g[1]]) > 1 {
+				pa := layout[g[0]]
+				best := -1
+				bestD := m.Distance(pa, layout[g[1]])
+				for _, nb := range m.adj[pa] {
+					if d := m.Distance(nb, layout[g[1]]); d < bestD {
+						best, bestD = nb, d
+					}
+				}
+				if best == -1 {
+					return nil, nil, fmt.Errorf("transpile: SabreRoute deadlock (disconnected device?)")
+				}
+				swapPhys(pa, best)
+			}
+			stalled = 0
+			lastSwap = [2]int{-1, 0}
+			continue
+		}
+
+		score := func() float64 {
+			var f float64
+			for _, g := range front {
+				f += float64(m.Distance(layout[g[0]], layout[g[1]]))
+			}
+			f /= float64(len(front))
+			if len(extended) > 0 {
+				var e float64
+				for _, g := range extended {
+					e += float64(m.Distance(layout[g[0]], layout[g[1]]))
+				}
+				f += extWeight * e / float64(len(extended))
+			}
+			return f
+		}
+
+		// Candidate SWAPs: every edge touching a front-layer qubit.
+		frontPhys := map[int]bool{}
+		for _, g := range front {
+			frontPhys[layout[g[0]]] = true
+			frontPhys[layout[g[1]]] = true
+		}
+		bestScore := 0.0
+		bestEdge := [2]int{-1, -1}
+		first := true
+		for _, e := range m.Edges {
+			if !frontPhys[e[0]] && !frontPhys[e[1]] {
+				continue
+			}
+			if e == lastSwap || (e[0] == lastSwap[1] && e[1] == lastSwap[0]) {
+				continue // forbid immediately undoing the previous swap
+			}
+			moveSwap(e[0], e[1])
+			s := score() * math.Max(decay[e[0]], decay[e[1]])
+			moveSwap(e[0], e[1]) // undo
+			if first || s < bestScore {
+				bestScore = s
+				bestEdge = e
+				first = false
+			}
+		}
+		if bestEdge[0] == -1 {
+			// Only the reversal is available; take it and let the
+			// anti-livelock path resolve the oscillation.
+			bestEdge = lastSwap
+		}
+		swapPhys(bestEdge[0], bestEdge[1])
+		decay[bestEdge[0]] += 0.3
+		decay[bestEdge[1]] += 0.3
+		lastSwap = bestEdge
+		stalled++
+	}
+	return out, layout, nil
+}

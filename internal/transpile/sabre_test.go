@@ -1,0 +1,124 @@
+package transpile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+func randomCXCircuit(n, ops int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.RY(rng.Intn(n), rng.Float64()*2)
+		default:
+			a, b := distinctPair(n, rng)
+			c.CX(a, b)
+		}
+	}
+	return c
+}
+
+func TestSabreRoutePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCXCircuit(5, 15, rng)
+		m := LinearCoupling(5)
+		routed, layout, err := SabreRoute(c, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range routed.Ops {
+			if len(op.Qubits) == 2 && !m.Adjacent(op.Qubits[0], op.Qubits[1]) {
+				t.Fatalf("trial %d: non-adjacent 2q gate %v", trial, op)
+			}
+		}
+		want := sim.Probabilities(c)
+		got := PermuteDistribution(sim.Probabilities(routed), layout, 5)
+		for k := range want {
+			if math.Abs(want[k]-got[k]) > 1e-9 {
+				t.Fatalf("trial %d: distribution mismatch at %d", trial, k)
+			}
+		}
+	}
+}
+
+func TestSabreRouteWithInitialLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	c := randomCXCircuit(4, 12, rng)
+	m := RingCoupling(5)
+	initial := ChooseInitialLayout(c, m)
+	routed, layout, err := SabreRoute(c, m, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Probabilities(c)
+	got := PermuteDistribution(sim.Probabilities(routed), layout, 4)
+	for k := range want {
+		if math.Abs(want[k]-got[k]) > 1e-9 {
+			t.Fatalf("distribution mismatch at %d", k)
+		}
+	}
+}
+
+func TestSabreRouteNotWorseThanGreedyOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	var sabreTotal, greedyTotal int
+	for trial := 0; trial < 12; trial++ {
+		c := randomCXCircuit(5, 20, rng)
+		m := LinearCoupling(5)
+		s, _, err := SabreRoute(c, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _, err := Route(c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sabreTotal += s.CNOTCount()
+		greedyTotal += g.CNOTCount()
+	}
+	t.Logf("total CNOT-equivalents over 12 circuits: sabre %d, greedy %d", sabreTotal, greedyTotal)
+	if sabreTotal > greedyTotal {
+		t.Errorf("lookahead router worse than greedy: %d vs %d", sabreTotal, greedyTotal)
+	}
+}
+
+func TestSabreRouteValidation(t *testing.T) {
+	c := circuit.New(3)
+	c.CCX(0, 1, 2)
+	if _, _, err := SabreRoute(c, LinearCoupling(3), nil); err == nil {
+		t.Error("3-qubit gate accepted")
+	}
+	c2 := circuit.New(6)
+	c2.H(0)
+	if _, _, err := SabreRoute(c2, LinearCoupling(3), nil); err == nil {
+		t.Error("oversized circuit accepted")
+	}
+	c3 := circuit.New(2)
+	c3.CX(0, 1)
+	if _, _, err := SabreRoute(c3, LinearCoupling(3), []int{0, 0}); err == nil {
+		t.Error("duplicate initial placement accepted")
+	}
+}
+
+func TestSabreRouteOnGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	c := randomCXCircuit(6, 18, rng)
+	m := GridCoupling(2, 3)
+	routed, layout, err := SabreRoute(c, m, ChooseInitialLayout(c, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Probabilities(c)
+	got := PermuteDistribution(sim.Probabilities(routed), layout, 6)
+	for k := range want {
+		if math.Abs(want[k]-got[k]) > 1e-9 {
+			t.Fatalf("grid distribution mismatch at %d", k)
+		}
+	}
+}

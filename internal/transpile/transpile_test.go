@@ -1,0 +1,461 @@
+package transpile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algos"
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+	"repro/internal/sim"
+)
+
+// assertSameUpToPhase compares two circuits by HS distance (phase
+// invariant). The tolerance absorbs the sqrt amplification near zero.
+func assertSameUpToPhase(t *testing.T, a, b *circuit.Circuit, context string) {
+	t.Helper()
+	if d := linalg.HSDistance(sim.Unitary(a), sim.Unitary(b)); d > 1e-4 {
+		t.Errorf("%s: circuits differ, HS distance %g", context, d)
+	}
+}
+
+func randomRichCircuit(n, ops int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	names1 := []string{"h", "x", "y", "z", "s", "t", "sdg", "tdg", "sx"}
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			c.MustAppend(names1[rng.Intn(len(names1))], []int{rng.Intn(n)}, nil)
+		case 1:
+			c.RZ(rng.Intn(n), rng.Float64()*4-2)
+		case 2:
+			c.RY(rng.Intn(n), rng.Float64()*4-2)
+		case 3:
+			c.U3(rng.Intn(n), rng.Float64(), rng.Float64(), rng.Float64())
+		case 4, 5:
+			a, b := distinctPair(n, rng)
+			c.CX(a, b)
+		case 6:
+			a, b := distinctPair(n, rng)
+			c.RZZ(a, b, rng.Float64()*2-1)
+		case 7:
+			a, b := distinctPair(n, rng)
+			c.Swap(a, b)
+		}
+	}
+	return c
+}
+
+func distinctPair(n int, rng *rand.Rand) (int, int) {
+	a := rng.Intn(n)
+	b := rng.Intn(n)
+	for b == a {
+		b = rng.Intn(n)
+	}
+	return a, b
+}
+
+func TestLowerEveryGatePreservesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range gate.Names() {
+		s := gate.MustLookup(name)
+		c := circuit.New(s.Qubits)
+		p := make([]float64, s.Params)
+		for i := range p {
+			p[i] = rng.Float64()*4 - 2
+		}
+		qs := make([]int, s.Qubits)
+		for i := range qs {
+			qs[i] = i
+		}
+		c.MustAppend(name, qs, p)
+		lowered := Lower(c)
+		assertSameUpToPhase(t, c, lowered, "lower "+name)
+		for _, op := range lowered.Ops {
+			if op.Name != "u3" && op.Name != "cx" {
+				t.Errorf("Lower(%s) emitted %s", name, op.Name)
+			}
+		}
+	}
+}
+
+func TestZYZAnglesReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		u := linalg.RandomUnitary(2, rng)
+		theta, phi, lambda := ZYZAngles(u)
+		v := gate.U3Matrix(theta, phi, lambda)
+		if d := linalg.HSDistance(u, v); d > 1e-6 {
+			t.Fatalf("trial %d: ZYZ reconstruction distance %g", trial, d)
+		}
+	}
+}
+
+func TestZYZAnglesEdgeCases(t *testing.T) {
+	for _, m := range []*linalg.Matrix{
+		gate.PauliX, gate.PauliY, gate.PauliZ, linalg.Identity(2),
+		gate.RZMatrix(0.7), gate.RYMatrix(math.Pi),
+	} {
+		theta, phi, lambda := ZYZAngles(m)
+		v := gate.U3Matrix(theta, phi, lambda)
+		if d := linalg.HSDistance(m, v); d > 1e-6 {
+			t.Errorf("edge case reconstruction distance %g for\n%v", d, m)
+		}
+	}
+}
+
+func TestFuseSingleQubitMergesRuns(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	c.T(0)
+	c.S(0)
+	c.RZ(0, 0.3)
+	c.X(1)
+	fused := FuseSingleQubit(c)
+	if got := fused.Size(); got != 2 {
+		t.Errorf("fused size = %d, want 2 (one u3 per qubit)", got)
+	}
+	assertSameUpToPhase(t, c, fused, "fusion")
+}
+
+func TestFuseSingleQubitIdentityRunDropped(t *testing.T) {
+	c := circuit.New(1)
+	c.H(0)
+	c.H(0)
+	fused := FuseSingleQubit(c)
+	if fused.Size() != 0 {
+		t.Errorf("H·H not dropped: %v", fused)
+	}
+}
+
+func TestFuseBlockedByTwoQubitGate(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	c.CX(0, 1)
+	c.H(0)
+	fused := FuseSingleQubit(c)
+	if fused.Size() != 3 {
+		t.Errorf("fusion across CX happened: %v", fused)
+	}
+	assertSameUpToPhase(t, c, fused, "fusion-blocked")
+}
+
+func TestCancelCXAdjacent(t *testing.T) {
+	c := circuit.New(2)
+	c.CX(0, 1)
+	c.CX(0, 1)
+	out := CancelCX(c)
+	if out.Size() != 0 {
+		t.Errorf("adjacent CX pair not cancelled: %v", out)
+	}
+}
+
+func TestCancelCXAcrossCommutingGates(t *testing.T) {
+	c := circuit.New(2)
+	c.CX(0, 1)
+	c.RZ(0, 0.5) // diagonal on control: commutes
+	c.RX(1, 0.7) // X-axis on target: commutes
+	c.CX(0, 1)
+	out := CancelCX(c)
+	if out.CNOTCount() != 0 {
+		t.Errorf("CX pair across commuting gates not cancelled: %v", out)
+	}
+	assertSameUpToPhase(t, c, out, "commuting cancel")
+}
+
+func TestCancelCXBlockedByNonCommuting(t *testing.T) {
+	c := circuit.New(2)
+	c.CX(0, 1)
+	c.H(1) // does not commute with target
+	c.CX(0, 1)
+	out := CancelCX(c)
+	if out.CNOTCount() != 2 {
+		t.Errorf("CX pair wrongly cancelled across H: %v", out)
+	}
+}
+
+func TestDropIdentities(t *testing.T) {
+	c := circuit.New(1)
+	c.RZ(0, 0)
+	c.U3(0, 0, 0, 0)
+	c.RZ(0, 0.5)
+	out := DropIdentities(c)
+	if out.Size() != 1 {
+		t.Errorf("DropIdentities size = %d, want 1", out.Size())
+	}
+}
+
+func TestOptimizeReducesRedundantCircuit(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0)
+	c.H(0)
+	c.CX(0, 1)
+	c.CX(0, 1)
+	c.T(2)
+	c.Tdg(2)
+	out := Optimize(c)
+	if out.Size() != 0 {
+		t.Errorf("Optimize left %d ops on an identity circuit: %v", out.Size(), out)
+	}
+}
+
+func TestOptimizePreservesUnitaryOnBenchmarks(t *testing.T) {
+	for _, name := range algos.Names() {
+		c, err := algos.Generate(name, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NumQubits > 6 {
+			continue
+		}
+		out := Optimize(c)
+		assertSameUpToPhase(t, c, out, "optimize "+name)
+		if out.CNOTCount() > Lower(c).CNOTCount() {
+			t.Errorf("%s: Optimize increased CNOTs %d -> %d", name, Lower(c).CNOTCount(), out.CNOTCount())
+		}
+	}
+}
+
+func TestPropOptimizePreservesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomRichCircuit(3, 25, r)
+		out := Optimize(c)
+		return linalg.HSDistance(sim.Unitary(c), sim.Unitary(out)) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteOnLinearChain(t *testing.T) {
+	// cx(0,2) on a 3-qubit chain needs routing.
+	c := circuit.New(3)
+	c.CX(0, 2)
+	m := LinearCoupling(3)
+	routed, layout, err := Route(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range routed.Ops {
+		if len(op.Qubits) == 2 && !m.Adjacent(op.Qubits[0], op.Qubits[1]) {
+			t.Errorf("routed circuit has non-adjacent 2q gate: %v", op)
+		}
+	}
+	if len(layout) != 3 {
+		t.Fatalf("layout length %d", len(layout))
+	}
+}
+
+func TestRoutePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		c := circuit.New(4)
+		for i := 0; i < 12; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.RY(rng.Intn(4), rng.Float64()*2)
+			default:
+				a, b := distinctPair(4, rng)
+				c.CX(a, b)
+			}
+		}
+		m := LinearCoupling(4)
+		routed, layout, err := Route(c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pLogical := sim.Probabilities(c)
+		pPhys := sim.Probabilities(routed)
+		got := PermuteDistribution(pPhys, layout, 4)
+		for k := range pLogical {
+			if math.Abs(pLogical[k]-got[k]) > 1e-9 {
+				t.Fatalf("trial %d: distribution mismatch at %d: %g vs %g",
+					trial, k, pLogical[k], got[k])
+			}
+		}
+	}
+}
+
+func TestRouteRejectsTooManyQubits(t *testing.T) {
+	c := circuit.New(6)
+	c.H(0)
+	if _, _, err := Route(c, LinearCoupling(3)); err == nil {
+		t.Error("Route accepted oversized circuit")
+	}
+}
+
+func TestRouteRejectsWideGates(t *testing.T) {
+	c := circuit.New(3)
+	c.CCX(0, 1, 2)
+	if _, _, err := Route(c, LinearCoupling(3)); err == nil {
+		t.Error("Route accepted a 3-qubit gate")
+	}
+}
+
+func TestPermuteDistributionIdentity(t *testing.T) {
+	p := []float64{0.1, 0.2, 0.3, 0.4}
+	got := PermuteDistribution(p, []int{0, 1}, 2)
+	for i := range p {
+		if got[i] != p[i] {
+			t.Errorf("identity permutation changed distribution: %v", got)
+		}
+	}
+}
+
+func TestPermuteDistributionSwap(t *testing.T) {
+	// logical 0 on physical 1 and vice versa: basis 01 <-> 10.
+	p := []float64{0, 1, 0, 0} // physical |01> (phys qubit 0 = 1)
+	got := PermuteDistribution(p, []int{1, 0}, 2)
+	if got[2] != 1 { // logical qubit 1 = 1 → index 2
+		t.Errorf("swap permutation wrong: %v", got)
+	}
+}
+
+func TestCouplingDistance(t *testing.T) {
+	m := LinearCoupling(5)
+	if m.Distance(0, 4) != 4 || m.Distance(2, 2) != 0 || !m.Adjacent(1, 2) {
+		t.Error("coupling distances wrong")
+	}
+}
+
+func TestResynthesize2QReducesTrotterPair(t *testing.T) {
+	// rxx+ryy+rzz on one pair lowers to 6 CNOTs; KAK needs at most 3.
+	c := circuit.New(2)
+	c.RXX(0, 1, 0.7)
+	c.RYY(0, 1, 0.5)
+	c.RZZ(0, 1, 0.3)
+	lowered := Lower(c)
+	if lowered.CNOTCount() != 6 {
+		t.Fatalf("lowered CNOTs = %d, want 6", lowered.CNOTCount())
+	}
+	out := Resynthesize2Q(lowered)
+	if out.CNOTCount() > 3 {
+		t.Errorf("resynthesized CNOTs = %d, want <= 3", out.CNOTCount())
+	}
+	assertSameUpToPhase(t, c, out, "resynth2q")
+}
+
+func TestResynthesize2QKeepsCheapBlocks(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0)
+	c.CX(0, 1)
+	c.CX(1, 2)
+	out := Resynthesize2Q(c)
+	assertSameUpToPhase(t, c, out, "resynth2q cheap")
+	if out.CNOTCount() > c.CNOTCount() {
+		t.Errorf("resynthesis increased CNOTs: %d -> %d", c.CNOTCount(), out.CNOTCount())
+	}
+}
+
+func TestOptimizeReducesHeisenbergStep(t *testing.T) {
+	c, err := algos.Generate("heisenberg", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := c.CNOTCount()
+	out := Optimize(c)
+	if out.CNOTCount() >= base {
+		t.Errorf("Optimize on heisenberg-4: %d -> %d CNOTs, want a reduction", base, out.CNOTCount())
+	}
+	assertSameUpToPhase(t, c, out, "optimize heisenberg")
+	t.Logf("heisenberg-4 Qiskit-style: %d -> %d CNOTs (%.0f%%)",
+		base, out.CNOTCount(), 100*float64(base-out.CNOTCount())/float64(base))
+}
+
+func TestRingAndGridCoupling(t *testing.T) {
+	r := RingCoupling(5)
+	if r.Distance(0, 4) != 1 { // wraps around
+		t.Errorf("ring distance(0,4) = %d, want 1", r.Distance(0, 4))
+	}
+	if r.Distance(0, 2) != 2 {
+		t.Errorf("ring distance(0,2) = %d, want 2", r.Distance(0, 2))
+	}
+	g := GridCoupling(2, 3)
+	if g.NumQubits != 6 || g.Distance(0, 5) != 3 {
+		t.Errorf("grid: qubits=%d d(0,5)=%d", g.NumQubits, g.Distance(0, 5))
+	}
+}
+
+func TestChooseInitialLayoutPlacesPartnersAdjacent(t *testing.T) {
+	// Logical 0 and 3 interact heavily; a good initial layout puts them
+	// next to each other on the chain even though |0-3| = 3 hops in the
+	// trivial layout.
+	c := circuit.New(4)
+	for i := 0; i < 10; i++ {
+		c.CX(0, 3)
+	}
+	m := LinearCoupling(4)
+	layout := ChooseInitialLayout(c, m)
+	if d := m.Distance(layout[0], layout[3]); d != 1 {
+		t.Errorf("initial layout places partners %d hops apart: %v", d, layout)
+	}
+}
+
+func TestRouteWithLayoutReducesSwaps(t *testing.T) {
+	c := circuit.New(4)
+	for i := 0; i < 6; i++ {
+		c.CX(0, 3)
+	}
+	m := LinearCoupling(4)
+	trivial, _, err := Route(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smart, _, err := RouteWithLayout(c, m, ChooseInitialLayout(c, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.CNOTCount() >= trivial.CNOTCount() {
+		t.Errorf("initial layout did not help: trivial %d, smart %d CNOT-equivalents",
+			trivial.CNOTCount(), smart.CNOTCount())
+	}
+}
+
+func TestRouteWithLayoutPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		c := circuit.New(4)
+		for i := 0; i < 12; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.RY(rng.Intn(4), rng.Float64()*2)
+			default:
+				a, b := distinctPair(4, rng)
+				c.CX(a, b)
+			}
+		}
+		m := RingCoupling(5)
+		initial := ChooseInitialLayout(c, m)
+		routed, layout, err := RouteWithLayout(c, m, initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pLogical := sim.Probabilities(c)
+		got := PermuteDistribution(sim.Probabilities(routed), layout, 4)
+		for k := range pLogical {
+			if math.Abs(pLogical[k]-got[k]) > 1e-9 {
+				t.Fatalf("trial %d: distribution mismatch at %d", trial, k)
+			}
+		}
+	}
+}
+
+func TestRouteWithLayoutValidation(t *testing.T) {
+	c := circuit.New(2)
+	c.CX(0, 1)
+	m := LinearCoupling(3)
+	if _, _, err := RouteWithLayout(c, m, []int{0}); err == nil {
+		t.Error("short layout accepted")
+	}
+	if _, _, err := RouteWithLayout(c, m, []int{0, 0}); err == nil {
+		t.Error("duplicate placement accepted")
+	}
+	if _, _, err := RouteWithLayout(c, m, []int{0, 9}); err == nil {
+		t.Error("out-of-range placement accepted")
+	}
+}

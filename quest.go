@@ -1,0 +1,140 @@
+// Package quest is the public API of this repository: a from-scratch Go
+// reproduction of QUEST (Patel et al., ASPLOS 2022), a procedure that
+// systematically approximates quantum circuits to reduce their CNOT gate
+// count and thereby increase output fidelity on noisy quantum hardware.
+//
+// The pipeline (see DESIGN.md for the full architecture):
+//
+//  1. Partition the circuit into blocks of at most Config.BlockSize qubits
+//     with a single-scan partitioner.
+//  2. Approximately synthesize every block with a LEAP-style bottom-up
+//     compiler, harvesting many candidate circuits across CNOT counts.
+//  3. Select up to Config.MaxSamples mathematically "dissimilar" low-CNOT
+//     full-circuit approximations with a dual annealing engine driven by
+//     the paper's Algorithm 1; the per-block process distances bound the
+//     full-circuit Hilbert-Schmidt distance (Sec. 3.8 theorem).
+//  4. Average the output distributions of the selected approximations.
+//
+// Quick start:
+//
+//	c, _ := quest.GenerateBenchmark("tfim", 4)
+//	res, _ := quest.Approximate(c, quest.Config{})
+//	fmt.Println("CNOTs:", c.CNOTCount(), "->", res.BestCNOTs())
+//	out, _ := res.EnsembleProbabilities(quest.IdealRunner())
+package quest
+
+import (
+	"repro/internal/algos"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/noise"
+	"repro/internal/qasm"
+	"repro/internal/sim"
+	"repro/internal/transpile"
+)
+
+// Circuit is the quantum circuit IR: an ordered list of gate operations.
+// Build circuits with New plus the gate methods (H, CX, RZ, ...), or parse
+// OpenQASM 2.0 with ParseQASM.
+type Circuit = circuit.Circuit
+
+// Config controls the QUEST pipeline; the zero value selects paper-like
+// defaults. See the field documentation in internal/core.
+type Config = core.Config
+
+// Result is the pipeline outcome: the per-block approximation sets, the
+// selected dissimilar approximations and the stage timing breakdown.
+type Result = core.Result
+
+// Approximation is one selected full-circuit approximation.
+type Approximation = core.Approximation
+
+// Runner executes a circuit and returns an output distribution.
+type Runner = core.Runner
+
+// NoiseModel is a stochastic Pauli gate-error model.
+type NoiseModel = noise.Model
+
+// Device models a NISQ machine (error model + coupling constraints).
+type Device = noise.Device
+
+// New returns an empty circuit on n qubits.
+func New(n int) *Circuit { return circuit.New(n) }
+
+// ParseQASM parses an OpenQASM 2.0 program.
+func ParseQASM(src string) (*Circuit, error) { return qasm.Parse(src) }
+
+// WriteQASM renders a circuit as an OpenQASM 2.0 program.
+func WriteQASM(c *Circuit) string { return qasm.Write(c) }
+
+// Approximate runs the full QUEST pipeline on a circuit.
+func Approximate(c *Circuit, cfg Config) (*Result, error) { return core.Run(c, cfg) }
+
+// GenerateBenchmark builds one of the paper's Table-1 benchmark circuits
+// ("adder", "heisenberg", "hlf", "qft", "qaoa", "multiplier", "tfim",
+// "vqe", "xy") on approximately n qubits.
+func GenerateBenchmark(name string, n int) (*Circuit, error) { return algos.Generate(name, n) }
+
+// Benchmarks lists the benchmark names accepted by GenerateBenchmark.
+func Benchmarks() []string { return algos.Names() }
+
+// Simulate returns the ideal output distribution of the circuit from
+// |0...0>.
+func Simulate(c *Circuit) []float64 { return sim.Probabilities(c) }
+
+// UniformNoise returns the paper's Pauli noise model at level p (two-qubit
+// error p, one-qubit error p/10, readout error p).
+func UniformNoise(p float64) NoiseModel { return noise.Uniform(p) }
+
+// SimulateNoisy runs the circuit under a noise model with the given number
+// of measurement shots (0 for exact trajectory-averaged probabilities) and
+// seed, and returns the output distribution.
+func SimulateNoisy(c *Circuit, m NoiseModel, shots int, seed int64) []float64 {
+	return m.Run(c, noise.Options{Shots: shots, Seed: seed})
+}
+
+// Manila returns the synthetic IBMQ-Manila-class 5-qubit device model used
+// by the hardware experiments.
+func Manila() *Device { return noise.Manila() }
+
+// RunOnDevice routes the circuit onto the device and simulates it under
+// the device noise model, returning the distribution in logical qubit
+// order.
+func RunOnDevice(d *Device, c *Circuit, shots int, seed int64) ([]float64, error) {
+	return d.Run(c, noise.Options{Shots: shots, Seed: seed})
+}
+
+// OptimizeQiskitStyle applies the Qiskit-like transpiler baseline (lower
+// to {u3, cx}, fuse, cancel) used as the comparison point in the paper.
+func OptimizeQiskitStyle(c *Circuit) *Circuit { return transpile.Optimize(c) }
+
+// LowerToBasis rewrites the circuit into the {u3, cx} basis without
+// further optimization; the paper's Baseline CNOT counts are defined on
+// this form.
+func LowerToBasis(c *Circuit) *Circuit { return transpile.Lower(c) }
+
+// TVD returns the total variation distance between two distributions.
+func TVD(p, q []float64) float64 { return metrics.TVD(p, q) }
+
+// JSD returns the Jensen-Shannon distance between two distributions.
+func JSD(p, q []float64) float64 { return metrics.JSD(p, q) }
+
+// IdealRunner returns a Runner backed by the ideal simulator.
+func IdealRunner() Runner {
+	return func(c *Circuit) ([]float64, error) { return sim.Probabilities(c), nil }
+}
+
+// NoisyRunner returns a Runner backed by the noisy simulator.
+func NoisyRunner(m NoiseModel, shots int, seed int64) Runner {
+	return func(c *Circuit) ([]float64, error) {
+		return m.Run(c, noise.Options{Shots: shots, Seed: seed}), nil
+	}
+}
+
+// DeviceRunner returns a Runner that routes onto and runs a device model.
+func DeviceRunner(d *Device, shots int, seed int64) Runner {
+	return func(c *Circuit) ([]float64, error) {
+		return d.Run(c, noise.Options{Shots: shots, Seed: seed})
+	}
+}

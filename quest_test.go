@@ -1,0 +1,119 @@
+package quest
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the full advertised workflow through the
+// façade only: generate → approximate → ensemble → compare.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	c, err := GenerateBenchmark("tfim", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Approximate(c, Config{
+		MaxSamples:       4,
+		AnnealIterations: 150,
+		Seed:             5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCNOTs() > c.CNOTCount() {
+		t.Errorf("approximation has more CNOTs (%d) than original (%d)", res.BestCNOTs(), c.CNOTCount())
+	}
+	out, err := res.EnsembleProbabilities(IdealRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvd := TVD(Simulate(c), out); tvd > 0.15 {
+		t.Errorf("ensemble TVD = %g", tvd)
+	}
+}
+
+func TestPublicQASMRoundTrip(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.CX(0, 1)
+	src := WriteQASM(c)
+	parsed, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.CNOTCount() != 1 || parsed.NumQubits != 2 {
+		t.Errorf("round trip lost structure: %v", parsed)
+	}
+}
+
+func TestPublicBenchmarksList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 9 {
+		t.Fatalf("expected 9 Table-1 benchmarks, got %d", len(names))
+	}
+	for _, n := range names {
+		if _, err := GenerateBenchmark(n, 4); err != nil {
+			t.Errorf("GenerateBenchmark(%s): %v", n, err)
+		}
+	}
+}
+
+func TestPublicNoisySimulation(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.CX(0, 1)
+	ideal := Simulate(c)
+	noisy := SimulateNoisy(c, UniformNoise(0.05), 0, 3)
+	var s float64
+	for _, v := range noisy {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("noisy distribution sums to %g", s)
+	}
+	if TVD(ideal, noisy) == 0 {
+		t.Error("noise had no effect")
+	}
+}
+
+func TestPublicDeviceRun(t *testing.T) {
+	c := New(3)
+	c.H(0)
+	c.CX(0, 2)
+	p, err := RunOnDevice(Manila(), c, 1024, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 8 {
+		t.Fatalf("distribution length %d", len(p))
+	}
+}
+
+func TestPublicQiskitBaseline(t *testing.T) {
+	c := New(2)
+	c.CX(0, 1)
+	c.CX(0, 1)
+	c.H(0)
+	c.H(0)
+	out := OptimizeQiskitStyle(c)
+	if out.Size() != 0 {
+		t.Errorf("baseline failed to remove redundant gates: %v", out)
+	}
+	lowered := LowerToBasis(c)
+	for _, op := range lowered.Ops {
+		if op.Name != "u3" && op.Name != "cx" {
+			t.Errorf("LowerToBasis emitted %s", op.Name)
+		}
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0.5, 0.5}
+	if d := TVD(p, q); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("TVD = %g", d)
+	}
+	if d := JSD(p, p); d != 0 {
+		t.Errorf("JSD(p,p) = %g", d)
+	}
+}
