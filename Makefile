@@ -1,0 +1,32 @@
+# Verification targets. `make verify` is what CI runs on every PR: the
+# concurrency introduced by the parallel trajectory/synthesis engines is
+# always exercised under the race detector. The -short path stays under
+# ~5 minutes on a few cores; `make verify-full` runs the complete suite.
+
+GO ?= go
+
+.PHONY: build vet test test-race verify verify-full bench fmt-check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race -short ./...
+
+verify: vet build test-race
+
+verify-full: vet build
+	$(GO) test -race -timeout 30m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/noise ./internal/sim ./internal/linalg
+
+fmt-check:
+	@out=$$(gofmt -l cmd internal examples *.go); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -25,10 +25,11 @@ func main() {
 		ablation = flag.String("ablation", "", "run an ablation study instead (or 'all')")
 		quick    = flag.Bool("quick", false, "reduced workload sizes and search budgets")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("parallelism", 0, "worker goroutines for the pipeline and the noisy simulator (0 = all CPUs; results are identical for any value)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Out: os.Stdout}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallelism: *workers, Out: os.Stdout}
 	if *ablation != "" {
 		names := experiments.Ablations()
 		if *ablation != "all" {

@@ -30,6 +30,8 @@ func main() {
 		noiseLvl = flag.Float64("noise", 0, "uniform Pauli noise level p_gate (0 = ideal)")
 		device   = flag.String("device", "", "run on a device model instead (\"manila\")")
 		shots    = flag.Int("shots", 0, "measurement shots (0 = exact probabilities)")
+		trajs    = flag.Int("trajectories", 0, "Monte-Carlo trajectory budget (0 = default 100)")
+		workers  = flag.Int("parallelism", 0, "trajectory worker goroutines (0 = all CPUs; output is identical for any value)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		top      = flag.Int("top", 8, "how many basis states to print")
 	)
@@ -56,10 +58,13 @@ func main() {
 		ref = quest.Simulate(rc)
 	}
 
+	simOpts := quest.SimOptions{
+		Shots: *shots, Trajectories: *trajs, Seed: *seed, Parallelism: *workers,
+	}
 	var out []float64
 	switch {
 	case *device == "manila":
-		out, err = quest.RunOnDevice(quest.Manila(), c, *shots, *seed)
+		out, err = quest.RunOnDeviceOpts(quest.Manila(), c, simOpts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "questsim:", err)
 			os.Exit(1)
@@ -68,7 +73,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "questsim: unknown device %q\n", *device)
 		os.Exit(1)
 	case *noiseLvl > 0:
-		out = quest.SimulateNoisy(c, quest.UniformNoise(*noiseLvl), *shots, *seed)
+		out = quest.SimulateNoisyOpts(c, quest.UniformNoise(*noiseLvl), simOpts)
 	default:
 		out = ref
 	}

@@ -11,12 +11,12 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/anneal"
 	"repro/internal/circuit"
 	"repro/internal/linalg"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/synth"
@@ -190,27 +190,19 @@ func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
 	res.Timing.Partition = time.Since(t0)
 	res.Threshold = math.Min(cfg.Epsilon*float64(len(blocks)), cfg.ThresholdCap)
 
-	// STEP 2: per-block approximate synthesis (parallel, deterministic).
+	// STEP 2: per-block approximate synthesis (parallel, deterministic:
+	// block i's search is seeded from (Seed, i) and writes only slot i).
 	t0 = time.Now()
 	res.Blocks = make([]BlockApproximations, len(blocks))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Parallelism)
 	errs := make([]error, len(blocks))
-	for i, b := range blocks {
-		wg.Add(1)
-		go func(i int, b partition.Block) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			ba, err := synthesizeBlock(b, cfg, res.Threshold, cfg.Seed+int64(i)*7919)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			res.Blocks[i] = ba
-		}(i, b)
-	}
-	wg.Wait()
+	par.ForEach(cfg.Parallelism, len(blocks), func(i int) {
+		ba, err := synthesizeBlock(blocks[i], cfg, res.Threshold, cfg.Seed+int64(i)*7919)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Blocks[i] = ba
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: synthesize block %d: %w", i, err)
@@ -279,19 +271,25 @@ func synthesizeBlock(b partition.Block, cfg Config, threshold float64, seed int6
 	}
 	ba := BlockApproximations{Block: b, Unitary: u, Candidates: kept}
 	// Precompute pairwise candidate distances for the similarity rule.
+	// Candidate unitaries and the upper triangle fan out across workers
+	// (each (i, j>i) cell is written exactly once); the mirror pass runs
+	// after the barrier so it only reads completed cells.
 	us := make([]*linalg.Matrix, len(ba.Candidates))
-	for i, cand := range ba.Candidates {
-		us[i] = sim.Unitary(cand.Circuit)
-	}
+	par.ForEach(cfg.Parallelism, len(us), func(i int) {
+		us[i] = sim.Unitary(ba.Candidates[i].Circuit)
+	})
 	ba.pairDist = make([][]float64, len(us))
 	for i := range us {
 		ba.pairDist[i] = make([]float64, len(us))
-		for j := range us {
-			if j < i {
-				ba.pairDist[i][j] = ba.pairDist[j][i]
-			} else if j > i {
-				ba.pairDist[i][j] = linalg.HSDistance(us[i], us[j])
-			}
+	}
+	par.ForEach(cfg.Parallelism, len(us), func(i int) {
+		for j := i + 1; j < len(us); j++ {
+			ba.pairDist[i][j] = linalg.HSDistance(us[i], us[j])
+		}
+	})
+	for i := range us {
+		for j := 0; j < i; j++ {
+			ba.pairDist[i][j] = ba.pairDist[j][i]
 		}
 	}
 	return ba, nil

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -10,6 +12,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/linalg"
 	"repro/internal/metrics"
+	"repro/internal/noise"
 	"repro/internal/sim"
 )
 
@@ -271,6 +274,9 @@ func TestThresholdCap(t *testing.T) {
 }
 
 func TestParallelismDoesNotChangeResults(t *testing.T) {
+	// The determinism claim on Config.Parallelism: the pipeline selects
+	// IDENTICAL approximations — same per-block candidate choices, not
+	// just the same CNOT counts — for every worker count.
 	c := algos.TFIM(4, 2, 0.1, 1, 1)
 	cfg := testConfig()
 	cfg.Parallelism = 1
@@ -278,18 +284,73 @@ func TestParallelismDoesNotChangeResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Parallelism = 4
-	r2, err := Run(c, cfg)
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		cfg.Parallelism = workers
+		r2, err := Run(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1.Selected) != len(r2.Selected) {
+			t.Fatalf("parallelism %d changed sample count: %d vs %d",
+				workers, len(r1.Selected), len(r2.Selected))
+		}
+		for i := range r1.Selected {
+			a, b := r1.Selected[i], r2.Selected[i]
+			if a.CNOTs != b.CNOTs || a.EpsilonSum != b.EpsilonSum {
+				t.Errorf("parallelism %d: sample %d stats differ", workers, i)
+			}
+			for k := range a.Choice {
+				if a.Choice[k] != b.Choice[k] {
+					t.Errorf("parallelism %d: sample %d picks candidate %d for block %d, serial picked %d",
+						workers, i, b.Choice[k], k, a.Choice[k])
+				}
+			}
+		}
+	}
+}
+
+func TestEnsembleProbabilitiesInvariantUnderWorkers(t *testing.T) {
+	// Ensemble evaluation must be bit-identical for any worker count,
+	// including through the noisy runner (whose RNG streams are derived
+	// per call, never shared).
+	c := algos.TFIM(4, 2, 0.1, 1, 1)
+	res, err := Run(c, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r1.Selected) != len(r2.Selected) {
-		t.Fatalf("parallelism changed sample count: %d vs %d", len(r1.Selected), len(r2.Selected))
+	m := noise.Uniform(0.01)
+	runner := func(a *circuit.Circuit) ([]float64, error) {
+		return m.Run(a, noise.Options{Shots: 1024, Trajectories: 20, Seed: 5, Parallelism: 1}), nil
 	}
-	for i := range r1.Selected {
-		if r1.Selected[i].CNOTs != r2.Selected[i].CNOTs {
-			t.Errorf("sample %d differs across parallelism levels", i)
+	ref, err := res.EnsembleProbabilitiesWorkers(runner, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, runtime.NumCPU(), 0} {
+		got, err := res.EnsembleProbabilitiesWorkers(runner, workers)
+		if err != nil {
+			t.Fatal(err)
 		}
+		for k := range ref {
+			if got[k] != ref[k] {
+				t.Fatalf("workers=%d: ensemble output differs at state %d", workers, k)
+			}
+		}
+	}
+}
+
+func TestEnsembleProbabilitiesReportsFirstError(t *testing.T) {
+	c := algos.TFIM(4, 2, 0.1, 1, 1)
+	res, err := Run(c, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("backend down")
+	_, err = res.EnsembleProbabilities(func(*circuit.Circuit) ([]float64, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("ensemble error not propagated: %v", err)
 	}
 }
 

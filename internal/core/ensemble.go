@@ -5,27 +5,51 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/metrics"
+	"repro/internal/par"
 )
 
 // Runner executes a circuit and returns its output distribution; it
 // abstracts the ideal simulator, the noisy simulator, and device models so
 // the ensemble rule is identical across backends.
+//
+// Concurrency contract: ensemble evaluation calls the Runner from
+// multiple goroutines, so a Runner must be safe for concurrent use. Every
+// Runner built by this repository is — each call owns its statevector and
+// derives private RNG streams from its seed — but a custom Runner that
+// mutates shared state must either synchronize internally or be driven
+// through EnsembleProbabilitiesWorkers(run, 1).
 type Runner func(*circuit.Circuit) ([]float64, error)
 
 // EnsembleProbabilities runs every selected approximation through the
 // runner and returns the pointwise average of their output distributions —
-// QUEST's output rule (Sec. 3.6, Fig. 6).
+// QUEST's output rule (Sec. 3.6, Fig. 6). Approximations are evaluated
+// concurrently with runtime.NumCPU() workers; the result is identical for
+// every worker count (distributions are averaged in selection order).
 func (r *Result) EnsembleProbabilities(run Runner) ([]float64, error) {
+	return r.EnsembleProbabilitiesWorkers(run, 0)
+}
+
+// EnsembleProbabilitiesWorkers is EnsembleProbabilities with an explicit
+// worker-goroutine cap (0 or negative selects runtime.NumCPU(), 1 forces
+// serial evaluation for Runners that are not concurrency-safe).
+func (r *Result) EnsembleProbabilitiesWorkers(run Runner, workers int) ([]float64, error) {
 	if len(r.Selected) == 0 {
 		return nil, fmt.Errorf("core: no selected approximations")
 	}
-	dists := make([][]float64, 0, len(r.Selected))
-	for i, a := range r.Selected {
-		p, err := run(a.Circuit)
+	dists := make([][]float64, len(r.Selected))
+	errs := make([]error, len(r.Selected))
+	par.ForEach(workers, len(r.Selected), func(i int) {
+		p, err := run(r.Selected[i].Circuit)
 		if err != nil {
-			return nil, fmt.Errorf("core: running approximation %d: %w", i, err)
+			errs[i] = fmt.Errorf("core: running approximation %d: %w", i, err)
+			return
 		}
-		dists = append(dists, p)
+		dists[i] = p
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return metrics.AverageDistributions(dists...), nil
 }

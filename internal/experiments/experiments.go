@@ -32,8 +32,12 @@ type Config struct {
 	Quick bool
 	// Seed seeds every stochastic component (default 1).
 	Seed int64
-	// Out receives the result tables (default os.Stdout must be set by
-	// the caller; nil means io.Discard).
+	// Parallelism bounds the worker goroutines used by the pipeline and
+	// the noisy simulator (0 or negative selects runtime.NumCPU()).
+	// Results are identical for every value.
+	Parallelism int
+	// Out receives the result tables; nil means io.Discard. Callers that
+	// want them printed typically set os.Stdout.
 	Out io.Writer
 }
 
@@ -143,6 +147,7 @@ func pipelineConfig(cfg Config) core.Config {
 		Epsilon:          0.05,
 		MaxSamples:       8,
 		AnnealIterations: 250,
+		Parallelism:      cfg.Parallelism,
 		Seed:             cfg.Seed,
 	}
 	if cfg.Quick {
@@ -191,12 +196,14 @@ func idealProbabilities(c *circuit.Circuit) ([]float64, error) {
 
 // noisyRunner returns a core.Runner for a uniform Pauli model, optionally
 // applying the Qiskit-style optimizer before execution (the paper's
-// "QUEST + Qiskit" configuration).
+// "QUEST + Qiskit" configuration). The ensemble already fans out across
+// approximations, so each run keeps its trajectories serial
+// (Parallelism 1) rather than oversubscribing the worker budget.
 func noisyRunner(m noise.Model, shots int, seed int64, qiskit bool) core.Runner {
 	return func(c *circuit.Circuit) ([]float64, error) {
 		if qiskit {
 			c = transpile.Optimize(c)
 		}
-		return m.Run(c, noise.Options{Shots: shots, Seed: seed}), nil
+		return m.Run(c, noise.Options{Shots: shots, Seed: seed, Parallelism: 1}), nil
 	}
 }

@@ -70,6 +70,9 @@ func TestFig07BoundAlwaysHolds(t *testing.T) {
 }
 
 func TestFig08(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 8 synthesizes every Table-1 workload")
+	}
 	out := runFig(t, 8)
 	if !strings.Contains(out, "quest%") {
 		t.Errorf("Fig 8 output:\n%s", out)
@@ -77,6 +80,9 @@ func TestFig08(t *testing.T) {
 }
 
 func TestFig09(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 9 runs noisy ensembles for every Table-1 workload")
+	}
 	out := runFig(t, 9)
 	if !strings.Contains(out, "JSD") {
 		t.Errorf("Fig 9 output:\n%s", out)
@@ -84,10 +90,16 @@ func TestFig09(t *testing.T) {
 }
 
 func TestFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 10 runs 300-trajectory device ensembles for every <=5-qubit workload")
+	}
 	runFig(t, 10)
 }
 
 func TestFig11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 11 runs noisy ensembles at three trajectory counts")
+	}
 	out := runFig(t, 11)
 	if strings.Count(out, "Fig 11") != 3 {
 		t.Errorf("Fig 11 should sweep 3 noise levels:\n%s", out)
@@ -95,6 +107,9 @@ func TestFig11(t *testing.T) {
 }
 
 func TestFig12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 12 synthesizes every Table-1 workload")
+	}
 	out := runFig(t, 12)
 	if !strings.Contains(out, "synthesis%") {
 		t.Errorf("Fig 12 output:\n%s", out)
@@ -102,6 +117,9 @@ func TestFig12(t *testing.T) {
 }
 
 func TestFig13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 13 re-synthesizes the case study at every timestep and runs device ensembles")
+	}
 	runFig(t, 13)
 }
 
@@ -116,6 +134,9 @@ func TestFig14(t *testing.T) {
 }
 
 func TestFig15(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 15 synthesizes every Table-1 workload with and without partitioning")
+	}
 	out := runFig(t, 15)
 	if !strings.Contains(out, "reduction:") {
 		t.Errorf("Fig 15 output:\n%s", out)

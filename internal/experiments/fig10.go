@@ -26,9 +26,13 @@ func Fig10Manila(cfg Config) error {
 	const shots = 8192
 	const trajectories = 300 // stabilize the trajectory average
 
-	deviceRun := func(c *circuit.Circuit, seed int64) ([]float64, error) {
+	// Standalone runs parallelize across trajectories; ensemble runs keep
+	// trajectories serial because the ensemble itself fans out.
+	deviceRun := func(c *circuit.Circuit, seed int64, workers int) ([]float64, error) {
 		opt := transpile.Optimize(c)
-		return dev.Run(opt, noise.Options{Shots: shots, Trajectories: trajectories, Seed: seed})
+		return dev.Run(opt, noise.Options{
+			Shots: shots, Trajectories: trajectories, Seed: seed, Parallelism: workers,
+		})
 	}
 
 	cfg.section("Fig 10: TVD on the Manila-class device (Qiskit vs QUEST+Qiskit)")
@@ -46,7 +50,7 @@ func Fig10Manila(cfg Config) error {
 		}
 		ideal := sim.Probabilities(w.circuit)
 
-		qp, err := deviceRun(w.circuit, cfg.Seed)
+		qp, err := deviceRun(w.circuit, cfg.Seed, cfg.Parallelism)
 		if err != nil {
 			return fmt.Errorf("fig10 %s qiskit: %w", w.label(), err)
 		}
@@ -56,9 +60,9 @@ func Fig10Manila(cfg Config) error {
 		if err != nil {
 			return fmt.Errorf("fig10 %s quest: %w", w.label(), err)
 		}
-		ens, err := res.EnsembleProbabilities(func(c *circuit.Circuit) ([]float64, error) {
-			return deviceRun(c, cfg.Seed)
-		})
+		ens, err := res.EnsembleProbabilitiesWorkers(func(c *circuit.Circuit) ([]float64, error) {
+			return deviceRun(c, cfg.Seed, 1)
+		}, cfg.Parallelism)
 		if err != nil {
 			return err
 		}

@@ -53,12 +53,16 @@ func Fig11NoiseSweep(cfg Config) error {
 		for _, pr := range prep {
 			w := pr.w
 			ideal := sim.Probabilities(w.circuit)
-			opts := noise.Options{Shots: shots, Trajectories: trajectories, Seed: cfg.Seed}
+			opts := noise.Options{
+				Shots: shots, Trajectories: trajectories, Seed: cfg.Seed,
+				Parallelism: cfg.Parallelism,
+			}
 
 			baseTVD := metrics.TVD(ideal, m.Run(transpile.Lower(w.circuit), opts))
 			qiskitTVD := metrics.TVD(ideal, m.Run(transpile.Optimize(w.circuit), opts))
 
-			ens, err := pr.res.EnsembleProbabilities(noisyRunner(m, shots, cfg.Seed+7, true))
+			ens, err := pr.res.EnsembleProbabilitiesWorkers(
+				noisyRunner(m, shots, cfg.Seed+7, true), cfg.Parallelism)
 			if err != nil {
 				return err
 			}

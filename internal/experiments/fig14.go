@@ -22,7 +22,10 @@ func Fig14CaseStudyNoise(cfg Config) error {
 		m := noise.Uniform(p)
 		run := func(c *circuit.Circuit, seed int64) ([]float64, error) {
 			opt := transpile.Optimize(c)
-			return m.Run(opt, noise.Options{Shots: shots, Trajectories: trajectories, Seed: seed}), nil
+			return m.Run(opt, noise.Options{
+				Shots: shots, Trajectories: trajectories, Seed: seed,
+				Parallelism: cfg.Parallelism,
+			}), nil
 		}
 		if err := caseStudy(cfg, fmt.Sprintf("Fig 14 (noise %.1f%%)", p*100), run); err != nil {
 			return err

@@ -1,0 +1,74 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// benchCircuit builds a trajectory-heavy workload: a deep random circuit
+// on n qubits, the shape that dominates the noisy figures (Figs. 10-15).
+func benchCircuit(n, ops int) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(7))
+	c := circuit.New(n)
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.RY(rng.Intn(n), rng.Float64()*math.Pi)
+		case 1:
+			c.RZ(rng.Intn(n), rng.Float64()*math.Pi)
+		default:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.CX(a, b)
+		}
+	}
+	return c
+}
+
+// BenchmarkModelRun compares the serial and parallel trajectory engines on
+// the acceptance workload: same seed, same trajectory budget, bit-identical
+// output, only the worker count differs.
+func BenchmarkModelRun(b *testing.B) {
+	c := benchCircuit(6, 120)
+	m := Uniform(0.01)
+	workerCounts := []int{1, runtime.NumCPU()}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("parallelism=%d", workers), func(b *testing.B) {
+			opts := Options{Trajectories: 200, Seed: 1, Parallelism: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Run(c, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkModelRunWithShots includes readout error and shot sampling, the
+// exact configuration of the Fig. 10/11 device runs.
+func BenchmarkModelRunWithShots(b *testing.B) {
+	c := benchCircuit(5, 100)
+	m := Manila().Model
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("parallelism=%d", workers), func(b *testing.B) {
+			opts := Options{Trajectories: 300, Shots: 8192, Seed: 1, Parallelism: workers}
+			for i := 0; i < b.N; i++ {
+				m.Run(c, opts)
+			}
+		})
+	}
+}
+
+func BenchmarkTrajectory(b *testing.B) {
+	c := benchCircuit(6, 120)
+	m := Uniform(0.01)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Trajectory(c, rng)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/gate"
 	"repro/internal/linalg"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/transpile"
 )
@@ -135,6 +136,12 @@ type Options struct {
 	Trajectories int
 	// Seed makes the run deterministic (default 1).
 	Seed int64
+	// Parallelism bounds the worker goroutines used to run trajectories
+	// concurrently (0 or negative selects runtime.NumCPU()). The output
+	// is bit-identical for every Parallelism value: trajectory t always
+	// draws from its own RNG stream derived from (Seed, t), and partial
+	// sums are reduced in a fixed order.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
@@ -146,36 +153,97 @@ func (o *Options) defaults() {
 	}
 }
 
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood), a cheap
+// bijective mixer whose outputs pass BigCrush; it turns structured inputs
+// like small consecutive integers into well-separated seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// streamSeed derives the seed of independent RNG stream idx of a run
+// seeded with seed. Trajectory t uses stream t; negative indices are
+// reserved for non-trajectory streams (shot sampling), which is what
+// decouples shot noise from the trajectory count.
+func streamSeed(seed, idx int64) int64 {
+	// Chain rather than XOR the two mixes: XOR is commutative, so
+	// (seed, idx) and (idx, seed) would otherwise share a stream.
+	return int64(splitmix64(splitmix64(uint64(seed)) + uint64(idx)))
+}
+
+// shotStream is the reserved stream index for measurement-shot sampling.
+const shotStream int64 = -1
+
+// trajectoryChunk is how many consecutive trajectories one unit of
+// parallel work accumulates before its partial sum is handed back. It is
+// a fixed constant (never derived from the worker count) so the reduction
+// order — chunk by chunk, trajectories ascending within a chunk — is the
+// same for every Parallelism setting.
+const trajectoryChunk = 8
+
 // Run simulates the circuit under the model and returns the output
-// distribution over the 2^n basis states.
+// distribution over the 2^n basis states. Runs are deterministic in
+// (circuit, model, Shots, Trajectories, Seed) and invariant under
+// Options.Parallelism; the shot-sampling RNG stream depends only on Seed,
+// so changing Trajectories never perturbs the shot-noise realization.
 func (m Model) Run(c *circuit.Circuit, opts Options) []float64 {
 	opts.defaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
 	dim := 1 << c.NumQubits
 
 	probs := make([]float64, dim)
 	if m.OneQubitError == 0 && m.TwoQubitError == 0 && m.DampingError == 0 {
 		copy(probs, sim.Probabilities(c))
 	} else {
-		for t := 0; t < opts.Trajectories; t++ {
-			state := m.Trajectory(c, rng)
-			for k, amp := range state {
-				probs[k] += real(amp)*real(amp) + imag(amp)*imag(amp)
-			}
-		}
-		inv := 1 / float64(opts.Trajectories)
-		for k := range probs {
-			probs[k] *= inv
-		}
+		m.accumulateTrajectories(c, opts, probs)
 	}
 
 	if m.ReadoutError > 0 {
 		probs = ApplyReadoutError(probs, c.NumQubits, m.ReadoutError)
 	}
 	if opts.Shots > 0 {
+		rng := rand.New(rand.NewSource(streamSeed(opts.Seed, shotStream)))
 		probs = SampleShots(probs, opts.Shots, rng)
 	}
 	return probs
+}
+
+// accumulateTrajectories adds the mean trajectory probability mass into
+// probs. Trajectories are split into fixed-size chunks executed by a
+// bounded worker pool; each chunk owns a private partial sum and the
+// partials are reduced in chunk order, so the floating-point summation
+// order (and hence the result, bit for bit) is independent of the worker
+// count.
+func (m Model) accumulateTrajectories(c *circuit.Circuit, opts Options, probs []float64) {
+	dim := len(probs)
+	chunks := (opts.Trajectories + trajectoryChunk - 1) / trajectoryChunk
+	partials := make([][]float64, chunks)
+	par.ForEach(opts.Parallelism, chunks, func(ci int) {
+		partial := make([]float64, dim)
+		lo := ci * trajectoryChunk
+		hi := lo + trajectoryChunk
+		if hi > opts.Trajectories {
+			hi = opts.Trajectories
+		}
+		for t := lo; t < hi; t++ {
+			rng := rand.New(rand.NewSource(streamSeed(opts.Seed, int64(t))))
+			state := m.Trajectory(c, rng)
+			for k, amp := range state {
+				partial[k] += real(amp)*real(amp) + imag(amp)*imag(amp)
+			}
+		}
+		partials[ci] = partial
+	})
+	for _, partial := range partials {
+		for k, v := range partial {
+			probs[k] += v
+		}
+	}
+	inv := 1 / float64(opts.Trajectories)
+	for k := range probs {
+		probs[k] *= inv
+	}
 }
 
 // ApplyReadoutError applies an independent bit-flip channel with
@@ -198,7 +266,11 @@ func ApplyReadoutError(p []float64, n int, e float64) []float64 {
 }
 
 // SampleShots draws `shots` samples from the distribution and returns the
-// normalized empirical histogram.
+// normalized empirical histogram. The input need not be normalized —
+// sampling is proportional to the (non-negative) entries — but it must
+// carry some mass: a zero-total distribution has no valid sample, so the
+// all-zero histogram is returned rather than silently piling every shot
+// into basis state 0.
 func SampleShots(p []float64, shots int, rng *rand.Rand) []float64 {
 	cdf := make([]float64, len(p))
 	var acc float64
@@ -207,19 +279,32 @@ func SampleShots(p []float64, shots int, rng *rand.Rand) []float64 {
 		cdf[i] = acc
 	}
 	hist := make([]float64, len(p))
+	if acc <= 0 || shots <= 0 {
+		return hist
+	}
 	for s := 0; s < shots; s++ {
-		r := rng.Float64() * acc
-		k := sort.SearchFloat64s(cdf, r)
-		if k >= len(hist) {
-			k = len(hist) - 1
-		}
-		hist[k]++
+		hist[sampleIndex(cdf, acc, rng.Float64()*acc)]++
 	}
 	inv := 1 / float64(shots)
 	for i := range hist {
 		hist[i] *= inv
 	}
 	return hist
+}
+
+// sampleIndex locates r within the cumulative distribution, clamping to
+// the last bucket so that rounding at the top of an under-normalized cdf
+// (where cdf[len-1] can fall below the running total used to scale r) can
+// never index past the histogram.
+func sampleIndex(cdf []float64, total, r float64) int {
+	if r >= total {
+		return len(cdf) - 1
+	}
+	k := sort.SearchFloat64s(cdf, r)
+	if k >= len(cdf) {
+		k = len(cdf) - 1
+	}
+	return k
 }
 
 // Device models a NISQ machine: an error model plus a coupling map that

@@ -116,6 +116,128 @@ func TestApplyReadoutError(t *testing.T) {
 	sumsToOne(t, out, "readout")
 }
 
+func TestSampleShotsZeroMassReturnsZeroHistogram(t *testing.T) {
+	// Regression: an all-zero distribution used to pile every shot into
+	// basis state 0 (acc == 0 makes every draw r == 0, and the cdf search
+	// returns index 0). It must yield the all-zero histogram instead.
+	rng := rand.New(rand.NewSource(21))
+	hist := SampleShots([]float64{0, 0, 0, 0}, 1000, rng)
+	for k, v := range hist {
+		if v != 0 {
+			t.Fatalf("zero-mass distribution produced mass at state %d: %g", k, v)
+		}
+	}
+	if hist := SampleShots(nil, 10, rng); len(hist) != 0 {
+		t.Errorf("empty distribution returned %v", hist)
+	}
+}
+
+func TestSampleShotsUnderNormalized(t *testing.T) {
+	// Sampling must be proportional to mass even when the input does not
+	// sum to 1 (e.g. a truncated or unnormalized histogram).
+	rng := rand.New(rand.NewSource(22))
+	p := []float64{0.2, 0, 0.05, 0} // total mass 0.25
+	hist := SampleShots(p, 100000, rng)
+	sumsToOne(t, hist, "under-normalized input")
+	if math.Abs(hist[0]-0.8) > 0.01 || math.Abs(hist[2]-0.2) > 0.01 {
+		t.Errorf("histogram %v, want ~[0.8 0 0.2 0]", hist)
+	}
+	if hist[1] != 0 || hist[3] != 0 {
+		t.Errorf("mass appeared on zero-probability states: %v", hist)
+	}
+}
+
+func TestSampleIndexClampsTopOfRange(t *testing.T) {
+	// The clamp path: with an under-normalized cdf whose top entry falls
+	// below the scaling total, a draw at (or beyond) the top must land in
+	// the last bucket instead of indexing past the histogram.
+	cdf := []float64{0.5, 0.75} // under-normalized: total mass 0.75
+	if k := sampleIndex(cdf, 0.75, 0.75); k != 1 {
+		t.Errorf("sampleIndex(total) = %d, want last bucket", k)
+	}
+	if k := sampleIndex(cdf, 0.75, 0.9); k != 1 {
+		t.Errorf("sampleIndex(beyond total) = %d, want last bucket", k)
+	}
+	if k := sampleIndex(cdf, 0.75, 0.6); k != 1 {
+		t.Errorf("sampleIndex(0.6) = %d, want 1", k)
+	}
+	if k := sampleIndex(cdf, 0.75, 0.1); k != 0 {
+		t.Errorf("sampleIndex(0.1) = %d, want 0", k)
+	}
+}
+
+func TestRunInvariantUnderParallelism(t *testing.T) {
+	// The tentpole determinism claim: bit-identical output for any worker
+	// count, including with damping and shot sampling in play.
+	c := circuit.New(3)
+	c.H(0)
+	c.CX(0, 1)
+	c.RY(2, 0.7)
+	c.CX(1, 2)
+	m := Model{OneQubitError: 0.01, TwoQubitError: 0.05, ReadoutError: 0.02, DampingError: 0.01}
+	ref := m.Run(c, Options{Seed: 31, Trajectories: 123, Shots: 2048, Parallelism: 1})
+	for _, workers := range []int{2, 3, 8, 0} {
+		got := m.Run(c, Options{Seed: 31, Trajectories: 123, Shots: 2048, Parallelism: workers})
+		for k := range ref {
+			if got[k] != ref[k] {
+				t.Fatalf("parallelism=%d: state %d differs: %g vs %g", workers, k, got[k], ref[k])
+			}
+		}
+	}
+}
+
+func TestShotStreamIndependentOfTrajectoryCount(t *testing.T) {
+	// Regression for the RNG coupling bug: shot sampling used to continue
+	// the trajectory loop's RNG stream, so changing Trajectories silently
+	// changed the shot-noise realization. H⊗H makes every trajectory's
+	// distribution exactly uniform under Pauli errors, so the averaged
+	// distribution is identical for any trajectory count — the sampled
+	// histograms must then match bit for bit.
+	c := circuit.New(2)
+	c.H(0)
+	c.H(1)
+	m := Model{OneQubitError: 0.4}
+	a := m.Run(c, Options{Seed: 17, Trajectories: 100, Shots: 4096})
+	b := m.Run(c, Options{Seed: 17, Trajectories: 200, Shots: 4096})
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("shot realization coupled to trajectory count: state %d: %g vs %g", k, a[k], b[k])
+		}
+	}
+}
+
+func TestShotStreamReconstructable(t *testing.T) {
+	// The seeding contract, asserted mechanically: a run with shots equals
+	// the same run without shots followed by SampleShots on the dedicated
+	// (Seed, shotStream) RNG stream.
+	c := bell()
+	m := Uniform(0.02)
+	opts := Options{Seed: 9, Trajectories: 50}
+	probs := m.Run(c, opts)
+	want := SampleShots(probs, 512, rand.New(rand.NewSource(streamSeed(opts.Seed, shotStream))))
+	opts.Shots = 512
+	got := m.Run(c, opts)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("shot stream not reconstructable: state %d: %g vs %g", k, got[k], want[k])
+		}
+	}
+}
+
+func TestStreamSeedsDistinct(t *testing.T) {
+	// Neighboring (seed, index) pairs must map to well-separated streams.
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 50; seed++ {
+		for idx := int64(-1); idx < 50; idx++ {
+			s := streamSeed(seed, idx)
+			if seen[s] {
+				t.Fatalf("stream seed collision at seed=%d idx=%d", seed, idx)
+			}
+			seen[s] = true
+		}
+	}
+}
+
 func TestSampleShotsConverges(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	p := []float64{0.5, 0.25, 0.125, 0.125}

@@ -33,16 +33,23 @@ type Result struct {
 
 // NumericGradient wraps an Objective as a Gradient using central
 // differences with step h.
+//
+// Concurrency contract: perturbed evaluations happen on a private copy of
+// x, so the caller's slice is never mutated — not even transiently — and
+// the returned Gradient may be shared across goroutines as long as f
+// itself is safe for concurrent use (objectives that own scratch buffers,
+// like synth's, are not; see internal/synth/objective.go).
 func NumericGradient(f Objective, h float64) Gradient {
 	return func(x, grad []float64) float64 {
 		fx := f(x)
-		for i := range x {
-			orig := x[i]
-			x[i] = orig + h
-			fp := f(x)
-			x[i] = orig - h
-			fm := f(x)
-			x[i] = orig
+		probe := append([]float64(nil), x...)
+		for i := range probe {
+			orig := probe[i]
+			probe[i] = orig + h
+			fp := f(probe)
+			probe[i] = orig - h
+			fm := f(probe)
+			probe[i] = orig
 			grad[i] = (fp - fm) / (2 * h)
 		}
 		return fx

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -87,6 +88,47 @@ func TestNumericGradientAccuracy(t *testing.T) {
 	if x[0] != 3 || x[1] != 4 {
 		t.Error("NumericGradient perturbed x")
 	}
+}
+
+func TestNumericGradientNeverMutatesCallerSlice(t *testing.T) {
+	// Regression: the perturbed evaluations used to run on the caller's
+	// slice, so a concurrently-shared objective could observe x mid-edit.
+	// Every evaluation must see the caller's slice untouched.
+	callerX := []float64{3, 4}
+	g := NumericGradient(func(x []float64) float64 {
+		if callerX[0] != 3 || callerX[1] != 4 {
+			t.Errorf("caller's slice mutated during evaluation: %v", callerX)
+		}
+		return quadratic(x)
+	}, 1e-6)
+	grad := make([]float64, 2)
+	g(callerX, grad)
+	if math.Abs(grad[0]-2*3) > 1e-4 || math.Abs(grad[1]-2*3) > 1e-4 {
+		t.Errorf("gradient wrong after private-copy evaluation: %v", grad)
+	}
+}
+
+func TestNumericGradientConcurrentUse(t *testing.T) {
+	// The concurrency contract: one Gradient closure, one shared x,
+	// many goroutines. Run under -race this fails if any evaluation
+	// writes to the shared slice.
+	g := NumericGradient(quadratic, 1e-6)
+	x := []float64{3, 4}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			grad := make([]float64, 2)
+			for i := 0; i < 50; i++ {
+				g(x, grad)
+			}
+			if math.Abs(grad[0]-2*3) > 1e-4 || math.Abs(grad[1]-2*3) > 1e-4 {
+				t.Errorf("concurrent gradient wrong: %v", grad)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestNelderMeadQuadratic(t *testing.T) {

@@ -1,0 +1,79 @@
+// Package par provides the small deterministic parallel-execution helper
+// shared by the simulation substrate (noise trajectories, unitary column
+// evolution, ensemble evaluation) and the core pipeline. The design rule,
+// stated once here and relied on everywhere: a parallel loop must produce
+// bit-identical results for every worker count. ForEach guarantees this
+// mechanically — each index writes only its own slot — so callers only
+// need a deterministic per-index function plus an index-ordered reduction.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a parallelism knob: values <= 0 select
+// runtime.NumCPU(), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach calls fn(i) for every i in [0, n) using at most `workers`
+// concurrent goroutines (workers <= 0 selects runtime.NumCPU()) and
+// returns when every call has finished. With one worker (or n <= 1) it
+// runs inline with no goroutines. fn must be safe for concurrent
+// invocation with distinct indices; determinism under any worker count is
+// obtained by having fn(i) write only to slot i of pre-sized output
+// storage and reducing in index order afterwards. A panic in any fn is
+// re-raised in the caller after the remaining workers drain.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicked = r
+						next.Store(int64(n)) // stop handing out work
+					})
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,86 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Errorf("Workers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int32, n)
+		ForEach(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	ForEach(workers, 200, func(i int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent calls, cap is %d", p, workers)
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	ForEach(4, -5, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran for n <= 0")
+	}
+}
+
+func TestForEachSerialOrderWithOneWorker(t *testing.T) {
+	var order []int
+	ForEach(1, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	ForEach(4, 100, func(i int) {
+		if i == 17 {
+			panic("boom")
+		}
+	})
+	t.Error("ForEach returned instead of panicking")
+}

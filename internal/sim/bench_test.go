@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/circuit"
@@ -39,6 +41,19 @@ func BenchmarkUnitary4Qubits(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Unitary(c)
+	}
+}
+
+// BenchmarkUnitaryWorkers compares serial vs parallel column evolution at
+// a size above the fan-out threshold (8 qubits, dim 256).
+func BenchmarkUnitaryWorkers(b *testing.B) {
+	c := benchCircuit(8, 60)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("parallelism=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				UnitaryWorkers(c, workers)
+			}
+		})
 	}
 }
 

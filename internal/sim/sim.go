@@ -11,6 +11,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/gate"
 	"repro/internal/linalg"
+	"repro/internal/par"
 )
 
 // ZeroState returns |0...0> on n qubits.
@@ -143,24 +144,43 @@ func Probabilities(c *circuit.Circuit) []float64 {
 	return Run(c).Probabilities()
 }
 
+// parallelColsMin is the smallest matrix dimension at which column
+// evolution fans out across goroutines; below it (synthesis blocks are
+// ≤ 4 qubits, dim ≤ 16) the per-column work cannot amortize the
+// scheduling overhead.
+const parallelColsMin = 32
+
 // Unitary returns the full 2^n x 2^n unitary of the circuit. Cost is
-// O(gates · 4^n); intended for n ≲ 12.
+// O(gates · 4^n); intended for n ≲ 12. Columns of dim ≥ 32 matrices are
+// evolved concurrently with runtime.NumCPU() workers; use UnitaryWorkers
+// to bound the fan-out. The result is bit-identical for every worker
+// count (columns are independent).
 func Unitary(c *circuit.Circuit) *linalg.Matrix {
+	return UnitaryWorkers(c, 0)
+}
+
+// UnitaryWorkers is Unitary with an explicit worker-goroutine cap
+// (0 or negative selects runtime.NumCPU(), 1 forces the serial path).
+func UnitaryWorkers(c *circuit.Circuit, workers int) *linalg.Matrix {
 	n := c.NumQubits
 	dim := 1 << n
-	// Evolve all basis states at once: treat the matrix's columns as 2^n
-	// statevectors laid out column-major for kernel reuse.
+	// Build each gate matrix once up front; columns then share them
+	// read-only, whether evolved serially or concurrently.
+	mats := make([]*linalg.Matrix, len(c.Ops))
+	for i, op := range c.Ops {
+		mats[i] = op.Spec().Build(op.Params)
+	}
+	if dim < parallelColsMin {
+		workers = 1
+	}
 	cols := make([]linalg.Vector, dim)
-	for j := 0; j < dim; j++ {
-		cols[j] = linalg.BasisVector(dim, j)
-	}
-	for _, op := range c.Ops {
-		spec := op.Spec()
-		m := spec.Build(op.Params)
-		for j := 0; j < dim; j++ {
-			ApplyMatrixOp(cols[j], n, m, op.Qubits)
+	par.ForEach(workers, dim, func(j int) {
+		col := linalg.BasisVector(dim, j)
+		for i, op := range c.Ops {
+			ApplyMatrixOp(col, n, mats[i], op.Qubits)
 		}
-	}
+		cols[j] = col
+	})
 	out := linalg.New(dim, dim)
 	for j := 0; j < dim; j++ {
 		for i := 0; i < dim; i++ {

@@ -219,3 +219,21 @@ func randomCircuit(n, ops int, rng *rand.Rand) *circuit.Circuit {
 	}
 	return c
 }
+
+func TestUnitaryWorkersInvariant(t *testing.T) {
+	// Parallel column evolution must be bit-identical to the serial path
+	// for every worker count, above and below the fan-out threshold.
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{3, 6} {
+		c := randomCircuit(n, 40, rng)
+		ref := UnitaryWorkers(c, 1)
+		for _, workers := range []int{2, 4, 0} {
+			got := UnitaryWorkers(c, workers)
+			for i := range ref.Data {
+				if got.Data[i] != ref.Data[i] {
+					t.Fatalf("n=%d workers=%d: element %d differs", n, workers, i)
+				}
+			}
+		}
+	}
+}

@@ -87,11 +87,23 @@ func Simulate(c *Circuit) []float64 { return sim.Probabilities(c) }
 // error p, one-qubit error p/10, readout error p).
 func UniformNoise(p float64) NoiseModel { return noise.Uniform(p) }
 
+// SimOptions configures a noisy run: shots, trajectory budget, seed, and
+// the worker-goroutine cap (alias of noise.Options; see the field docs
+// there). Output is deterministic in (Shots, Trajectories, Seed) and
+// bit-identical for every Parallelism value.
+type SimOptions = noise.Options
+
 // SimulateNoisy runs the circuit under a noise model with the given number
 // of measurement shots (0 for exact trajectory-averaged probabilities) and
 // seed, and returns the output distribution.
 func SimulateNoisy(c *Circuit, m NoiseModel, shots int, seed int64) []float64 {
 	return m.Run(c, noise.Options{Shots: shots, Seed: seed})
+}
+
+// SimulateNoisyOpts is SimulateNoisy with full control over the trajectory
+// budget and the parallel fan-out.
+func SimulateNoisyOpts(c *Circuit, m NoiseModel, opts SimOptions) []float64 {
+	return m.Run(c, opts)
 }
 
 // Manila returns the synthetic IBMQ-Manila-class 5-qubit device model used
@@ -103,6 +115,12 @@ func Manila() *Device { return noise.Manila() }
 // order.
 func RunOnDevice(d *Device, c *Circuit, shots int, seed int64) ([]float64, error) {
 	return d.Run(c, noise.Options{Shots: shots, Seed: seed})
+}
+
+// RunOnDeviceOpts is RunOnDevice with full control over the trajectory
+// budget and the parallel fan-out.
+func RunOnDeviceOpts(d *Device, c *Circuit, opts SimOptions) ([]float64, error) {
+	return d.Run(c, opts)
 }
 
 // OptimizeQiskitStyle applies the Qiskit-like transpiler baseline (lower
