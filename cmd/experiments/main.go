@@ -26,10 +26,22 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced workload sizes and search budgets")
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("parallelism", 0, "worker goroutines for the pipeline and the noisy simulator (0 = all CPUs; results are identical for any value)")
+
+		timeout      = flag.Duration("timeout", 0, "per-run pipeline deadline; timed-out blocks degrade to exact sub-circuits (0 = none)")
+		blockTimeout = flag.Duration("block-timeout", 0, "per-attempt block synthesis deadline (0 = none)")
+		maxRestarts  = flag.Int("max-restarts", 0, "synthesis retries per block (0 = pipeline default, -1 = none)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallelism: *workers, Out: os.Stdout}
+	cfg := experiments.Config{
+		Quick:        *quick,
+		Seed:         *seed,
+		Parallelism:  *workers,
+		Timeout:      *timeout,
+		BlockTimeout: *blockTimeout,
+		MaxRestarts:  *maxRestarts,
+		Out:          os.Stdout,
+	}
 	if *ablation != "" {
 		names := experiments.Ablations()
 		if *ablation != "all" {

@@ -10,10 +10,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	quest "repro"
 	"repro/internal/artifact"
@@ -34,8 +39,18 @@ func main() {
 		samples   = flag.Int("samples", 16, "maximum number of dissimilar approximations (M)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		ideal     = flag.Bool("ideal", true, "report ideal-simulation ensemble TVD (circuits up to ~12 qubits)")
+
+		timeout      = flag.Duration("timeout", 0, "whole-pipeline deadline (0 = none)")
+		blockTimeout = flag.Duration("block-timeout", 0, "per-attempt block synthesis deadline (0 = none)")
+		maxRestarts  = flag.Int("max-restarts", 2, "synthesis retries per block before degrading (-1 = none)")
+		degraded     = flag.Bool("allow-degraded", false, "on budget exhaustion, substitute exact blocks instead of failing")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the pipeline instead of killing the process
+	// mid-write; a second signal falls through to the default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	c, name, err := loadCircuit(*inFile, *algo, *qubits)
 	if err != nil {
@@ -46,18 +61,35 @@ func main() {
 	fmt.Printf("input %s: %d qubits, %d ops, %d CNOTs, depth %d\n",
 		name, c.NumQubits, c.Size(), c.CNOTCount(), c.Depth())
 
-	res, err := quest.Approximate(c, quest.Config{
-		BlockSize:  *blockSize,
-		Epsilon:    *epsilon,
-		MaxSamples: *samples,
-		Seed:       *seed,
+	start := time.Now()
+	res, err := quest.ApproximateCtx(ctx, c, quest.Config{
+		BlockSize:     *blockSize,
+		Epsilon:       *epsilon,
+		MaxSamples:    *samples,
+		Seed:          *seed,
+		Timeout:       *timeout,
+		BlockTimeout:  *blockTimeout,
+		MaxRestarts:   *maxRestarts,
+		AllowDegraded: *degraded,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "quest:", err)
+		switch {
+		case errors.Is(err, quest.ErrDeadline):
+			fmt.Fprintf(os.Stderr, "quest: budget exhausted after %v (rerun with a larger -timeout, or -allow-degraded for a partial result): %v\n",
+				time.Since(start).Round(time.Millisecond), err)
+		case errors.Is(err, quest.ErrCancelled):
+			fmt.Fprintln(os.Stderr, "quest: interrupted:", err)
+		default:
+			fmt.Fprintln(os.Stderr, "quest:", err)
+		}
 		os.Exit(1)
 	}
 
 	fmt.Printf("partitioned into %d blocks (threshold Σε ≤ %.3f)\n", len(res.Blocks), res.Threshold)
+	for _, d := range res.Degradations {
+		fmt.Printf("degraded block %d (qubits %v) to its exact sub-circuit after %d attempts: %s\n",
+			d.Block, d.Qubits, d.Attempts, d.Reason)
+	}
 	fmt.Printf("selected %d dissimilar approximations:\n", len(res.Selected))
 	fmt.Printf("%8s %8s %12s\n", "sample", "CNOTs", "bound Σε")
 	for i, a := range res.Selected {

@@ -1,0 +1,11 @@
+// Hardware-efficient ansatz layer expressed as a user-defined gate,
+// broadcast-applied over a register and closed with an entangling chain.
+OPENQASM 2.0;
+qreg q[4];
+gate layer(a,b) x,y { ry(a) x; rz(b) y; cx x,y; }
+u3(0.3,0.1,0.2) q;
+layer(0.5,1.25) q[0],q[1];
+layer(pi/3,-pi/7) q[2],q[3];
+cx q[1],q[2];
+rx(1.0e-1) q[0];
+ccx q[0],q[1],q[2];

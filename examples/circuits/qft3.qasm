@@ -1,0 +1,11 @@
+// 3-qubit quantum Fourier transform with controlled-phase rotations.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cu1(pi/2) q[1],q[0];
+cu1(pi/4) q[2],q[0];
+h q[1];
+cu1(pi/2) q[2],q[1];
+h q[2];
+swap q[0],q[2];

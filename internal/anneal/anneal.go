@@ -7,9 +7,11 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
+	"repro/internal/budget"
 	"repro/internal/opt"
 )
 
@@ -57,6 +59,17 @@ func (o *Options) defaults() {
 // Minimize searches for the global minimum of f over the box
 // [lower[i], upper[i]]^d and returns the best point found.
 func Minimize(f opt.Objective, lower, upper []float64, o Options) opt.Result {
+	res, _ := MinimizeCtx(context.Background(), f, lower, upper, o)
+	return res
+}
+
+// MinimizeCtx is Minimize under a context: cancellation is checked at
+// every annealing iteration and inside the local-search phase. When ctx
+// expires the best point found so far is returned together with the
+// typed budget error, so callers can still use the partial optimum.
+// Malformed bounds panic exactly as in Minimize (programmer error, not
+// input error).
+func MinimizeCtx(ctx context.Context, f opt.Objective, lower, upper []float64, o Options) (opt.Result, error) {
 	if len(lower) != len(upper) {
 		panic("anneal: bound length mismatch")
 	}
@@ -92,7 +105,11 @@ func Minimize(f opt.Objective, lower, upper []float64, o Options) opt.Result {
 	cand := make([]float64, d)
 	iterations := 0
 	sinceRestart := 0
+	var stopErr error
 	for it := 0; it < o.MaxIterations; it++ {
+		if stopErr = budget.Check(ctx); stopErr != nil {
+			break
+		}
 		iterations++
 		sinceRestart++
 		temp := o.InitialTemp * tq / (math.Pow(float64(sinceRestart)+1, qv-1) - 1)
@@ -142,27 +159,33 @@ func Minimize(f opt.Objective, lower, upper []float64, o Options) opt.Result {
 				copy(best, cur)
 				if !o.NoLocalSearch {
 					// Dual phase: refine the new incumbent locally.
-					res := localSearch(eval, best, lower, upper)
+					res, lsErr := localSearch(ctx, eval, best, lower, upper)
 					if res.F < fBest {
 						fBest = res.F
 						copy(best, res.X)
+					}
+					if lsErr != nil {
+						stopErr = lsErr
+						break
 					}
 				}
 			}
 		}
 	}
-	if !o.NoLocalSearch {
-		res := localSearch(eval, best, lower, upper)
+	if !o.NoLocalSearch && stopErr == nil {
+		res, lsErr := localSearch(ctx, eval, best, lower, upper)
 		if res.F < fBest {
 			fBest = res.F
 			copy(best, res.X)
 		}
+		stopErr = lsErr
 	}
-	return opt.Result{X: best, F: fBest, Iterations: iterations, Evaluations: evals, Converged: true}
+	out := opt.Result{X: best, F: fBest, Iterations: iterations, Evaluations: evals, Converged: stopErr == nil}
+	return out, stopErr
 }
 
 // localSearch runs a bound-clamped Nelder-Mead from x0.
-func localSearch(f opt.Objective, x0, lower, upper []float64) opt.Result {
+func localSearch(ctx context.Context, f opt.Objective, x0, lower, upper []float64) (opt.Result, error) {
 	clamped := func(x []float64) float64 {
 		y := make([]float64, len(x))
 		for i := range x {
@@ -170,16 +193,21 @@ func localSearch(f opt.Objective, x0, lower, upper []float64) opt.Result {
 		}
 		return f(y)
 	}
-	res := NelderMeadStepScaled(clamped, x0, lower, upper)
+	res, err := nelderMeadStepScaledCtx(ctx, clamped, x0, lower, upper)
 	for i := range res.X {
 		res.X[i] = math.Max(lower[i], math.Min(upper[i], res.X[i]))
 	}
-	return res
+	return res, err
 }
 
 // NelderMeadStepScaled runs Nelder-Mead with the initial simplex scaled to
 // a fraction of each dimension's range.
 func NelderMeadStepScaled(f opt.Objective, x0, lower, upper []float64) opt.Result {
+	res, _ := nelderMeadStepScaledCtx(context.Background(), f, x0, lower, upper)
+	return res
+}
+
+func nelderMeadStepScaledCtx(ctx context.Context, f opt.Objective, x0, lower, upper []float64) (opt.Result, error) {
 	span := 0.0
 	for i := range lower {
 		span += upper[i] - lower[i]
@@ -191,7 +219,7 @@ func NelderMeadStepScaled(f opt.Objective, x0, lower, upper []float64) opt.Resul
 	if step <= 0 {
 		step = 0.1
 	}
-	return opt.NelderMead(f, x0, opt.NelderMeadOptions{InitialStep: step, MaxIterations: 100 * (len(x0) + 1)})
+	return opt.NelderMeadCtx(ctx, f, x0, opt.NelderMeadOptions{InitialStep: step, MaxIterations: 100 * (len(x0) + 1)})
 }
 
 // visitStep draws one coordinate of the Tsallis visiting distribution for

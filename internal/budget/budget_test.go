@@ -1,0 +1,60 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCheckLiveContext(t *testing.T) {
+	if err := Check(context.Background()); err != nil {
+		t.Fatalf("Check(background) = %v, want nil", err)
+	}
+}
+
+func TestCheckCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Check(ctx); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Check(cancelled) = %v, want ErrCancelled", err)
+	}
+}
+
+func TestCheckDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := Check(ctx); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Check(expired) = %v, want ErrDeadline", err)
+	}
+}
+
+func TestCauseMapping(t *testing.T) {
+	if got := Cause(context.DeadlineExceeded); got != ErrDeadline {
+		t.Errorf("Cause(DeadlineExceeded) = %v", got)
+	}
+	if got := Cause(context.Canceled); got != ErrCancelled {
+		t.Errorf("Cause(Canceled) = %v", got)
+	}
+	other := errors.New("other")
+	if got := Cause(other); got != other {
+		t.Errorf("Cause(other) = %v", got)
+	}
+	if got := Cause(nil); got != nil {
+		t.Errorf("Cause(nil) = %v", got)
+	}
+}
+
+func TestTypedErrorsSurviveWrapping(t *testing.T) {
+	wrapped := fmt.Errorf("core: synthesize block 3: %w", fmt.Errorf("synth: %w", ErrDeadline))
+	if !errors.Is(wrapped, ErrDeadline) {
+		t.Fatal("double-wrapped ErrDeadline not recognized by errors.Is")
+	}
+	if !Terminated(wrapped) {
+		t.Fatal("Terminated(wrapped deadline) = false")
+	}
+	if Terminated(fmt.Errorf("block: %w", ErrNoConvergence)) {
+		t.Fatal("ErrNoConvergence must not count as terminated (it is retryable)")
+	}
+}

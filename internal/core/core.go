@@ -8,13 +8,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"time"
 
 	"repro/internal/anneal"
+	"repro/internal/budget"
 	"repro/internal/circuit"
+	"repro/internal/faultinject"
 	"repro/internal/linalg"
 	"repro/internal/par"
 	"repro/internal/partition"
@@ -58,6 +61,27 @@ type Config struct {
 	Parallelism int
 	// Seed makes the whole pipeline deterministic (default 1).
 	Seed int64
+	// Timeout bounds the whole pipeline run; 0 means no limit. When it
+	// expires RunCtx fails with an ErrDeadline-wrapped error — or, with
+	// AllowDegraded, finishes immediately with a degraded result.
+	Timeout time.Duration
+	// BlockTimeout bounds each per-block synthesis attempt; 0 means no
+	// limit. An attempt that hits it counts as a failed attempt and is
+	// retried (see MaxRestarts).
+	BlockTimeout time.Duration
+	// MaxRestarts is how many extra synthesis attempts a failing block
+	// gets, each with a jittered seed and a widened search (one extra
+	// beam slot and restart per attempt). Default 2; negative disables
+	// retries.
+	MaxRestarts int
+	// AllowDegraded lets the pipeline substitute a block's exact
+	// (transpiled) circuit when the run or block time budget expires,
+	// instead of failing the run; degraded blocks are recorded in
+	// Result.Degradations. Quality failures (no candidate within the
+	// threshold after all retries) always degrade this way — the exact
+	// block is a valid, zero-error stand-in — regardless of this flag,
+	// which only governs budget-driven degradation.
+	AllowDegraded bool
 }
 
 func (c *Config) defaults() {
@@ -93,6 +117,12 @@ func (c *Config) defaults() {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	switch {
+	case c.MaxRestarts == 0:
+		c.MaxRestarts = 2
+	case c.MaxRestarts < 0:
+		c.MaxRestarts = 0
 	}
 }
 
@@ -134,6 +164,23 @@ type Timing struct {
 // Total returns the summed pipeline time.
 func (t Timing) Total() time.Duration { return t.Partition + t.Synthesis + t.Annealing }
 
+// Degradation records one block that fell back to its exact (transpiled)
+// circuit because synthesis failed to produce a usable approximation
+// within its retry and time budgets. A degraded block contributes zero
+// process distance, so the assembled circuits stay valid — the pipeline
+// just loses CNOT savings on that block.
+type Degradation struct {
+	// Block is the index into Result.Blocks.
+	Block int
+	// Qubits are the block's global qubit indices.
+	Qubits []int
+	// Attempts is the number of synthesis attempts made.
+	Attempts int
+	// Reason describes the final failure (e.g. "no candidate within
+	// threshold" or the last attempt's error text).
+	Reason string
+}
+
 // Result is the pipeline output.
 type Result struct {
 	// Original is the input circuit.
@@ -148,6 +195,9 @@ type Result struct {
 	Threshold float64
 	// Timing is the per-stage cost breakdown.
 	Timing Timing
+	// Degradations lists blocks that fell back to their exact circuit,
+	// in block order. Empty on a fully approximated run.
+	Degradations []Degradation
 }
 
 // BestCNOTs returns the smallest CNOT count among selected approximations.
@@ -174,15 +224,37 @@ func UpperBound(blockDistances []float64) float64 {
 
 // Run executes the QUEST pipeline on a circuit.
 func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), c, cfg)
+}
+
+// RunCtx executes the QUEST pipeline under a context. Config.Timeout (if
+// set) is layered on top of ctx's own deadline. Cancellation is checked
+// at every stage boundary and inside every stage's inner loops; when the
+// budget expires the run fails with a typed, wrapped error
+// (errors.Is(err, budget.ErrDeadline) or budget.ErrCancelled) — unless
+// Config.AllowDegraded is set, in which case unfinished blocks fall back
+// to their exact circuits (recorded in Result.Degradations) and a valid,
+// degraded result is returned with a nil error.
+func RunCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Result, error) {
 	cfg.defaults()
 	if c.Size() == 0 {
 		return nil, fmt.Errorf("core: empty circuit")
 	}
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
 
 	res := &Result{Original: c}
 
-	// STEP 1: partition.
+	// STEP 1: partition. Pure, fast compute — with AllowDegraded it runs
+	// even on an expired budget, because producing the (fully degraded)
+	// exact fallback still requires the block structure.
 	t0 := time.Now()
+	if err := budget.Check(ctx); err != nil && !cfg.AllowDegraded {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	blocks, err := partition.Scan(c, cfg.BlockSize)
 	if err != nil {
 		return nil, fmt.Errorf("core: partition: %w", err)
@@ -192,65 +264,163 @@ func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
 
 	// STEP 2: per-block approximate synthesis (parallel, deterministic:
 	// block i's search is seeded from (Seed, i) and writes only slot i).
+	// Retry/quality degradation is handled inside synthesizeBlock, so an
+	// error out of this loop is either the run budget expiring or a
+	// worker panic (surfaced as *par.PanicError).
 	t0 = time.Now()
 	res.Blocks = make([]BlockApproximations, len(blocks))
-	errs := make([]error, len(blocks))
-	par.ForEach(cfg.Parallelism, len(blocks), func(i int) {
-		ba, err := synthesizeBlock(blocks[i], cfg, res.Threshold, cfg.Seed+int64(i)*7919)
+	degs := make([]*Degradation, len(blocks))
+	synthErr := par.ForEachErr(ctx, cfg.Parallelism, len(blocks), func(bctx context.Context, i int) error {
+		ba, deg, err := synthesizeBlock(bctx, i, blocks[i], cfg, res.Threshold, cfg.Seed+int64(i)*7919)
 		if err != nil {
-			errs[i] = err
-			return
+			return fmt.Errorf("synthesize block %d: %w", i, err)
 		}
 		res.Blocks[i] = ba
+		degs[i] = deg
+		return nil
 	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: synthesize block %d: %w", i, err)
+	if synthErr != nil {
+		if !budget.Terminated(synthErr) || !cfg.AllowDegraded {
+			return nil, fmt.Errorf("core: %w", synthErr)
+		}
+		// Budget expired with AllowDegraded: every unfinished block
+		// degrades to its exact circuit so the result stays valid.
+		for i := range res.Blocks {
+			if res.Blocks[i].Candidates == nil {
+				res.Blocks[i] = exactOnlyBlock(blocks[i])
+				degs[i] = &Degradation{
+					Block:    i,
+					Qubits:   blocks[i].Qubits,
+					Attempts: 0,
+					Reason:   "run budget exhausted: " + synthErr.Error(),
+				}
+			}
+		}
+	}
+	for _, d := range degs {
+		if d != nil {
+			res.Degradations = append(res.Degradations, *d)
 		}
 	}
 	res.Timing.Synthesis = time.Since(t0)
 
-	// STEP 3: dual-annealing selection of dissimilar approximations.
+	// STEP 3: dual-annealing selection of dissimilar approximations. A
+	// budget error here still leaves res.Selected valid (the selection
+	// loop falls back to the per-block best choice), so with
+	// AllowDegraded the partial selection is returned as-is.
 	t0 = time.Now()
-	if err := selectApproximations(res, cfg); err != nil {
-		return nil, err
+	if err := selectApproximations(ctx, res, cfg); err != nil {
+		if !budget.Terminated(err) || !cfg.AllowDegraded {
+			return nil, err
+		}
 	}
 	res.Timing.Annealing = time.Since(t0)
 	return res, nil
 }
 
-// synthesizeBlock harvests approximations for one block. Candidates whose
-// process distance already exceeds the FULL circuit threshold can never
-// appear in a feasible selection (the bound is a sum of non-negative
-// terms), so they are pruned before the annealing stage.
-func synthesizeBlock(b partition.Block, cfg Config, threshold float64, seed int64) (BlockApproximations, error) {
+// exactOnlyBlock builds the degraded approximation set for a block: its
+// own (exact, zero-distance) circuit as the only candidate.
+func exactOnlyBlock(b partition.Block) BlockApproximations {
+	return BlockApproximations{
+		Block:   b,
+		Unitary: sim.Unitary(b.Circuit),
+		Candidates: []synth.Candidate{{
+			Circuit:  b.Circuit.Clone(),
+			Distance: 0,
+			CNOTs:    b.Circuit.CNOTCount(),
+		}},
+		pairDist: [][]float64{{0}},
+	}
+}
+
+// synthesizeBlock harvests approximations for one block, retrying with
+// jittered seeds and a widened search on failure, and degrading to the
+// exact circuit when every attempt fails. Candidates whose process
+// distance already exceeds the FULL circuit threshold can never appear
+// in a feasible selection (the bound is a sum of non-negative terms), so
+// they are pruned before the annealing stage.
+//
+// The returned *Degradation is non-nil when the block degraded. An error
+// is returned only when the run's own budget expired (typed, unwrappable
+// to budget.ErrDeadline/ErrCancelled) — or when a per-block budget
+// expired and Config.AllowDegraded is off.
+func synthesizeBlock(ctx context.Context, idx int, b partition.Block, cfg Config, threshold float64, seed int64) (BlockApproximations, *Degradation, error) {
 	u := sim.Unitary(b.Circuit)
 	maxCNOTs := b.Circuit.CNOTCount()
 	if maxCNOTs == 0 {
 		maxCNOTs = -1 // rotation-only block: forbid CNOT layers entirely
 	}
-	opts := synth.Options{
-		Threshold:    math.Max(cfg.Epsilon/4, 1e-6),
-		MaxCNOTs:     maxCNOTs,
-		Beam:         cfg.SynthBeam,
-		Restarts:     cfg.SynthRestarts,
-		KeepPerDepth: cfg.SynthKeepPerDepth,
-		HarvestAll:   true,
-		Seed:         seed,
-	}
-	sres, err := synth.Synthesize(u, opts)
-	if err != nil {
-		return BlockApproximations{}, err
-	}
-	kept := sres.Candidates[:0]
-	for _, cand := range sres.Candidates {
-		if cand.Distance <= threshold {
-			kept = append(kept, cand)
+
+	attempts := 1 + cfg.MaxRestarts
+	var kept []synth.Candidate
+	lastReason := "no candidate within threshold"
+	budgetFailure := false
+	attempt := 0
+	for ; attempt < attempts; attempt++ {
+		if err := budget.Check(ctx); err != nil {
+			return BlockApproximations{}, nil, err
 		}
+		// Deterministic fault injection: a hook at core.block.<idx> can
+		// force this attempt to fail (e.g. with budget.ErrNoConvergence)
+		// to exercise the retry and degradation paths.
+		if faultinject.Enabled() {
+			if err := faultinject.Fire(fmt.Sprintf("core.block.%d", idx)); err != nil {
+				if budget.Terminated(err) {
+					return BlockApproximations{}, nil, err
+				}
+				lastReason = err.Error()
+				continue
+			}
+		}
+		actx := ctx
+		cancel := context.CancelFunc(func() {})
+		if cfg.BlockTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, cfg.BlockTimeout)
+		}
+		opts := synth.Options{
+			Threshold:    math.Max(cfg.Epsilon/4, 1e-6),
+			MaxCNOTs:     maxCNOTs,
+			Beam:         cfg.SynthBeam + attempt,
+			Restarts:     cfg.SynthRestarts + attempt,
+			KeepPerDepth: cfg.SynthKeepPerDepth,
+			HarvestAll:   true,
+			Seed:         seed + int64(attempt)*15485863,
+		}
+		sres, err := synth.SynthesizeCtx(actx, u, opts)
+		cancel()
+		if err != nil {
+			if budget.Terminated(err) && ctx.Err() != nil {
+				// The run's budget, not the per-block one: abort.
+				return BlockApproximations{}, nil, err
+			}
+			lastReason = err.Error()
+			budgetFailure = budgetFailure || budget.Terminated(err)
+			continue
+		}
+		kept = sres.Candidates[:0]
+		for _, cand := range sres.Candidates {
+			if cand.Distance <= threshold {
+				kept = append(kept, cand)
+			}
+		}
+		if len(kept) > 0 {
+			break
+		}
+		lastReason = "no candidate within threshold"
 	}
+
 	if len(kept) == 0 {
-		kept = append(kept, sres.Best)
+		// Every attempt failed: degrade to the exact (transpiled) block.
+		// A time-budget failure degrades only when the caller opted in;
+		// quality failures always degrade (the exact block is a valid,
+		// zero-error stand-in — the pre-retry behavior, now reported).
+		if budgetFailure && !cfg.AllowDegraded {
+			return BlockApproximations{}, nil, fmt.Errorf("block budget exhausted after %d attempts: %w", attempt, budget.ErrDeadline)
+		}
+		deg := &Degradation{Block: idx, Qubits: b.Qubits, Attempts: attempt, Reason: lastReason}
+		return exactOnlyBlock(b), deg, nil
 	}
+
 	// The block's own circuit is always an exact candidate: it anchors
 	// the selection space (QUEST can never do worse than the Baseline)
 	// and guarantees an exact option when the synthesis search missed
@@ -292,7 +462,7 @@ func synthesizeBlock(b partition.Block, cfg Config, threshold float64, seed int6
 			ba.pairDist[i][j] = ba.pairDist[j][i]
 		}
 	}
-	return ba, nil
+	return ba, nil, nil
 }
 
 // blockSimilar implements the paper's similarity criterion for one block:
@@ -335,8 +505,11 @@ func choiceStats(blocks []BlockApproximations, choice []int) (cnots int, epsSum 
 
 // selectApproximations runs the dual annealing engine repeatedly,
 // implementing Algorithm 1 as the objective, until MaxSamples circuits are
-// selected or the engine returns an already-selected circuit.
-func selectApproximations(res *Result, cfg Config) error {
+// selected, the engine returns an already-selected circuit, or the ctx
+// budget expires. On budget expiry it stops selecting, still guarantees
+// at least one (fallback) selection, and returns the typed error so the
+// caller can decide whether the partial selection is acceptable.
+func selectApproximations(ctx context.Context, res *Result, cfg Config) error {
 	blocks := res.Blocks
 	nb := len(blocks)
 	origCNOTs := res.Original.CNOTCount()
@@ -399,14 +572,20 @@ func selectApproximations(res *Result, cfg Config) error {
 	}
 
 	const dupRetries = 2
+	var stopErr error
+samples:
 	for s := 0; s < cfg.MaxSamples; s++ {
 		var choice []int
 		ok := false
 		for attempt := 0; attempt <= dupRetries; attempt++ {
-			r := anneal.Minimize(objective, lower, upper, anneal.Options{
+			r, aerr := anneal.MinimizeCtx(ctx, objective, lower, upper, anneal.Options{
 				MaxIterations: cfg.AnnealIterations,
 				Seed:          cfg.Seed + int64(s)*104729 + int64(attempt)*1299709,
 			})
+			if aerr != nil {
+				stopErr = aerr
+				break samples
+			}
 			choice = toChoice(r.X)
 			if _, epsSum := choiceStats(blocks, choice); epsSum > res.Threshold {
 				continue // nothing feasible found this attempt
@@ -441,7 +620,10 @@ func selectApproximations(res *Result, cfg Config) error {
 	// leaving no ensemble to average. Greedily augment with the
 	// best-scoring feasible single-block deviations so that the output
 	// rule has dissimilar samples to work with whenever they exist.
-	for len(selected) > 0 && len(selected) < cfg.MaxSamples {
+	for stopErr == nil && len(selected) > 0 && len(selected) < cfg.MaxSamples {
+		if stopErr = budget.Check(ctx); stopErr != nil {
+			break
+		}
 		bestScore := math.Inf(1)
 		var best []int
 		for _, base := range selected {
@@ -506,6 +688,9 @@ func selectApproximations(res *Result, cfg Config) error {
 			return err
 		}
 		res.Selected = append(res.Selected, approx)
+	}
+	if stopErr != nil {
+		return fmt.Errorf("core: select: %w", stopErr)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/circuit"
@@ -20,6 +21,11 @@ import (
 // through EnsembleProbabilitiesWorkers(run, 1).
 type Runner func(*circuit.Circuit) ([]float64, error)
 
+// RunnerCtx is a Runner that honors context cancellation (for example
+// noise.Model.RunCtx); ensemble evaluation passes each call a context
+// that is cancelled as soon as any sibling fails.
+type RunnerCtx func(context.Context, *circuit.Circuit) ([]float64, error)
+
 // EnsembleProbabilities runs every selected approximation through the
 // runner and returns the pointwise average of their output distributions —
 // QUEST's output rule (Sec. 3.6, Fig. 6). Approximations are evaluated
@@ -33,23 +39,30 @@ func (r *Result) EnsembleProbabilities(run Runner) ([]float64, error) {
 // worker-goroutine cap (0 or negative selects runtime.NumCPU(), 1 forces
 // serial evaluation for Runners that are not concurrency-safe).
 func (r *Result) EnsembleProbabilitiesWorkers(run Runner, workers int) ([]float64, error) {
+	return r.EnsembleProbabilitiesCtx(context.Background(),
+		func(_ context.Context, c *circuit.Circuit) ([]float64, error) { return run(c) }, workers)
+}
+
+// EnsembleProbabilitiesCtx is EnsembleProbabilitiesWorkers under a
+// context with a ctx-aware runner: a cancelled budget stops handing out
+// approximations, the first runner failure cancels its siblings, and a
+// panicking runner is isolated into a *par.PanicError instead of killing
+// the process. The first failure by selection order is returned.
+func (r *Result) EnsembleProbabilitiesCtx(ctx context.Context, run RunnerCtx, workers int) ([]float64, error) {
 	if len(r.Selected) == 0 {
 		return nil, fmt.Errorf("core: no selected approximations")
 	}
 	dists := make([][]float64, len(r.Selected))
-	errs := make([]error, len(r.Selected))
-	par.ForEach(workers, len(r.Selected), func(i int) {
-		p, err := run(r.Selected[i].Circuit)
+	err := par.ForEachErr(ctx, workers, len(r.Selected), func(rctx context.Context, i int) error {
+		p, err := run(rctx, r.Selected[i].Circuit)
 		if err != nil {
-			errs[i] = fmt.Errorf("core: running approximation %d: %w", i, err)
-			return
+			return fmt.Errorf("core: running approximation %d: %w", i, err)
 		}
 		dists[i] = p
+		return nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	return metrics.AverageDistributions(dists...), nil
 }

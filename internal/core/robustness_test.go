@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/budget"
+	"repro/internal/circuit"
+	"repro/internal/faultinject"
+	"repro/internal/linalg"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+func TestRunCtxDeadlineReturnsTypedErrorQuickly(t *testing.T) {
+	// A Table-1 style benchmark under a deadline far below its synthesis
+	// cost must fail with an ErrDeadline-wrapped error, promptly: every
+	// inner loop checks the budget, so the only slack is finishing the
+	// current optimizer iteration.
+	c := algos.TFIM(4, 3, 0.1, 1, 1)
+	cfg := testConfig()
+	cfg.Timeout = 50 * time.Millisecond
+
+	start := time.Now()
+	res, err := RunCtx(context.Background(), c, cfg)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, budget.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if res != nil {
+		t.Error("result should be nil on a hard deadline failure")
+	}
+	// The acceptance bound is 2x the deadline; allow extra slack so CI
+	// scheduling jitter cannot flake the test (a full run takes seconds,
+	// so even the loose bound proves the deadline cut the run short).
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("run took %v after a 50ms deadline", elapsed)
+	}
+}
+
+func TestRunCtxCancelledReturnsTypedError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, algos.TFIM(4, 3, 0.1, 1, 1), testConfig())
+	if !errors.Is(err, budget.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+}
+
+func TestRunCtxDeadlineAllowDegradedYieldsValidResult(t *testing.T) {
+	// With AllowDegraded, a deadline that expires before any block can
+	// synthesize degrades every block to its exact circuit: the run
+	// succeeds, reports the degradations, and the (single, fallback)
+	// selected approximation is unitarily equivalent to the original.
+	c := algos.TFIM(4, 3, 0.1, 1, 1)
+	cfg := testConfig()
+	cfg.Timeout = time.Millisecond
+	cfg.AllowDegraded = true
+
+	res, err := RunCtx(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatalf("RunCtx = %v, want degraded success", err)
+	}
+	if len(res.Blocks) == 0 {
+		t.Fatal("no blocks")
+	}
+	if len(res.Degradations) == 0 {
+		t.Fatal("no degradations recorded despite a 1ms budget")
+	}
+	if len(res.Selected) == 0 {
+		t.Fatal("no approximation selected")
+	}
+	for _, d := range res.Degradations {
+		if d.Block < 0 || d.Block >= len(res.Blocks) {
+			t.Errorf("degradation names block %d of %d", d.Block, len(res.Blocks))
+		}
+		if d.Reason == "" {
+			t.Error("degradation has empty reason")
+		}
+	}
+	for i, a := range res.Selected {
+		if a.Circuit.NumQubits != c.NumQubits {
+			t.Errorf("approximation %d has %d qubits, want %d", i, a.Circuit.NumQubits, c.NumQubits)
+		}
+		if a.EpsilonSum > res.Threshold+1e-12 {
+			t.Errorf("approximation %d epsilon sum %g > threshold %g", i, a.EpsilonSum, res.Threshold)
+		}
+	}
+	// Fully degraded ⇒ the assembled circuit implements the original
+	// unitary exactly (every block substituted its own circuit).
+	if len(res.Degradations) == len(res.Blocks) {
+		d := linalg.HSDistance(sim.Unitary(c), sim.Unitary(res.Selected[0].Circuit))
+		if d > 1e-6 {
+			t.Errorf("fully degraded approximation has distance %g from original", d)
+		}
+	}
+}
+
+func TestRunDegradesFaultInjectedBlock(t *testing.T) {
+	// Force block 1 to fail every synthesis attempt with a retryable
+	// error: the pipeline must retry MaxRestarts times, then substitute
+	// the exact block, record the degradation, and still succeed.
+	restore := faultinject.Set("core.block.1", faultinject.FailAlways(budget.ErrNoConvergence))
+	defer restore()
+
+	c := algos.TFIM(4, 3, 0.1, 1, 1)
+	cfg := testConfig()
+	cfg.MaxRestarts = 2
+
+	res, err := Run(c, cfg)
+	if err != nil {
+		t.Fatalf("Run = %v, want degraded success", err)
+	}
+	if len(res.Blocks) < 2 {
+		t.Fatalf("want at least 2 blocks, got %d", len(res.Blocks))
+	}
+	if len(res.Degradations) != 1 {
+		t.Fatalf("degradations = %+v, want exactly one", res.Degradations)
+	}
+	d := res.Degradations[0]
+	if d.Block != 1 {
+		t.Errorf("degraded block = %d, want 1", d.Block)
+	}
+	if d.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + MaxRestarts)", d.Attempts)
+	}
+	if !strings.Contains(d.Reason, "no convergence") {
+		t.Errorf("reason %q does not name the failure", d.Reason)
+	}
+	ba := res.Blocks[1]
+	if len(ba.Candidates) != 1 || ba.Candidates[0].Distance != 0 {
+		t.Errorf("degraded block candidates = %+v, want single exact candidate", ba.Candidates)
+	}
+	if len(res.Selected) == 0 {
+		t.Fatal("no approximation selected")
+	}
+	for i, a := range res.Selected {
+		if a.Circuit.NumQubits != c.NumQubits {
+			t.Errorf("approximation %d has %d qubits", i, a.Circuit.NumQubits)
+		}
+	}
+}
+
+func TestRunSurfacesWorkerPanicWithContext(t *testing.T) {
+	// A panic inside a synthesis worker must not kill the process: it is
+	// recovered into a *par.PanicError carrying the worker index, item
+	// index, panic value, and stack, and surfaced as the run's error.
+	restore := faultinject.Set("core.block.0", faultinject.PanicOnCall(1, "injected crash"))
+	defer restore()
+
+	_, err := Run(algos.TFIM(4, 3, 0.1, 1, 1), testConfig())
+	if err == nil {
+		t.Fatal("Run succeeded despite an injected worker panic")
+	}
+	var pe *par.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *par.PanicError in the chain", err)
+	}
+	if pe.Value != "injected crash" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if pe.Worker < 0 {
+		t.Errorf("worker index = %d", pe.Worker)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error lacks a stack trace")
+	}
+	if !strings.Contains(err.Error(), "worker") {
+		t.Errorf("error text %q does not mention the worker", err)
+	}
+}
+
+func TestRunBlockTimeoutWithoutAllowDegradedFails(t *testing.T) {
+	// A per-block budget too small for any attempt is a hard error when
+	// degradation was not opted into.
+	c := algos.TFIM(4, 3, 0.1, 1, 1)
+	cfg := testConfig()
+	cfg.BlockTimeout = time.Microsecond
+	cfg.MaxRestarts = 1
+
+	_, err := Run(c, cfg)
+	if !errors.Is(err, budget.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+func TestEnsembleProbabilitiesCtxCancelledAndPanicIsolated(t *testing.T) {
+	c := algos.TFIM(4, 2, 0.1, 1, 1)
+	res, err := Run(c, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err = res.EnsembleProbabilitiesCtx(cancelled, func(context.Context, *circuit.Circuit) ([]float64, error) {
+		ran = true
+		return nil, nil
+	}, 2)
+	if !errors.Is(err, budget.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if ran {
+		t.Error("runner ran under a cancelled context")
+	}
+
+	_, err = res.EnsembleProbabilitiesCtx(context.Background(), func(context.Context, *circuit.Circuit) ([]float64, error) {
+		panic("backend exploded")
+	}, 2)
+	var pe *par.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *par.PanicError", err)
+	}
+	if pe.Value != "backend exploded" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+}
+
+func TestRunBlockTimeoutAllowDegradedSucceeds(t *testing.T) {
+	c := algos.TFIM(4, 3, 0.1, 1, 1)
+	cfg := testConfig()
+	cfg.BlockTimeout = time.Microsecond
+	cfg.MaxRestarts = -1 // single attempt per block
+	cfg.AllowDegraded = true
+
+	res, err := Run(c, cfg)
+	if err != nil {
+		t.Fatalf("Run = %v, want degraded success", err)
+	}
+	if len(res.Degradations) != len(res.Blocks) {
+		t.Errorf("degradations = %d, want all %d blocks", len(res.Degradations), len(res.Blocks))
+	}
+	if len(res.Selected) == 0 {
+		t.Fatal("no approximation selected")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/algos"
 	"repro/internal/circuit"
@@ -36,6 +37,16 @@ type Config struct {
 	// the noisy simulator (0 or negative selects runtime.NumCPU()).
 	// Results are identical for every value.
 	Parallelism int
+	// Timeout bounds each pipeline run within a figure (0 = none). Runs
+	// that exhaust it degrade unfinished blocks to their exact
+	// sub-circuits rather than failing the figure, so a bounded sweep
+	// always completes — degraded points are just closer to the baseline.
+	Timeout time.Duration
+	// BlockTimeout bounds each per-block synthesis attempt (0 = none).
+	BlockTimeout time.Duration
+	// MaxRestarts caps the synthesis retries per block (0 = pipeline
+	// default, negative = no retries).
+	MaxRestarts int
 	// Out receives the result tables; nil means io.Discard. Callers that
 	// want them printed typically set os.Stdout.
 	Out io.Writer
@@ -149,6 +160,12 @@ func pipelineConfig(cfg Config) core.Config {
 		AnnealIterations: 250,
 		Parallelism:      cfg.Parallelism,
 		Seed:             cfg.Seed,
+		Timeout:          cfg.Timeout,
+		BlockTimeout:     cfg.BlockTimeout,
+		MaxRestarts:      cfg.MaxRestarts,
+		// A figure with a time budget should still complete: degraded
+		// blocks fall back to the exact sub-circuit (= baseline quality).
+		AllowDegraded: cfg.Timeout > 0 || cfg.BlockTimeout > 0,
 	}
 	if cfg.Quick {
 		pc.MaxSamples = 6
@@ -162,9 +179,17 @@ func pipelineConfig(cfg Config) core.Config {
 	return pc
 }
 
-// questRun runs the QUEST pipeline on a workload.
+// questRun runs the QUEST pipeline on a workload. Runs bounded by
+// cfg.Timeout/cfg.BlockTimeout may degrade blocks to their exact
+// sub-circuits instead of failing; any substitutions are noted in the
+// figure output so a degraded data point is never silent.
 func questRun(w workload, cfg Config) (*core.Result, error) {
-	return core.Run(w.circuit, pipelineConfig(cfg))
+	res, err := core.Run(w.circuit, pipelineConfig(cfg))
+	if err == nil && len(res.Degradations) > 0 {
+		cfg.printf("  [%s: %d of %d blocks degraded to exact sub-circuits under the time budget]\n",
+			w.label(), len(res.Degradations), len(res.Blocks))
+	}
+	return res, err
 }
 
 // meanCNOTs returns the mean CNOT count of the selected approximations,

@@ -1,0 +1,119 @@
+// Package faultinject provides deterministic, test-only fault hooks for
+// the pipeline's robustness paths. Production call sites fire a named
+// site at well-defined points (one optimizer start, one block-synthesis
+// attempt, one noise trajectory chunk, ...); tests install hooks that
+// make chosen firings fail, panic, or stall. With no hooks installed a
+// firing is a single atomic load, so instrumented hot paths stay hot.
+//
+// Hooks are keyed by site name and sequenced by a per-site call counter,
+// so an injected fault is a pure function of (site, call index) —
+// deterministic under any worker count or interleaving. Sites that need
+// per-item targeting (for example "fail only block 2") embed the item
+// index in the site name behind an Enabled() guard:
+//
+//	if faultinject.Enabled() {
+//		if err := faultinject.Fire(fmt.Sprintf("core.block.%d", i)); err != nil {
+//			return err
+//		}
+//	}
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Hook decides what happens at the call-th firing of a site (call counts
+// from 1): return nil to let the call proceed, or an error to inject it.
+// A hook may also panic (to model a worker crash) or block (to model a
+// stall); injected panics carry the hook's panic value.
+type Hook func(call int) error
+
+type site struct {
+	hook  Hook
+	calls atomic.Int64
+}
+
+var (
+	installed atomic.Int32 // number of installed hooks; fast-path guard
+	mu        sync.Mutex
+	sites     map[string]*site
+)
+
+// Enabled reports whether any hook is installed. Call sites that must do
+// extra work to fire (string formatting, say) gate it on Enabled.
+func Enabled() bool { return installed.Load() > 0 }
+
+// Set installs a hook at the named site, replacing any previous hook
+// there, and returns a function that removes it again. Tests should
+// defer the returned restore.
+func Set(name string, h Hook) (restore func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = map[string]*site{}
+	}
+	if _, exists := sites[name]; !exists {
+		installed.Add(1)
+	}
+	sites[name] = &site{hook: h}
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, exists := sites[name]; exists {
+			delete(sites, name)
+			installed.Add(-1)
+		}
+	}
+}
+
+// Fire triggers the named site: with no hook installed it returns nil
+// (after a single atomic load); otherwise it invokes the hook with the
+// site's next call number and returns whatever the hook returns (or
+// propagates the hook's panic).
+func Fire(name string) error {
+	if installed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	s := sites[name]
+	mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	return s.hook(int(s.calls.Add(1)))
+}
+
+// FailOnCall returns a hook that injects err on exactly the n-th firing
+// and lets every other call proceed.
+func FailOnCall(n int, err error) Hook {
+	return func(call int) error {
+		if call == n {
+			return err
+		}
+		return nil
+	}
+}
+
+// FailAlways returns a hook that injects err on every firing.
+func FailAlways(err error) Hook {
+	return func(int) error { return err }
+}
+
+// PanicOnCall returns a hook that panics with value v on exactly the
+// n-th firing.
+func PanicOnCall(n int, v any) Hook {
+	return func(call int) error {
+		if call == n {
+			panic(v)
+		}
+		return nil
+	}
+}
+
+// Error builds a labeled injection error, so test assertions can
+// recognize their own faults in wrapped error chains.
+func Error(site string) error {
+	return fmt.Errorf("faultinject: injected failure at %s", site)
+}

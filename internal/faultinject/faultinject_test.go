@@ -1,0 +1,92 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFireWithoutHooksIsNil(t *testing.T) {
+	if Enabled() {
+		t.Fatal("Enabled() with no hooks")
+	}
+	if err := Fire("nowhere"); err != nil {
+		t.Fatalf("Fire without hooks = %v", err)
+	}
+}
+
+func TestFailOnCallSequencing(t *testing.T) {
+	boom := Error("test.site")
+	restore := Set("test.site", FailOnCall(3, boom))
+	defer restore()
+	if !Enabled() {
+		t.Fatal("Enabled() = false after Set")
+	}
+	for call := 1; call <= 5; call++ {
+		err := Fire("test.site")
+		if call == 3 && !errors.Is(err, boom) {
+			t.Fatalf("call %d: got %v, want injected error", call, err)
+		}
+		if call != 3 && err != nil {
+			t.Fatalf("call %d: got %v, want nil", call, err)
+		}
+	}
+}
+
+func TestRestoreRemovesHook(t *testing.T) {
+	restore := Set("test.restore", FailAlways(Error("test.restore")))
+	if err := Fire("test.restore"); err == nil {
+		t.Fatal("hook not active")
+	}
+	restore()
+	restore() // idempotent
+	if Enabled() {
+		t.Fatal("Enabled() = true after restore")
+	}
+	if err := Fire("test.restore"); err != nil {
+		t.Fatalf("Fire after restore = %v", err)
+	}
+}
+
+func TestPanicOnCall(t *testing.T) {
+	restore := Set("test.panic", PanicOnCall(1, "injected crash"))
+	defer restore()
+	defer func() {
+		if r := recover(); r != "injected crash" {
+			t.Fatalf("recovered %v, want injected crash", r)
+		}
+	}()
+	_ = Fire("test.panic")
+	t.Fatal("Fire did not panic")
+}
+
+func TestConcurrentFiresHitEachCallOnce(t *testing.T) {
+	boom := Error("test.conc")
+	restore := Set("test.conc", FailOnCall(10, boom))
+	defer restore()
+	var wg sync.WaitGroup
+	hits := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if err := Fire("test.conc"); err != nil {
+					hits <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(hits)
+	count := 0
+	for err := range hits {
+		count++
+		if !errors.Is(err, boom) {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	if count != 1 {
+		t.Fatalf("injected error delivered %d times, want exactly 1", count)
+	}
+}

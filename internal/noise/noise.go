@@ -12,11 +12,13 @@
 package noise
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/circuit"
 	"repro/internal/gate"
 	"repro/internal/linalg"
@@ -189,14 +191,27 @@ const trajectoryChunk = 8
 // Options.Parallelism; the shot-sampling RNG stream depends only on Seed,
 // so changing Trajectories never perturbs the shot-noise realization.
 func (m Model) Run(c *circuit.Circuit, opts Options) []float64 {
+	probs, _ := m.RunCtx(context.Background(), c, opts)
+	return probs
+}
+
+// RunCtx is Run under a context: cancellation is checked before the run
+// and between Monte-Carlo trajectories. When ctx expires mid-run the
+// typed budget error is returned with a nil distribution — a partially
+// accumulated trajectory average is a biased estimator, so no partial
+// output is offered here.
+func (m Model) RunCtx(ctx context.Context, c *circuit.Circuit, opts Options) ([]float64, error) {
 	opts.defaults()
+	if err := budget.Check(ctx); err != nil {
+		return nil, fmt.Errorf("noise: %w", err)
+	}
 	dim := 1 << c.NumQubits
 
 	probs := make([]float64, dim)
 	if m.OneQubitError == 0 && m.TwoQubitError == 0 && m.DampingError == 0 {
 		copy(probs, sim.Probabilities(c))
-	} else {
-		m.accumulateTrajectories(c, opts, probs)
+	} else if err := m.accumulateTrajectories(ctx, c, opts, probs); err != nil {
+		return nil, fmt.Errorf("noise: %w", err)
 	}
 
 	if m.ReadoutError > 0 {
@@ -206,7 +221,7 @@ func (m Model) Run(c *circuit.Circuit, opts Options) []float64 {
 		rng := rand.New(rand.NewSource(streamSeed(opts.Seed, shotStream)))
 		probs = SampleShots(probs, opts.Shots, rng)
 	}
-	return probs
+	return probs, nil
 }
 
 // accumulateTrajectories adds the mean trajectory probability mass into
@@ -215,11 +230,11 @@ func (m Model) Run(c *circuit.Circuit, opts Options) []float64 {
 // partials are reduced in chunk order, so the floating-point summation
 // order (and hence the result, bit for bit) is independent of the worker
 // count.
-func (m Model) accumulateTrajectories(c *circuit.Circuit, opts Options, probs []float64) {
+func (m Model) accumulateTrajectories(ctx context.Context, c *circuit.Circuit, opts Options, probs []float64) error {
 	dim := len(probs)
 	chunks := (opts.Trajectories + trajectoryChunk - 1) / trajectoryChunk
 	partials := make([][]float64, chunks)
-	par.ForEach(opts.Parallelism, chunks, func(ci int) {
+	err := par.ForEachErr(ctx, opts.Parallelism, chunks, func(cctx context.Context, ci int) error {
 		partial := make([]float64, dim)
 		lo := ci * trajectoryChunk
 		hi := lo + trajectoryChunk
@@ -227,6 +242,9 @@ func (m Model) accumulateTrajectories(c *circuit.Circuit, opts Options, probs []
 			hi = opts.Trajectories
 		}
 		for t := lo; t < hi; t++ {
+			if err := budget.Check(cctx); err != nil {
+				return err
+			}
 			rng := rand.New(rand.NewSource(streamSeed(opts.Seed, int64(t))))
 			state := m.Trajectory(c, rng)
 			for k, amp := range state {
@@ -234,7 +252,11 @@ func (m Model) accumulateTrajectories(c *circuit.Circuit, opts Options, probs []
 			}
 		}
 		partials[ci] = partial
+		return nil
 	})
+	if err != nil {
+		return err
+	}
 	for _, partial := range partials {
 		for k, v := range partial {
 			probs[k] += v
@@ -244,6 +266,7 @@ func (m Model) accumulateTrajectories(c *circuit.Circuit, opts Options, probs []
 	for k := range probs {
 		probs[k] *= inv
 	}
+	return nil
 }
 
 // ApplyReadoutError applies an independent bit-flip channel with
@@ -337,6 +360,12 @@ func Manila() *Device {
 // the device noise model and returns the output distribution in LOGICAL
 // qubit order.
 func (d *Device) Run(c *circuit.Circuit, opts Options) ([]float64, error) {
+	return d.RunCtx(context.Background(), c, opts)
+}
+
+// RunCtx is Run under a context; see Model.RunCtx for the cancellation
+// contract.
+func (d *Device) RunCtx(ctx context.Context, c *circuit.Circuit, opts Options) ([]float64, error) {
 	lowered := transpile.Lower(c)
 	initial := transpile.ChooseInitialLayout(lowered, d.Coupling)
 	routed, layout, err := transpile.SabreRoute(lowered, d.Coupling, initial)
@@ -346,7 +375,10 @@ func (d *Device) Run(c *circuit.Circuit, opts Options) ([]float64, error) {
 	// Routing may introduce swap gates; lower them to CNOTs so they are
 	// charged two-qubit errors per CNOT like real hardware.
 	routed = transpile.Lower(routed)
-	phys := d.Model.Run(routed, opts)
+	phys, err := d.Model.RunCtx(ctx, routed, opts)
+	if err != nil {
+		return nil, err
+	}
 	return transpile.PermuteDistribution(phys, layout, c.NumQubits), nil
 }
 

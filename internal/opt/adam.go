@@ -1,6 +1,11 @@
 package opt
 
-import "math"
+import (
+	"context"
+	"math"
+
+	"repro/internal/budget"
+)
 
 // AdamOptions configures Adam. The zero value selects the standard
 // hyperparameters (lr 0.01, β1 0.9, β2 0.999).
@@ -38,6 +43,14 @@ func (o *AdamOptions) defaults() {
 // robust-but-slow fallback next to LBFGS: useful on noisy or very
 // ill-conditioned landscapes. x0 is not modified.
 func Adam(g Gradient, x0 []float64, opts AdamOptions) Result {
+	res, _ := AdamCtx(context.Background(), g, x0, opts)
+	return res
+}
+
+// AdamCtx is Adam under a context: cancellation is checked at every
+// iteration; when ctx expires the best point found so far is returned
+// together with the typed budget error.
+func AdamCtx(ctx context.Context, g Gradient, x0 []float64, opts AdamOptions) (Result, error) {
 	opts.defaults()
 	const eps = 1e-8
 	n := len(x0)
@@ -49,8 +62,12 @@ func Adam(g Gradient, x0 []float64, opts AdamOptions) Result {
 	res := Result{X: append([]float64(nil), x...), F: math.Inf(1)}
 	evals := 0
 	b1t, b2t := 1.0, 1.0
+	var stopErr error
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		res.Iterations = iter + 1
+		if stopErr = budget.Check(ctx); stopErr != nil {
+			break
+		}
 		f := g(x, grad)
 		evals++
 		if f < res.F {
@@ -78,5 +95,5 @@ func Adam(g Gradient, x0 []float64, opts AdamOptions) Result {
 	}
 	evals++
 	res.Evaluations = evals
-	return res
+	return res, stopErr
 }

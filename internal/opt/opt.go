@@ -2,11 +2,21 @@
 // engine and the dual annealing local-search phase: limited-memory BFGS
 // with a weak-Wolfe line search, Nelder-Mead simplex search, the Adam
 // stochastic-gradient method, and a finite-difference gradient fallback.
+//
+// Every minimizer has a context-aware form (LBFGSCtx, NelderMeadCtx,
+// AdamCtx) that checks cancellation at iteration boundaries and, when cut
+// short, returns the best point found so far together with the typed
+// budget error — the pipeline's contract for partial results under
+// deadlines.
 package opt
 
 import (
+	"context"
 	"math"
 	"sort"
+
+	"repro/internal/budget"
+	"repro/internal/faultinject"
 )
 
 // Objective is a scalar function of a parameter vector.
@@ -88,6 +98,15 @@ func (o *LBFGSOptions) defaults() {
 // LBFGS minimizes g starting from x0 using limited-memory BFGS with a
 // weak-Wolfe bisection line search. x0 is not modified.
 func LBFGS(g Gradient, x0 []float64, opts LBFGSOptions) Result {
+	res, _ := LBFGSCtx(context.Background(), g, x0, opts)
+	return res
+}
+
+// LBFGSCtx is LBFGS under a context: cancellation is checked at every
+// outer iteration and every line-search evaluation. When ctx expires the
+// best point found so far is returned together with the typed budget
+// error (ErrDeadline or ErrCancelled).
+func LBFGSCtx(ctx context.Context, g Gradient, x0 []float64, opts LBFGSOptions) (Result, error) {
 	opts.defaults()
 	n := len(x0)
 	x := append([]float64(nil), x0...)
@@ -105,8 +124,16 @@ func LBFGS(g Gradient, x0 []float64, opts LBFGSOptions) Result {
 	gradNew := make([]float64, n)
 
 	res := Result{X: append([]float64(nil), x...), F: f}
+	var stopErr error
+outer:
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		res.Iterations = iter + 1
+		if stopErr = budget.Check(ctx); stopErr == nil {
+			stopErr = faultinject.Fire("opt.lbfgs")
+		}
+		if stopErr != nil {
+			break
+		}
 		if infNorm(grad) < opts.GradTolerance {
 			res.Converged = true
 			break
@@ -151,6 +178,9 @@ func LBFGS(g Gradient, x0 []float64, opts LBFGSOptions) Result {
 		var fNew float64
 		accepted := false
 		for ls := 0; ls < 50; ls++ {
+			if stopErr = budget.Check(ctx); stopErr != nil {
+				break outer
+			}
 			for i := range x {
 				xNew[i] = x[i] + step*dir[i]
 			}
@@ -213,7 +243,7 @@ func LBFGS(g Gradient, x0 []float64, opts LBFGSOptions) Result {
 		copy(res.X, x)
 	}
 	res.Evaluations = evals
-	return res
+	return res, stopErr
 }
 
 // NelderMeadOptions configures NelderMead. The zero value selects defaults.
@@ -230,6 +260,14 @@ type NelderMeadOptions struct {
 // NelderMead minimizes f with the downhill-simplex method starting from
 // x0. x0 is not modified.
 func NelderMead(f Objective, x0 []float64, opts NelderMeadOptions) Result {
+	res, _ := NelderMeadCtx(context.Background(), f, x0, opts)
+	return res
+}
+
+// NelderMeadCtx is NelderMead under a context: cancellation is checked at
+// every outer iteration; when ctx expires the best simplex vertex found
+// so far is returned together with the typed budget error.
+func NelderMeadCtx(ctx context.Context, f Objective, x0 []float64, opts NelderMeadOptions) (Result, error) {
 	n := len(x0)
 	if opts.MaxIterations == 0 {
 		opts.MaxIterations = 400 * (n + 1)
@@ -241,7 +279,7 @@ func NelderMead(f Objective, x0 []float64, opts NelderMeadOptions) Result {
 		opts.InitialStep = 0.5
 	}
 	if n == 0 {
-		return Result{X: nil, F: f(nil), Evaluations: 1, Converged: true}
+		return Result{X: nil, F: f(nil), Evaluations: 1, Converged: true}, nil
 	}
 
 	type vertex struct {
@@ -275,8 +313,12 @@ func NelderMead(f Objective, x0 []float64, opts NelderMeadOptions) Result {
 	cont := make([]float64, n)
 
 	var res Result
+	var stopErr error
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		res.Iterations = iter + 1
+		if stopErr = budget.Check(ctx); stopErr != nil {
+			break
+		}
 		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
 		if math.Abs(simplex[n].f-simplex[0].f) < opts.FTolerance {
 			res.Converged = true
@@ -337,7 +379,7 @@ func NelderMead(f Objective, x0 []float64, opts NelderMeadOptions) Result {
 	res.X = append([]float64(nil), simplex[0].x...)
 	res.F = simplex[0].f
 	res.Evaluations = evals
-	return res
+	return res, stopErr
 }
 
 func dot(a, b []float64) float64 {

@@ -57,24 +57,29 @@ func (q *nodeQueue) Pop() any {
 
 // searchAStar runs LEAP-style best-first search. optimizeNode evaluates a
 // template (with warm-start parameters) and h harvests every optimized
-// node. The search stops when the threshold is met (unless harvestAll),
-// the node budget is exhausted, or the frontier empties.
+// node; an optimizeNode error (cancellation, injected fault) aborts the
+// search and is returned with the harvest left intact. The search stops
+// when the threshold is met (unless harvestAll), the node budget is
+// exhausted, or the frontier empties.
 func searchAStar(
 	target *linalg.Matrix,
 	pairs [][2]int,
 	opts Options,
-	optimizeNode func(a *ansatz, warm []float64) node,
+	optimizeNode func(a *ansatz, warm []float64) (node, error),
 	h *harvester,
-) {
+) error {
 	n := 0
 	for 1<<n < target.Rows {
 		n++
 	}
 	budget := opts.NodeBudget
-	root := optimizeNode(newSeedAnsatz(n), nil)
+	root, err := optimizeNode(newSeedAnsatz(n), nil)
 	h.add(root, target)
+	if err != nil {
+		return err
+	}
 	if root.dist < opts.Threshold && !opts.HarvestAll {
-		return
+		return nil
 	}
 
 	frontier := &nodeQueue{}
@@ -90,10 +95,13 @@ func searchAStar(
 		expanded++
 		for _, pr := range pairs {
 			child := cur.a.withLayer(pr[0], pr[1])
-			nd := optimizeNode(child, cur.params)
+			nd, err := optimizeNode(child, cur.params)
 			h.add(nd, target)
+			if err != nil {
+				return err
+			}
 			if nd.dist < opts.Threshold && !opts.HarvestAll {
-				return
+				return nil
 			}
 			heap.Push(frontier, &aStarNode{node: nd, depth: cur.depth + 1})
 		}
@@ -105,4 +113,5 @@ func searchAStar(
 			heap.Init(frontier)
 		}
 	}
+	return nil
 }

@@ -1,12 +1,15 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/circuit"
+	"repro/internal/faultinject"
 	"repro/internal/linalg"
 	"repro/internal/opt"
 )
@@ -116,6 +119,16 @@ type node struct {
 // Synthesize searches for circuits implementing the target unitary.
 // The target dimension must be a power of two (2^n for n qubits, n ≥ 1).
 func Synthesize(target *linalg.Matrix, opts Options) (Result, error) {
+	return SynthesizeCtx(context.Background(), target, opts)
+}
+
+// SynthesizeCtx is Synthesize under a context. Cancellation is checked
+// at every search-tree node and inside the optimizer inner loops; when
+// ctx expires the candidates harvested so far are returned together with
+// a typed, wrapped budget error (errors.Is ErrDeadline / ErrCancelled),
+// so callers can keep partial approximation sets. When nothing was
+// harvested yet, only the error is returned.
+func SynthesizeCtx(ctx context.Context, target *linalg.Matrix, opts Options) (Result, error) {
 	if !target.IsSquare() {
 		return Result{}, fmt.Errorf("synth: target is %dx%d, want square", target.Rows, target.Cols)
 	}
@@ -144,9 +157,15 @@ func Synthesize(target *linalg.Matrix, opts Options) (Result, error) {
 	h := &harvester{keep: opts.KeepPerDepth}
 	evals := 0
 
-	optimizeNode := func(a *ansatz, warm []float64) node {
-		obj := newObjective(a, target)
+	optimizeNode := func(a *ansatz, warm []float64) (node, error) {
 		best := node{a: a, dist: math.Inf(1)}
+		if err := budget.Check(ctx); err != nil {
+			return best, err
+		}
+		if err := faultinject.Fire("synth.optimize"); err != nil {
+			return best, err
+		}
+		obj := newObjective(a, target)
 		starts := 1 + opts.Restarts
 		for s := 0; s < starts; s++ {
 			x0 := make([]float64, a.nparams)
@@ -162,7 +181,7 @@ func Synthesize(target *linalg.Matrix, opts Options) (Result, error) {
 					x0[i] = rng.Float64()*2*math.Pi - math.Pi
 				}
 			}
-			res := opt.LBFGS(obj.valueGrad, x0, opt.LBFGSOptions{MaxIterations: 150})
+			res, err := opt.LBFGSCtx(ctx, obj.valueGrad, x0, opt.LBFGSOptions{MaxIterations: 150})
 			evals += res.Evaluations
 			if res.F < best.dist*best.dist || best.params == nil {
 				d := math.Sqrt(math.Max(0, res.F))
@@ -171,26 +190,42 @@ func Synthesize(target *linalg.Matrix, opts Options) (Result, error) {
 					best.params = res.X
 				}
 			}
+			if err != nil {
+				return best, err
+			}
 		}
-		return best
+		return best, nil
 	}
 
-	if opts.Strategy == StrategyAStar {
-		searchAStar(target, pairs, opts, optimizeNode, h)
-		res := h.result()
+	finish := func(stopErr error) (Result, error) {
+		res, ok := h.result()
 		res.Evaluations = evals
-		if len(res.Candidates) == 0 {
+		if stopErr != nil {
+			if !ok {
+				return Result{}, fmt.Errorf("synth: %w", stopErr)
+			}
+			return res, fmt.Errorf("synth: %w", stopErr)
+		}
+		if !ok {
 			return Result{}, fmt.Errorf("synth: no candidates produced")
 		}
 		return res, nil
 	}
 
+	if opts.Strategy == StrategyAStar {
+		return finish(searchAStar(target, pairs, opts, optimizeNode, h))
+	}
+
 	// Depth 0: rotation-only seed.
-	root := optimizeNode(newSeedAnsatz(n), nil)
+	root, stopErr := optimizeNode(newSeedAnsatz(n), nil)
 	h.add(root, target)
+	if stopErr != nil {
+		return finish(stopErr)
+	}
 	beam := []node{root}
 	found := root.dist < opts.Threshold
 
+depths:
 	for depth := 1; depth <= opts.MaxCNOTs; depth++ {
 		if found && !opts.HarvestAll {
 			break
@@ -199,8 +234,12 @@ func Synthesize(target *linalg.Matrix, opts Options) (Result, error) {
 		for _, parent := range beam {
 			for _, pr := range pairs {
 				child := parent.a.withLayer(pr[0], pr[1])
-				nd := optimizeNode(child, parent.params)
+				nd, err := optimizeNode(child, parent.params)
 				h.add(nd, target)
+				if err != nil {
+					stopErr = err
+					break depths
+				}
 				children = append(children, nd)
 				if nd.dist < opts.Threshold {
 					found = true
@@ -218,12 +257,7 @@ func Synthesize(target *linalg.Matrix, opts Options) (Result, error) {
 		beam = children[:width]
 	}
 
-	res := h.result()
-	res.Evaluations = evals
-	if len(res.Candidates) == 0 {
-		return Result{}, fmt.Errorf("synth: no candidates produced")
-	}
-	return res, nil
+	return finish(stopErr)
 }
 
 // harvester retains the best candidates per CNOT count.
@@ -252,10 +286,16 @@ func (h *harvester) add(nd node, target *linalg.Matrix) {
 	h.byDepth[c.CNOTs] = lst
 }
 
-func (h *harvester) result() Result {
+// result assembles the harvested candidates. ok is false when nothing
+// was harvested (e.g. the search was cancelled before the first node
+// finished optimizing).
+func (h *harvester) result() (_ Result, ok bool) {
 	var all []Candidate
 	for _, lst := range h.byDepth {
 		all = append(all, lst...)
+	}
+	if len(all) == 0 {
+		return Result{}, false
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].CNOTs != all[j].CNOTs {
@@ -269,5 +309,5 @@ func (h *harvester) result() Result {
 			best = c
 		}
 	}
-	return Result{Best: best, Candidates: all}
+	return Result{Best: best, Candidates: all}, true
 }

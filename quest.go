@@ -24,7 +24,10 @@
 package quest
 
 import (
+	"context"
+
 	"repro/internal/algos"
+	"repro/internal/budget"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -32,6 +35,25 @@ import (
 	"repro/internal/qasm"
 	"repro/internal/sim"
 	"repro/internal/transpile"
+)
+
+// Typed pipeline-termination errors. Every error returned by ApproximateCtx
+// (and the other *Ctx entry points) because a budget ran out wraps one of
+// these, so callers can classify failures with errors.Is:
+//
+//	res, err := quest.ApproximateCtx(ctx, c, cfg)
+//	if errors.Is(err, quest.ErrDeadline) { ... } // timed out
+var (
+	// ErrDeadline marks work aborted because a deadline or per-stage time
+	// budget expired.
+	ErrDeadline = budget.ErrDeadline
+	// ErrCancelled marks work aborted because the context was cancelled.
+	ErrCancelled = budget.ErrCancelled
+	// ErrNoConvergence marks an optimizer or synthesis attempt that
+	// exhausted its iteration budget without reaching its target. It is
+	// retryable: the pipeline re-seeds and widens the search before
+	// degrading the block.
+	ErrNoConvergence = budget.ErrNoConvergence
 )
 
 // Circuit is the quantum circuit IR: an ordered list of gate operations.
@@ -50,8 +72,17 @@ type Result = core.Result
 // Approximation is one selected full-circuit approximation.
 type Approximation = core.Approximation
 
+// Degradation records a block that fell back to its exact (transpiled)
+// sub-circuit after synthesis retries were exhausted or a budget expired.
+// Degraded runs still produce a valid Result; Result.Degradations lists
+// every substitution.
+type Degradation = core.Degradation
+
 // Runner executes a circuit and returns an output distribution.
 type Runner = core.Runner
+
+// RunnerCtx is a context-aware Runner; see Result.EnsembleProbabilitiesCtx.
+type RunnerCtx = core.RunnerCtx
 
 // NoiseModel is a stochastic Pauli gate-error model.
 type NoiseModel = noise.Model
@@ -70,6 +101,17 @@ func WriteQASM(c *Circuit) string { return qasm.Write(c) }
 
 // Approximate runs the full QUEST pipeline on a circuit.
 func Approximate(c *Circuit, cfg Config) (*Result, error) { return core.Run(c, cfg) }
+
+// ApproximateCtx runs the full QUEST pipeline under a context. The run
+// stops at the earliest of ctx's deadline/cancellation and cfg.Timeout;
+// per-block synthesis is additionally bounded by cfg.BlockTimeout and
+// retried up to cfg.MaxRestarts times. On budget exhaustion the error
+// wraps ErrDeadline or ErrCancelled — unless cfg.AllowDegraded is set, in
+// which case unfinished blocks degrade to their exact sub-circuits and a
+// valid Result is returned with the substitutions in Result.Degradations.
+func ApproximateCtx(ctx context.Context, c *Circuit, cfg Config) (*Result, error) {
+	return core.RunCtx(ctx, c, cfg)
+}
 
 // GenerateBenchmark builds one of the paper's Table-1 benchmark circuits
 // ("adder", "heisenberg", "hlf", "qft", "qaoa", "multiplier", "tfim",
@@ -106,6 +148,13 @@ func SimulateNoisyOpts(c *Circuit, m NoiseModel, opts SimOptions) []float64 {
 	return m.Run(c, opts)
 }
 
+// SimulateNoisyCtx is SimulateNoisyOpts under a context: the trajectory
+// loop aborts on cancellation or deadline with an error wrapping
+// ErrCancelled or ErrDeadline.
+func SimulateNoisyCtx(ctx context.Context, c *Circuit, m NoiseModel, opts SimOptions) ([]float64, error) {
+	return m.RunCtx(ctx, c, opts)
+}
+
 // Manila returns the synthetic IBMQ-Manila-class 5-qubit device model used
 // by the hardware experiments.
 func Manila() *Device { return noise.Manila() }
@@ -121,6 +170,13 @@ func RunOnDevice(d *Device, c *Circuit, shots int, seed int64) ([]float64, error
 // budget and the parallel fan-out.
 func RunOnDeviceOpts(d *Device, c *Circuit, opts SimOptions) ([]float64, error) {
 	return d.Run(c, opts)
+}
+
+// RunOnDeviceCtx is RunOnDeviceOpts under a context: routing happens
+// up front and the trajectory loop aborts on cancellation or deadline
+// with an error wrapping ErrCancelled or ErrDeadline.
+func RunOnDeviceCtx(ctx context.Context, d *Device, c *Circuit, opts SimOptions) ([]float64, error) {
+	return d.RunCtx(ctx, c, opts)
 }
 
 // OptimizeQiskitStyle applies the Qiskit-like transpiler baseline (lower
