@@ -5,7 +5,13 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify verify-full bench fmt-check
+.PHONY: build vet test test-race verify verify-full bench bench-smoke fmt-check
+
+# Packages holding the hot-path benchmarks recorded in BENCH_synth.json:
+# objective/gradient evaluation and synthesis (synth), gate-apply kernels
+# (linalg), cached-vs-cold synthesis (ucache), plus the simulator and
+# noise engines.
+BENCH_PKGS = ./internal/synth ./internal/linalg ./internal/ucache ./internal/noise ./internal/sim
 
 build:
 	$(GO) build ./...
@@ -24,8 +30,19 @@ verify: vet build test-race
 verify-full: vet build
 	$(GO) test -race -timeout 30m ./...
 
+# `make bench` refreshes the "after" section of BENCH_synth.json (the
+# machine-readable perf trajectory across PRs); earlier sections are left
+# in place for comparison. BENCH_SECTION overrides the section name.
+BENCH_SECTION ?= after
+
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./internal/noise ./internal/sim ./internal/linalg
+	$(GO) test -bench=. -benchmem -run=^$$ $(BENCH_PKGS) | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -out BENCH_synth.json -section $(BENCH_SECTION)
+
+# One-iteration compile-and-run pass over every benchmark; CI uses it to
+# catch kernel/benchmark regressions without paying for a full bench run.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ $(BENCH_PKGS)
 
 fmt-check:
 	@out=$$(gofmt -l cmd internal examples *.go); if [ -n "$$out" ]; then \

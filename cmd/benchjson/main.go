@@ -1,0 +1,63 @@
+// Command benchjson converts `go test -bench` output into a JSON file so
+// the performance trajectory of the hot kernels is machine-readable
+// across PRs (see BENCH_synth.json and the Makefile bench target).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./internal/... | benchjson -out BENCH_synth.json -section after
+//
+// The file holds named sections; -section replaces one section and
+// leaves the others untouched, so before/after snapshots of the same
+// benchmarks can live side by side.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_synth.json", "output JSON file (merged if it exists)")
+		section = flag.String("section", "current", "section name to (re)write in the output file")
+	)
+	flag.Parse()
+
+	benches, err := parseBench(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	doc := document{Sections: map[string][]benchResult{}}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: existing %s is not valid: %v\n", *out, err)
+			os.Exit(1)
+		}
+		if doc.Sections == nil {
+			doc.Sections = map[string][]benchResult{}
+		}
+	}
+	doc.GOOS, doc.GOARCH = runtime.GOOS, runtime.GOARCH
+	doc.Sections[*section] = benches
+
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to section %q of %s\n", len(benches), *section, *out)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+)
+
+// document is the BENCH_synth.json layout.
+type document struct {
+	GOOS     string                   `json:"goos"`
+	GOARCH   string                   `json:"goarch"`
+	Sections map[string][]benchResult `json:"sections"`
+}
+
+// benchResult is one benchmark line. AllocsPerOp/BytesPerOp are -1 when
+// the run did not use -benchmem.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+//
+//	BenchmarkObjectiveGradient3Q-8  12345  98.7 ns/op  16 B/op  1 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so results compare across hosts.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseBench extracts benchmark results from `go test -bench` output,
+// ignoring non-benchmark lines (package headers, PASS/ok, logs).
+func parseBench(sc *bufio.Scanner) ([]benchResult, error) {
+	var out []benchResult
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := benchResult{Name: m[1], Iterations: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro/internal/synth
+BenchmarkObjectiveGradient3Q-8   	   12000	     98543 ns/op	       0 B/op	       0 allocs/op
+BenchmarkApplyLeft1Q-8           	 5000000	       214.7 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSynthesizeHit           	  300000	      4012 ns/op
+PASS
+ok  	repro/internal/synth	4.2s
+`
+	got, err := parseBench(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d lines, want 3: %+v", len(got), got)
+	}
+	first := got[0]
+	if first.Name != "BenchmarkObjectiveGradient3Q" || first.Iterations != 12000 ||
+		first.NsPerOp != 98543 || first.BytesPerOp != 0 || first.AllocsPerOp != 0 {
+		t.Errorf("first = %+v", first)
+	}
+	if got[1].NsPerOp != 214.7 {
+		t.Errorf("fractional ns/op parsed as %g", got[1].NsPerOp)
+	}
+	// No -benchmem columns: allocs/bytes are marked absent, and the
+	// un-suffixed name (no -N GOMAXPROCS) parses too.
+	if got[2].Name != "BenchmarkSynthesizeHit" || got[2].AllocsPerOp != -1 || got[2].BytesPerOp != -1 {
+		t.Errorf("third = %+v", got[2])
+	}
+}

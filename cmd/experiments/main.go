@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/ucache"
 )
 
 func main() {
@@ -30,9 +31,16 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "per-run pipeline deadline; timed-out blocks degrade to exact sub-circuits (0 = none)")
 		blockTimeout = flag.Duration("block-timeout", 0, "per-attempt block synthesis deadline (0 = none)")
 		maxRestarts  = flag.Int("max-restarts", 0, "synthesis retries per block (0 = pipeline default, -1 = none)")
+
+		cacheSize = flag.Int("synth-cache", 1024, "synthesis cache entries shared across a figure's runs (0 = disabled)")
+		cacheTol  = flag.Float64("synth-cache-tol", 0, "cache match tolerance; 0 = strict (bit-reproducible), >0 reuses near-identical blocks with inflated distance bounds")
 	)
 	flag.Parse()
 
+	var cache *ucache.Cache
+	if *cacheSize > 0 {
+		cache = ucache.New(*cacheSize, *cacheTol)
+	}
 	cfg := experiments.Config{
 		Quick:        *quick,
 		Seed:         *seed,
@@ -40,7 +48,16 @@ func main() {
 		Timeout:      *timeout,
 		BlockTimeout: *blockTimeout,
 		MaxRestarts:  *maxRestarts,
+		SynthCache:   cache,
 		Out:          os.Stdout,
+	}
+	cacheReport := func(scope string, before ucache.Stats) {
+		if cache == nil {
+			return
+		}
+		d := cache.Stats().Sub(before)
+		fmt.Printf("[%s synthesis cache: %d hits, %d misses, %d evictions]\n",
+			scope, d.Hits, d.Misses, d.Evictions)
 	}
 	if *ablation != "" {
 		names := experiments.Ablations()
@@ -49,10 +66,15 @@ func main() {
 		}
 		for _, name := range names {
 			start := time.Now()
+			var before ucache.Stats
+			if cache != nil {
+				before = cache.Stats()
+			}
 			if err := experiments.RunAblation(name, cfg); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: ablation %s: %v\n", name, err)
 				os.Exit(1)
 			}
+			cacheReport("ablation "+name, before)
 			fmt.Printf("[ablation %s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
 		}
 		return
@@ -68,10 +90,15 @@ func main() {
 	}
 	for _, f := range figs {
 		start := time.Now()
+		var before ucache.Stats
+		if cache != nil {
+			before = cache.Stats()
+		}
 		if err := experiments.Run(f, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: figure %d: %v\n", f, err)
 			os.Exit(1)
 		}
+		cacheReport(fmt.Sprintf("figure %d", f), before)
 		fmt.Printf("[figure %d done in %v]\n", f, time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/qasm"
 	"repro/internal/sim"
+	"repro/internal/ucache"
 )
 
 func main() {
@@ -44,6 +45,9 @@ func main() {
 		blockTimeout = flag.Duration("block-timeout", 0, "per-attempt block synthesis deadline (0 = none)")
 		maxRestarts  = flag.Int("max-restarts", 2, "synthesis retries per block before degrading (-1 = none)")
 		degraded     = flag.Bool("allow-degraded", false, "on budget exhaustion, substitute exact blocks instead of failing")
+
+		cacheSize = flag.Int("synth-cache", 1024, "synthesis cache entries; repeated block unitaries (Trotter steps, mirrored subcircuits) synthesize once (0 = disabled)")
+		cacheTol  = flag.Float64("synth-cache-tol", 0, "cache match tolerance; 0 = strict (bit-reproducible), >0 reuses near-identical blocks with inflated distance bounds")
 	)
 	flag.Parse()
 
@@ -61,6 +65,11 @@ func main() {
 	fmt.Printf("input %s: %d qubits, %d ops, %d CNOTs, depth %d\n",
 		name, c.NumQubits, c.Size(), c.CNOTCount(), c.Depth())
 
+	var cache *ucache.Cache
+	if *cacheSize > 0 {
+		cache = ucache.New(*cacheSize, *cacheTol)
+	}
+
 	start := time.Now()
 	res, err := quest.ApproximateCtx(ctx, c, quest.Config{
 		BlockSize:     *blockSize,
@@ -71,6 +80,7 @@ func main() {
 		BlockTimeout:  *blockTimeout,
 		MaxRestarts:   *maxRestarts,
 		AllowDegraded: *degraded,
+		SynthCache:    cache,
 	})
 	if err != nil {
 		switch {
@@ -97,6 +107,10 @@ func main() {
 	}
 	fmt.Printf("timing: partition %v, synthesis %v, annealing %v\n",
 		res.Timing.Partition, res.Timing.Synthesis, res.Timing.Annealing)
+	if cache != nil {
+		fmt.Printf("synthesis cache: %d hits, %d misses, %d evictions\n",
+			res.CacheStats.Hits, res.CacheStats.Misses, res.CacheStats.Evictions)
+	}
 
 	if *ideal && c.NumQubits <= 12 {
 		truth := sim.Probabilities(c)

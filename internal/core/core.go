@@ -23,6 +23,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/synth"
+	"repro/internal/ucache"
 )
 
 // Config controls the pipeline. The zero value selects the paper-like
@@ -82,6 +83,13 @@ type Config struct {
 	// block is a valid, zero-error stand-in — regardless of this flag,
 	// which only governs budget-driven degradation.
 	AllowDegraded bool
+	// SynthCache, when non-nil, memoizes per-block synthesis results by
+	// target unitary (see internal/ucache). Blocks with identical
+	// unitaries — Trotter steps, repeated subcircuits — then synthesize
+	// once per run (or once across runs when the cache is shared).
+	// Nil disables caching, so every block synthesis actually runs; the
+	// timeout/retry/degradation machinery assumes that in its tests.
+	SynthCache *ucache.Cache
 }
 
 func (c *Config) defaults() {
@@ -198,6 +206,10 @@ type Result struct {
 	// Degradations lists blocks that fell back to their exact circuit,
 	// in block order. Empty on a fully approximated run.
 	Degradations []Degradation
+	// CacheStats is the synthesis-cache activity during this run
+	// (zero when Config.SynthCache is nil). With a cache shared across
+	// concurrent runs the numbers include the other runs' activity.
+	CacheStats ucache.Stats
 }
 
 // BestCNOTs returns the smallest CNOT count among selected approximations.
@@ -268,10 +280,14 @@ func RunCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Result, error
 	// error out of this loop is either the run budget expiring or a
 	// worker panic (surfaced as *par.PanicError).
 	t0 = time.Now()
+	var statsBefore ucache.Stats
+	if cfg.SynthCache != nil {
+		statsBefore = cfg.SynthCache.Stats()
+	}
 	res.Blocks = make([]BlockApproximations, len(blocks))
 	degs := make([]*Degradation, len(blocks))
 	synthErr := par.ForEachErr(ctx, cfg.Parallelism, len(blocks), func(bctx context.Context, i int) error {
-		ba, deg, err := synthesizeBlock(bctx, i, blocks[i], cfg, res.Threshold, cfg.Seed+int64(i)*7919)
+		ba, deg, err := synthesizeBlock(bctx, i, blocks[i], cfg, res.Threshold)
 		if err != nil {
 			return fmt.Errorf("synthesize block %d: %w", i, err)
 		}
@@ -279,6 +295,9 @@ func RunCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Result, error
 		degs[i] = deg
 		return nil
 	})
+	if cfg.SynthCache != nil {
+		res.CacheStats = cfg.SynthCache.Stats().Sub(statsBefore)
+	}
 	if synthErr != nil {
 		if !budget.Terminated(synthErr) || !cfg.AllowDegraded {
 			return nil, fmt.Errorf("core: %w", synthErr)
@@ -344,8 +363,14 @@ func exactOnlyBlock(b partition.Block) BlockApproximations {
 // is returned only when the run's own budget expired (typed, unwrappable
 // to budget.ErrDeadline/ErrCancelled) — or when a per-block budget
 // expired and Config.AllowDegraded is off.
-func synthesizeBlock(ctx context.Context, idx int, b partition.Block, cfg Config, threshold float64, seed int64) (BlockApproximations, *Degradation, error) {
+func synthesizeBlock(ctx context.Context, idx int, b partition.Block, cfg Config, threshold float64) (BlockApproximations, *Degradation, error) {
 	u := sim.Unitary(b.Circuit)
+	// The search seed is derived from the block's CONTENT (its unitary's
+	// phase-invariant hash), not its position: identical blocks — e.g.
+	// repeated Trotter steps — run identical searches, which both keeps
+	// the pipeline deterministic for any Parallelism and makes their
+	// synthesis results shareable through Config.SynthCache.
+	seed := cfg.Seed ^ int64(ucache.TargetKey(u)&0x7fffffffffffffff)
 	maxCNOTs := b.Circuit.CNOTCount()
 	if maxCNOTs == 0 {
 		maxCNOTs = -1 // rotation-only block: forbid CNOT layers entirely
@@ -386,7 +411,13 @@ func synthesizeBlock(ctx context.Context, idx int, b partition.Block, cfg Config
 			HarvestAll:   true,
 			Seed:         seed + int64(attempt)*15485863,
 		}
-		sres, err := synth.SynthesizeCtx(actx, u, opts)
+		var sres synth.Result
+		var err error
+		if cfg.SynthCache != nil {
+			sres, _, err = cfg.SynthCache.SynthesizeCtx(actx, u, opts)
+		} else {
+			sres, err = synth.SynthesizeCtx(actx, u, opts)
+		}
 		cancel()
 		if err != nil {
 			if budget.Terminated(err) && ctx.Err() != nil {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/noise"
 	"repro/internal/sim"
 	"repro/internal/transpile"
+	"repro/internal/ucache"
 )
 
 // Config selects the experiment scale and output sink.
@@ -47,6 +48,12 @@ type Config struct {
 	// MaxRestarts caps the synthesis retries per block (0 = pipeline
 	// default, negative = no retries).
 	MaxRestarts int
+	// SynthCache, when non-nil, memoizes block synthesis across every
+	// pipeline run of a figure (see internal/ucache): sweeps that revisit
+	// the same circuit at many ε-points or noise levels synthesize each
+	// distinct block once. A strict-mode cache leaves every figure's
+	// numbers bit-identical; it only changes how fast they appear.
+	SynthCache *ucache.Cache
 	// Out receives the result tables; nil means io.Discard. Callers that
 	// want them printed typically set os.Stdout.
 	Out io.Writer
@@ -163,6 +170,7 @@ func pipelineConfig(cfg Config) core.Config {
 		Timeout:          cfg.Timeout,
 		BlockTimeout:     cfg.BlockTimeout,
 		MaxRestarts:      cfg.MaxRestarts,
+		SynthCache:       cfg.SynthCache,
 		// A figure with a time budget should still complete: degraded
 		// blocks fall back to the exact sub-circuit (= baseline quality).
 		AllowDegraded: cfg.Timeout > 0 || cfg.BlockTimeout > 0,

@@ -42,3 +42,101 @@ func BenchmarkRandomUnitary8(b *testing.B) {
 		RandomUnitary(8, rng)
 	}
 }
+
+// Specialized vs generic gate-apply kernels on a 16x16 (4-qubit) matrix:
+// the pairs below share workloads, so their ns/op ratio is the dispatch
+// win of the unrolled k=1/k=2 paths over the ScatterTab fallback.
+
+func benchKernelMatrices(b *testing.B, k int) (*Matrix, []complex128) {
+	rng := rand.New(rand.NewSource(5))
+	m := RandomUnitary(16, rng)
+	g := RandomUnitary(1<<k, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	return m, g.Data
+}
+
+func BenchmarkApplyLeft1Unrolled(b *testing.B) {
+	m, g := benchKernelMatrices(b, 1)
+	for i := 0; i < b.N; i++ {
+		ApplyLeft1(m, (*[4]complex128)(g), 2)
+	}
+}
+
+func BenchmarkApplyLeft1Generic(b *testing.B) {
+	m, g := benchKernelMatrices(b, 1)
+	tab := NewScatterTab([]int{2})
+	for i := 0; i < b.N; i++ {
+		ApplyLeftTab(m, g, tab)
+	}
+}
+
+func BenchmarkApplyLeft2Unrolled(b *testing.B) {
+	m, g := benchKernelMatrices(b, 2)
+	for i := 0; i < b.N; i++ {
+		ApplyLeft2(m, (*[16]complex128)(g), 3, 1)
+	}
+}
+
+func BenchmarkApplyLeft2Generic(b *testing.B) {
+	m, g := benchKernelMatrices(b, 2)
+	tab := NewScatterTab([]int{3, 1})
+	for i := 0; i < b.N; i++ {
+		ApplyLeftTab(m, g, tab)
+	}
+}
+
+func BenchmarkApplyRight2Unrolled(b *testing.B) {
+	m, g := benchKernelMatrices(b, 2)
+	for i := 0; i < b.N; i++ {
+		ApplyRight2(m, (*[16]complex128)(g), 3, 1)
+	}
+}
+
+func BenchmarkApplyRight2Generic(b *testing.B) {
+	m, g := benchKernelMatrices(b, 2)
+	tab := NewScatterTab([]int{3, 1})
+	for i := 0; i < b.N; i++ {
+		ApplyRightTab(m, g, tab)
+	}
+}
+
+func BenchmarkSubspaceTrace2Unrolled(b *testing.B) {
+	m, g := benchKernelMatrices(b, 2)
+	for i := 0; i < b.N; i++ {
+		SubspaceTrace2(m, (*[16]complex128)(g), 3, 1)
+	}
+}
+
+func BenchmarkSubspaceTrace2Generic(b *testing.B) {
+	m, g := benchKernelMatrices(b, 2)
+	tab := NewScatterTab([]int{3, 1})
+	for i := 0; i < b.N; i++ {
+		SubspaceTraceTab(m, g, tab)
+	}
+}
+
+func BenchmarkApplyVec2Unrolled(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	state := make([]complex128, 1<<10)
+	state[0] = 1
+	g := RandomUnitary(4, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyVec2(state, (*[16]complex128)(g.Data), 7, 3)
+	}
+}
+
+func BenchmarkApplyVec2Generic(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	state := make([]complex128, 1<<10)
+	state[0] = 1
+	g := RandomUnitary(4, rng)
+	tab := NewScatterTab([]int{7, 3})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyVecTab(state, g.Data, tab)
+	}
+}

@@ -39,87 +39,23 @@ func ApplyMatrixOp(state linalg.Vector, n int, m *linalg.Matrix, qubits []int) {
 	case 2:
 		apply2(state, m, qubits[0], qubits[1])
 	default:
-		applyK(state, n, m, qubits)
+		applyK(state, m, qubits)
 	}
 }
 
+// apply1, apply2 and applyK delegate to the shared kernel layer in
+// internal/linalg (the same unrolled kernels the synthesizer uses on full
+// matrices).
 func apply1(state linalg.Vector, m *linalg.Matrix, q int) {
-	bit := 1 << q
-	a, b := m.Data[0], m.Data[1]
-	c, d := m.Data[2], m.Data[3]
-	for i := 0; i < len(state); i++ {
-		if i&bit != 0 {
-			continue
-		}
-		j := i | bit
-		v0, v1 := state[i], state[j]
-		state[i] = a*v0 + b*v1
-		state[j] = c*v0 + d*v1
-	}
+	linalg.ApplyVec1(state, (*[4]complex128)(m.Data), q)
 }
 
 func apply2(state linalg.Vector, m *linalg.Matrix, qHi, qLo int) {
-	hi, lo := 1<<qHi, 1<<qLo
-	mask := hi | lo
-	var in, out [4]complex128
-	for i := 0; i < len(state); i++ {
-		if i&mask != 0 {
-			continue
-		}
-		idx := [4]int{i, i | lo, i | hi, i | hi | lo}
-		for l := 0; l < 4; l++ {
-			in[l] = state[idx[l]]
-		}
-		for r := 0; r < 4; r++ {
-			row := m.Data[r*4 : r*4+4]
-			out[r] = row[0]*in[0] + row[1]*in[1] + row[2]*in[2] + row[3]*in[3]
-		}
-		for l := 0; l < 4; l++ {
-			state[idx[l]] = out[l]
-		}
-	}
+	linalg.ApplyVec2(state, (*[16]complex128)(m.Data), qHi, qLo)
 }
 
-func applyK(state linalg.Vector, n int, m *linalg.Matrix, qubits []int) {
-	k := len(qubits)
-	dim := 1 << k
-	// pos[j] = global bit position of local bit j (local bit k-1 is the
-	// first listed qubit).
-	pos := make([]int, k)
-	for i, q := range qubits {
-		pos[k-1-i] = q
-	}
-	var mask int
-	for _, p := range pos {
-		mask |= 1 << p
-	}
-	idx := make([]int, dim)
-	in := make([]complex128, dim)
-	for base := 0; base < len(state); base++ {
-		if base&mask != 0 {
-			continue
-		}
-		for l := 0; l < dim; l++ {
-			g := base
-			for j := 0; j < k; j++ {
-				if l&(1<<j) != 0 {
-					g |= 1 << pos[j]
-				}
-			}
-			idx[l] = g
-			in[l] = state[g]
-		}
-		for r := 0; r < dim; r++ {
-			row := m.Data[r*dim : (r+1)*dim]
-			var s complex128
-			for l, v := range in {
-				if row[l] != 0 {
-					s += row[l] * v
-				}
-			}
-			state[idx[r]] = s
-		}
-	}
+func applyK(state linalg.Vector, m *linalg.Matrix, qubits []int) {
+	linalg.ApplyVecTab(state, m.Data, linalg.NewScatterTab(qubits))
 }
 
 // Run evolves |0...0> through the circuit and returns the final state.

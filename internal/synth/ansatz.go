@@ -7,9 +7,10 @@
 package synth
 
 import (
+	"math"
+
 	"repro/internal/circuit"
 	"repro/internal/gate"
-	"repro/internal/linalg"
 )
 
 // opKind enumerates the ansatz building blocks.
@@ -101,35 +102,101 @@ func (a *ansatz) toCircuit(params []float64) *circuit.Circuit {
 	return c
 }
 
-// smallMatrix returns the 2x2 or 4x4 matrix for the op at the given params.
-func (o aop) smallMatrix(params []float64) *linalg.Matrix {
+// expi returns e^{i t}. It matches gate.e bit-for-bit (cmplx.Exp with a
+// zero real part reduces to cos + i sin).
+func expi(t float64) complex128 {
+	s, c := math.Sincos(t)
+	return complex(c, s)
+}
+
+// matrixInto writes the op's 2x2 or 4x4 matrix (row-major) into dst
+// without allocating. dst must have room for dim²; see aop.dim. The
+// formulas match package gate's constructors (gate.U3Matrix etc.) exactly;
+// gate stays the source of truth and the equivalence is enforced by
+// TestAnsatzMatrixIntoMatchesGate.
+func (o aop) matrixInto(params []float64, dst []complex128) {
 	switch o.kind {
 	case opU3:
-		return gate.U3Matrix(params[o.pidx], params[o.pidx+1], params[o.pidx+2])
+		theta, phi, lambda := params[o.pidx], params[o.pidx+1], params[o.pidx+2]
+		c, s := math.Cos(theta/2), math.Sin(theta/2)
+		dst[0] = complex(c, 0)
+		dst[1] = -expi(lambda) * complex(s, 0)
+		dst[2] = expi(phi) * complex(s, 0)
+		dst[3] = expi(phi+lambda) * complex(c, 0)
 	case opRY:
-		return gate.RYMatrix(params[o.pidx])
+		c, s := math.Cos(params[o.pidx]/2), math.Sin(params[o.pidx]/2)
+		dst[0] = complex(c, 0)
+		dst[1] = complex(-s, 0)
+		dst[2] = complex(s, 0)
+		dst[3] = complex(c, 0)
 	case opRZ:
-		return gate.RZMatrix(params[o.pidx])
+		theta := params[o.pidx]
+		dst[0] = expi(-theta / 2)
+		dst[1] = 0
+		dst[2] = 0
+		dst[3] = expi(theta / 2)
 	case opCX:
-		return cxMatrix
+		copy(dst, cxData[:])
+	default:
+		panic("synth: unknown op kind")
 	}
-	panic("synth: unknown op kind")
 }
 
-// smallDeriv returns d(matrix)/d(param j) for parameterized ops.
-func (o aop) smallDeriv(params []float64, j int) *linalg.Matrix {
+// derivInto writes d(matrix)/d(param j) into dst without allocating.
+func (o aop) derivInto(params []float64, j int, dst []complex128) {
 	switch o.kind {
 	case opU3:
-		return gate.MustLookup("u3").Deriv(params[o.pidx:o.pidx+3], j)
+		theta, phi, lambda := params[o.pidx], params[o.pidx+1], params[o.pidx+2]
+		c, s := math.Cos(theta/2), math.Sin(theta/2)
+		switch j {
+		case 0: // d/dθ
+			dst[0] = complex(-s/2, 0)
+			dst[1] = -expi(lambda) * complex(c/2, 0)
+			dst[2] = expi(phi) * complex(c/2, 0)
+			dst[3] = expi(phi+lambda) * complex(-s/2, 0)
+		case 1: // d/dφ
+			dst[0] = 0
+			dst[1] = 0
+			dst[2] = 1i * expi(phi) * complex(s, 0)
+			dst[3] = 1i * expi(phi+lambda) * complex(c, 0)
+		case 2: // d/dλ
+			dst[0] = 0
+			dst[1] = -1i * expi(lambda) * complex(s, 0)
+			dst[2] = 0
+			dst[3] = 1i * expi(phi+lambda) * complex(c, 0)
+		default:
+			panic("synth: u3 derivative index out of range")
+		}
 	case opRY:
-		return gate.MustLookup("ry").Deriv(params[o.pidx:o.pidx+1], 0)
+		// (-i/2)·Y·RY(θ).
+		c, s := math.Cos(params[o.pidx]/2), math.Sin(params[o.pidx]/2)
+		dst[0] = complex(-s/2, 0)
+		dst[1] = complex(-c/2, 0)
+		dst[2] = complex(c/2, 0)
+		dst[3] = complex(-s/2, 0)
 	case opRZ:
-		return gate.MustLookup("rz").Deriv(params[o.pidx:o.pidx+1], 0)
+		// (-i/2)·Z·RZ(θ).
+		theta := params[o.pidx]
+		dst[0] = complex(0, -0.5) * expi(-theta/2)
+		dst[1] = 0
+		dst[2] = 0
+		dst[3] = complex(0, 0.5) * expi(theta/2)
+	default:
+		panic("synth: derivative of parameterless op")
 	}
-	panic("synth: derivative of parameterless op")
 }
 
-// qubits returns the op's qubit list in gate-operand order.
+// dim returns the op's small-matrix dimension (2 or 4).
+func (o aop) dim() int {
+	if o.kind == opCX {
+		return 4
+	}
+	return 2
+}
+
+// qubits returns the op's qubit list in gate-operand order. The hot path
+// dispatches on kind/q1/q2 directly; this remains for instantiation and
+// tests.
 func (o aop) qubits() []int {
 	if o.kind == opCX {
 		return []int{o.q1, o.q2}
@@ -137,4 +204,8 @@ func (o aop) qubits() []int {
 	return []int{o.q1}
 }
 
-var cxMatrix = gate.MustLookup("cx").Build(nil)
+// cxData is the row-major CX matrix (first qubit = control = MSB).
+var cxData = func() (d [16]complex128) {
+	copy(d[:], gate.MustLookup("cx").Build(nil).Data)
+	return
+}()

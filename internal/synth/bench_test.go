@@ -7,7 +7,7 @@ import (
 	"repro/internal/linalg"
 )
 
-func BenchmarkObjectiveGradient3Q(b *testing.B) {
+func benchObjective3Q(b *testing.B) (*objective, []float64, []float64) {
 	rng := rand.New(rand.NewSource(1))
 	target := linalg.RandomUnitary(8, rng)
 	a := newSeedAnsatz(3).withLayer(0, 1).withLayer(1, 2).withLayer(0, 2)
@@ -17,15 +17,55 @@ func BenchmarkObjectiveGradient3Q(b *testing.B) {
 	for i := range params {
 		params[i] = rng.Float64()
 	}
+	return obj, params, grad
+}
+
+func BenchmarkObjectiveGradient3Q(b *testing.B) {
+	obj, params, grad := benchObjective3Q(b)
+	obj.valueGrad(params, grad) // warm up scratch
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		obj.valueGrad(params, grad)
 	}
 }
 
+func BenchmarkObjectiveValue3Q(b *testing.B) {
+	obj, params, _ := benchObjective3Q(b)
+	obj.value(params)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj.value(params)
+	}
+}
+
+func BenchmarkApplyLeft1Q(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := linalg.RandomUnitary(16, rng)
+	g := linalg.RandomUnitary(2, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.ApplyLeft1(m, (*[4]complex128)(g.Data), 2)
+	}
+}
+
+func BenchmarkApplyLeft2Q(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := linalg.RandomUnitary(16, rng)
+	g := linalg.RandomUnitary(4, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.ApplyLeft2(m, (*[16]complex128)(g.Data), 3, 1)
+	}
+}
+
 func BenchmarkSynthesizeExact2Q(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	target := linalg.RandomUnitary(4, rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Synthesize(target, Options{Threshold: 1e-6, MaxCNOTs: 3, Seed: int64(i + 1)}); err != nil {
@@ -37,6 +77,7 @@ func BenchmarkSynthesizeExact2Q(b *testing.B) {
 func BenchmarkSynthesizeHarvest3Q(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	target := linalg.RandomUnitary(8, rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Synthesize(target, Options{

@@ -6,164 +6,80 @@ import (
 	"repro/internal/linalg"
 )
 
+// The gate-application kernels live in internal/linalg (shared with the
+// simulator). The free functions below dispatch by gate arity: the ansatz
+// only ever contains 1- and 2-qubit ops, which hit the fully unrolled
+// kernels; the generic ScatterTab path remains as the fallback and the
+// correctness oracle for larger gates.
+
 // applyLeft computes m ← G_full · m in place, where g is a small gate
 // matrix on the listed qubits (first listed = most significant local bit).
-// This corresponds to applying the gate to every column of m.
 func applyLeft(m *linalg.Matrix, g *linalg.Matrix, qubits []int) {
-	k := len(qubits)
-	dim := 1 << k
-	pos := make([]int, k)
-	for i, q := range qubits {
-		pos[k-1-i] = q
-	}
-	var mask int
-	for _, p := range pos {
-		mask |= 1 << p
-	}
-	rows := make([]int, dim)
-	in := make([]complex128, dim)
-	for base := 0; base < m.Rows; base++ {
-		if base&mask != 0 {
-			continue
-		}
-		for l := 0; l < dim; l++ {
-			r := base
-			for j := 0; j < k; j++ {
-				if l&(1<<j) != 0 {
-					r |= 1 << pos[j]
-				}
-			}
-			rows[l] = r
-		}
-		for col := 0; col < m.Cols; col++ {
-			for l := 0; l < dim; l++ {
-				in[l] = m.Data[rows[l]*m.Cols+col]
-			}
-			for r := 0; r < dim; r++ {
-				grow := g.Data[r*dim : (r+1)*dim]
-				var s complex128
-				for l, v := range in {
-					if grow[l] != 0 {
-						s += grow[l] * v
-					}
-				}
-				m.Data[rows[r]*m.Cols+col] = s
-			}
-		}
+	switch len(qubits) {
+	case 1:
+		linalg.ApplyLeft1(m, (*[4]complex128)(g.Data), qubits[0])
+	case 2:
+		linalg.ApplyLeft2(m, (*[16]complex128)(g.Data), qubits[0], qubits[1])
+	default:
+		linalg.ApplyLeftTab(m, g.Data, linalg.NewScatterTab(qubits))
 	}
 }
 
 // applyRight computes m ← m · G_full in place.
 func applyRight(m *linalg.Matrix, g *linalg.Matrix, qubits []int) {
-	k := len(qubits)
-	dim := 1 << k
-	pos := make([]int, k)
-	for i, q := range qubits {
-		pos[k-1-i] = q
-	}
-	var mask int
-	for _, p := range pos {
-		mask |= 1 << p
-	}
-	cols := make([]int, dim)
-	in := make([]complex128, dim)
-	for base := 0; base < m.Cols; base++ {
-		if base&mask != 0 {
-			continue
-		}
-		for l := 0; l < dim; l++ {
-			c := base
-			for j := 0; j < k; j++ {
-				if l&(1<<j) != 0 {
-					c |= 1 << pos[j]
-				}
-			}
-			cols[l] = c
-		}
-		for row := 0; row < m.Rows; row++ {
-			off := row * m.Cols
-			for l := 0; l < dim; l++ {
-				in[l] = m.Data[off+cols[l]]
-			}
-			// (m·G)[row][col(lj)] = Σ_lm in[lm] · g[lm][lj]
-			for lj := 0; lj < dim; lj++ {
-				var s complex128
-				for lm := 0; lm < dim; lm++ {
-					gv := g.Data[lm*dim+lj]
-					if gv != 0 {
-						s += in[lm] * gv
-					}
-				}
-				m.Data[off+cols[lj]] = s
-			}
-		}
+	switch len(qubits) {
+	case 1:
+		linalg.ApplyRight1(m, (*[4]complex128)(g.Data), qubits[0])
+	case 2:
+		linalg.ApplyRight2(m, (*[16]complex128)(g.Data), qubits[0], qubits[1])
+	default:
+		linalg.ApplyRightTab(m, g.Data, linalg.NewScatterTab(qubits))
 	}
 }
 
 // subspaceTrace returns Tr(A · G_full) where g is a small matrix on the
 // listed qubits, without expanding G to the full space.
 func subspaceTrace(a *linalg.Matrix, g *linalg.Matrix, qubits []int) complex128 {
-	k := len(qubits)
-	dim := 1 << k
-	pos := make([]int, k)
-	for i, q := range qubits {
-		pos[k-1-i] = q
+	switch len(qubits) {
+	case 1:
+		return linalg.SubspaceTrace1(a, (*[4]complex128)(g.Data), qubits[0])
+	case 2:
+		return linalg.SubspaceTrace2(a, (*[16]complex128)(g.Data), qubits[0], qubits[1])
+	default:
+		return linalg.SubspaceTraceTab(a, g.Data, linalg.NewScatterTab(qubits))
 	}
-	var mask int
-	for _, p := range pos {
-		mask |= 1 << p
-	}
-	idx := make([]int, dim)
-	var t complex128
-	for base := 0; base < a.Rows; base++ {
-		if base&mask != 0 {
-			continue
-		}
-		for l := 0; l < dim; l++ {
-			r := base
-			for j := 0; j < k; j++ {
-				if l&(1<<j) != 0 {
-					r |= 1 << pos[j]
-				}
-			}
-			idx[l] = r
-		}
-		// Tr(A·G) = Σ_{i,j} A[i][j]·G[j][i]; with i=idx[li], j=idx[lj].
-		for li := 0; li < dim; li++ {
-			arow := a.Data[idx[li]*a.Cols:]
-			for lj := 0; lj < dim; lj++ {
-				gv := g.Data[lj*dim+li]
-				if gv != 0 {
-					t += arow[idx[lj]] * gv
-				}
-			}
-		}
-	}
-	return t
 }
 
 // objective evaluates f(θ) = 1 - |Tr(U†V(θ))|²/N² and its gradient for an
-// ansatz against a target unitary. It owns scratch buffers, so one
-// objective instance must not be shared across goroutines.
+// ansatz against a target unitary. It owns scratch buffers (including the
+// per-op gate buffer gbuf), so one objective instance must not be shared
+// across goroutines. The evaluation loop is allocation-free after
+// construction: gate and derivative matrices are written into gbuf, and
+// every index table is either unrolled into the k=1/k=2 kernels or
+// precomputed at construction.
 type objective struct {
-	a       *ansatz
-	target  *linalg.Matrix // U
-	mdag    *linalg.Matrix // U†
-	dim     int
-	fwd     []*linalg.Matrix // fwd[k] = G_k···G_1, fwd[0] = I
-	bwd     *linalg.Matrix   // scratch: R = U†·G_K···G_{k+1}
-	scratch *linalg.Matrix
+	a      *ansatz
+	target *linalg.Matrix // U
+	mdag   *linalg.Matrix // U†
+	dim    int
+	fwd    []*linalg.Matrix // fwd[k] = G_k···G_1, fwd[0] = I
+	bwd    *linalg.Matrix   // scratch: R = U†·G_K···G_{k+1}
+	vbuf   *linalg.Matrix   // scratch identity/product for value()
+	tbuf   []complex128     // gathered 2x2 blocks of F_{k-1}·R_k
+	gbuf   [16]complex128   // current op's gate matrix
+	dbuf   [16]complex128   // current op's derivative matrix
 }
 
 func newObjective(a *ansatz, target *linalg.Matrix) *objective {
 	dim := target.Rows
 	o := &objective{
-		a:       a,
-		target:  target,
-		mdag:    target.Dagger(),
-		dim:     dim,
-		bwd:     linalg.New(dim, dim),
-		scratch: linalg.New(dim, dim),
+		a:      a,
+		target: target,
+		mdag:   target.Dagger(),
+		dim:    dim,
+		bwd:    linalg.New(dim, dim),
+		vbuf:   linalg.New(dim, dim),
+		tbuf:   make([]complex128, 2*dim),
 	}
 	o.fwd = make([]*linalg.Matrix, len(a.ops)+1)
 	for i := range o.fwd {
@@ -172,11 +88,42 @@ func newObjective(a *ansatz, target *linalg.Matrix) *objective {
 	return o
 }
 
+// setIdentity resets m to the identity without allocating.
+func setIdentity(m *linalg.Matrix) {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] = 1
+	}
+}
+
+// applyOpLeft computes m ← G_full·m for an ansatz op whose small matrix is
+// in g, dispatching to the unrolled kernel for the op's arity.
+func applyOpLeft(m *linalg.Matrix, op aop, g *[16]complex128) {
+	if op.kind == opCX {
+		linalg.ApplyLeft2(m, g, op.q1, op.q2)
+	} else {
+		linalg.ApplyLeft1(m, (*[4]complex128)(g[:4]), op.q1)
+	}
+}
+
+// applyOpRight computes m ← m·G_full for an ansatz op.
+func applyOpRight(m *linalg.Matrix, op aop, g *[16]complex128) {
+	if op.kind == opCX {
+		linalg.ApplyRight2(m, g, op.q1, op.q2)
+	} else {
+		linalg.ApplyRight1(m, (*[4]complex128)(g[:4]), op.q1)
+	}
+}
+
 // value returns f(θ) without gradient work.
 func (o *objective) value(params []float64) float64 {
-	v := linalg.Identity(o.dim)
+	v := o.vbuf
+	setIdentity(v)
 	for _, op := range o.a.ops {
-		applyLeft(v, op.smallMatrix(params), op.qubits())
+		op.matrixInto(params, o.gbuf[:])
+		applyOpLeft(v, op, &o.gbuf)
 	}
 	t := linalg.HSInner(o.target, v)
 	return o.distanceSq(t)
@@ -195,16 +142,11 @@ func (o *objective) distanceSq(t complex128) float64 {
 func (o *objective) valueGrad(params, grad []float64) float64 {
 	ops := o.a.ops
 	// Forward pass: fwd[0] = I, fwd[k] = G_k···G_1.
-	id := o.fwd[0]
-	for i := range id.Data {
-		id.Data[i] = 0
-	}
-	for i := 0; i < o.dim; i++ {
-		id.Data[i*o.dim+i] = 1
-	}
+	setIdentity(o.fwd[0])
 	for k, op := range ops {
 		o.fwd[k].CopyInto(o.fwd[k+1])
-		applyLeft(o.fwd[k+1], op.smallMatrix(params), op.qubits())
+		op.matrixInto(params, o.gbuf[:])
+		applyOpLeft(o.fwd[k+1], op, &o.gbuf)
 	}
 	vFull := o.fwd[len(ops)]
 	t := linalg.HSInner(o.target, vFull)
@@ -217,15 +159,22 @@ func (o *objective) valueGrad(params, grad []float64) float64 {
 	for k := len(ops) - 1; k >= 0; k-- {
 		op := ops[k]
 		if np := op.nparams(); np > 0 {
-			// A = F_{k-1} · R_k  (cyclic rearrangement of Tr(R dG F)).
-			linalg.MulInto(o.scratch, o.fwd[k], o.bwd)
+			// ∂T/∂θ_j = Tr(F_{k-1}·R_k·dG) (cyclic rearrangement of
+			// Tr(R dG F)). All parameterized ansatz ops are 1-qubit, so
+			// only the 2x2 subspace blocks of the product are needed:
+			// gather them once per op and reuse for every parameter.
+			// (Multi-qubit parameterized ops would fall back to the full
+			// product: MulInto(o.scratch, ...) + traceOp.)
+			linalg.GatherProdBlocks1(o.tbuf, o.fwd[k], o.bwd, op.q1)
 			for j := 0; j < np; j++ {
-				dT := subspaceTrace(o.scratch, op.smallDeriv(params, j), op.qubits())
+				op.derivInto(params, j, o.dbuf[:])
+				dT := linalg.TraceBlocks1(o.tbuf, (*[4]complex128)(o.dbuf[:4]))
 				// f = 1 - T T̄ / N² ⇒ ∂f = -2 Re(T̄ ∂T)/N².
 				grad[op.pidx+j] = -2 * real(tconj*dT) / n2
 			}
 		}
-		applyRight(o.bwd, op.smallMatrix(params), op.qubits())
+		op.matrixInto(params, o.gbuf[:])
+		applyOpRight(o.bwd, op, &o.gbuf)
 	}
 	return f
 }

@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/sim"
+)
+
+// randomAnsatz grows a random LEAP ansatz with the given number of CNOT
+// layers on n qubits.
+func randomAnsatz(n, layers int, rng *rand.Rand) *ansatz {
+	a := newSeedAnsatz(n)
+	for i := 0; i < layers; i++ {
+		c := rng.Intn(n)
+		t := rng.Intn(n)
+		for t == c {
+			t = rng.Intn(n)
+		}
+		a = a.withLayer(c, t)
+	}
+	return a
+}
+
+func randomParams(n int, rng *rand.Rand) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = rng.Float64()*2*math.Pi - math.Pi
+	}
+	return p
+}
+
+func TestAnsatzMatrixIntoMatchesGate(t *testing.T) {
+	// matrixInto must reproduce the gate-registry matrices exactly: the
+	// objective optimizes with matrixInto but candidates are instantiated
+	// through toCircuit/package gate, so any drift between the two would
+	// make reported distances disagree with the emitted circuits.
+	rng := rand.New(rand.NewSource(41))
+	a := randomAnsatz(3, 4, rng)
+	params := randomParams(a.nparams, rng)
+	var buf [16]complex128
+	for _, op := range a.ops {
+		op.matrixInto(params, buf[:])
+		want := opGateMatrix(op, params)
+		d := op.dim()
+		for i := 0; i < d*d; i++ {
+			if diff := buf[i] - want.Data[i]; real(diff) != 0 || imag(diff) != 0 {
+				t.Fatalf("op kind=%d entry %d: matrixInto %v != gate %v", op.kind, i, buf[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// opGateMatrix builds the op's matrix through the gate registry (the path
+// toCircuit-instantiated candidates take).
+func opGateMatrix(o aop, params []float64) *linalg.Matrix {
+	c := (&ansatz{n: 2, ops: []aop{{kind: o.kind, q1: 0, q2: 1, pidx: o.pidx}}}).toCircuit(params)
+	return sim.OpMatrix(c.Ops[0])
+}
+
+func TestAnsatzDerivIntoMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomAnsatz(2, 2, rng)
+	params := randomParams(a.nparams, rng)
+	const h = 1e-6
+	var d, p, m [16]complex128
+	for _, op := range a.ops {
+		for j := 0; j < op.nparams(); j++ {
+			op.derivInto(params, j, d[:])
+			orig := params[op.pidx+j]
+			params[op.pidx+j] = orig + h
+			op.matrixInto(params, p[:])
+			params[op.pidx+j] = orig - h
+			op.matrixInto(params, m[:])
+			params[op.pidx+j] = orig
+			dim := op.dim()
+			for i := 0; i < dim*dim; i++ {
+				num := (p[i] - m[i]) / (2 * h)
+				if diff := num - d[i]; math.Hypot(real(diff), imag(diff)) > 1e-8 {
+					t.Errorf("op kind=%d param %d entry %d: derivInto %v, numeric %v", op.kind, j, i, d[i], num)
+				}
+			}
+		}
+	}
+}
+
+func TestObjectiveValueMatchesSimulatedCircuit(t *testing.T) {
+	// The allocation-free evaluation path must agree with the ground
+	// truth: instantiate the circuit, build its unitary with the
+	// simulator, compute the HS distance directly.
+	for _, n := range []int{3, 4, 5} {
+		rng := rand.New(rand.NewSource(int64(50 + n)))
+		target := linalg.RandomUnitary(1<<n, rng)
+		a := randomAnsatz(n, 3, rng)
+		obj := newObjective(a, target)
+		for trial := 0; trial < 3; trial++ {
+			params := randomParams(a.nparams, rng)
+			got := obj.value(params)
+			u := sim.Unitary(a.toCircuit(params))
+			d := linalg.HSDistance(target, u)
+			want := d * d
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("n=%d trial %d: value=%g, simulated %g", n, trial, got, want)
+			}
+			grad := make([]float64, a.nparams)
+			if f := obj.valueGrad(params, grad); math.Abs(f-got) > 1e-12 {
+				t.Errorf("n=%d trial %d: valueGrad f=%g != value %g", n, trial, f, got)
+			}
+		}
+	}
+}
+
+func TestObjectiveGradientMatchesNumeric345(t *testing.T) {
+	// Analytic gradients vs central finite differences on random 3-5
+	// qubit targets (the 2-qubit case is TestObjectiveGradientMatchesNumeric).
+	for _, n := range []int{3, 4, 5} {
+		rng := rand.New(rand.NewSource(int64(60 + n)))
+		target := linalg.RandomUnitary(1<<n, rng)
+		a := randomAnsatz(n, 2, rng)
+		obj := newObjective(a, target)
+		params := randomParams(a.nparams, rng)
+		grad := make([]float64, a.nparams)
+		obj.valueGrad(params, grad)
+		const h = 1e-6
+		for i := range params {
+			orig := params[i]
+			params[i] = orig + h
+			fp := obj.value(params)
+			params[i] = orig - h
+			fm := obj.value(params)
+			params[i] = orig
+			num := (fp - fm) / (2 * h)
+			if math.Abs(num-grad[i]) > 1e-5 {
+				t.Errorf("n=%d grad[%d] = %g, numeric %g", n, i, grad[i], num)
+			}
+		}
+	}
+}
+
+func TestObjectiveAllocationFree(t *testing.T) {
+	// The tentpole claim: steady-state objective evaluation performs zero
+	// heap allocations.
+	rng := rand.New(rand.NewSource(70))
+	target := linalg.RandomUnitary(8, rng)
+	a := randomAnsatz(3, 3, rng)
+	obj := newObjective(a, target)
+	params := randomParams(a.nparams, rng)
+	grad := make([]float64, a.nparams)
+	obj.valueGrad(params, grad) // warm up
+	if allocs := testing.AllocsPerRun(50, func() {
+		obj.value(params)
+	}); allocs != 0 {
+		t.Errorf("value allocates %v times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		obj.valueGrad(params, grad)
+	}); allocs != 0 {
+		t.Errorf("valueGrad allocates %v times per call, want 0", allocs)
+	}
+}

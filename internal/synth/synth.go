@@ -78,6 +78,16 @@ type Options struct {
 	NodeBudget int
 }
 
+// Canonical returns the options with every default resolved for an
+// n-qubit target — the exact configuration SynthesizeCtx runs with.
+// Callers that memoize synthesis results (internal/ucache) fingerprint
+// this canonical form so that, e.g., Beam:0 and Beam:2 map to the same
+// cache entry.
+func (o Options) Canonical(n int) Options {
+	o.defaults(n)
+	return o
+}
+
 func (o *Options) defaults(n int) {
 	if o.Threshold == 0 {
 		o.Threshold = 1e-6

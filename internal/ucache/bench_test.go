@@ -1,0 +1,43 @@
+package ucache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// BenchmarkSynthesizeCold measures uncached block synthesis through the
+// cache layer (every iteration uses a fresh seed so it always misses).
+func BenchmarkSynthesizeCold(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	target := linalg.RandomUnitary(4, rng)
+	c := New(4096, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := testOpts
+		opts.Seed = int64(i + 1)
+		if _, hit, err := c.Synthesize(target, opts); err != nil || hit {
+			b.Fatal(err, hit)
+		}
+	}
+}
+
+// BenchmarkSynthesizeHit measures a warm cache lookup (hash + verify +
+// deep copy of the result).
+func BenchmarkSynthesizeHit(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	target := linalg.RandomUnitary(4, rng)
+	c := New(8, 0)
+	if _, _, err := c.Synthesize(target, testOpts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit, err := c.Synthesize(target, testOpts); err != nil || !hit {
+			b.Fatal(err, hit)
+		}
+	}
+}
