@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify verify-full bench bench-smoke fmt-check
+.PHONY: build vet test test-race verify verify-full bench bench-smoke bench-pipeline fmt-check
 
 # Packages holding the hot-path benchmarks recorded in BENCH_synth.json:
 # objective/gradient evaluation and synthesis (synth), gate-apply kernels
@@ -25,7 +25,7 @@ test:
 test-race:
 	$(GO) test -race -short ./...
 
-verify: vet build test-race
+verify: fmt-check vet build test-race
 
 verify-full: vet build
 	$(GO) test -race -timeout 30m ./...
@@ -42,7 +42,17 @@ bench:
 # One-iteration compile-and-run pass over every benchmark; CI uses it to
 # catch kernel/benchmark regressions without paying for a full bench run.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ $(BENCH_PKGS)
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ $(BENCH_PKGS) ./internal/pipeline
+
+# `make bench-pipeline` records the ε-sweep artifact-reuse speedup in
+# BENCH_pipeline.json: "full-rerun" re-runs the whole pipeline per sweep
+# point (what every sweep paid before the stage refactor), "artifact-reuse"
+# synthesizes once and re-runs only the selection stage per point.
+bench-pipeline:
+	$(GO) test -bench=BenchmarkEpsilonSweepFull$$ -benchmem -run=^$$ ./internal/pipeline | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -out BENCH_pipeline.json -section full-rerun
+	$(GO) test -bench=BenchmarkEpsilonSweepReselect$$ -benchmem -run=^$$ ./internal/pipeline | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -out BENCH_pipeline.json -section artifact-reuse
 
 fmt-check:
 	@out=$$(gofmt -l cmd internal examples *.go); if [ -n "$$out" ]; then \

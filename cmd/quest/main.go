@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,8 +39,10 @@ func main() {
 		blockSize = flag.Int("blocksize", 3, "maximum partition block size")
 		epsilon   = flag.Float64("eps", 0.05, "per-block process-distance budget")
 		samples   = flag.Int("samples", 16, "maximum number of dissimilar approximations (M)")
+		cxWeight  = flag.Float64("cx-weight", 0.5, "selection objective weight: α·CNOTs + (1-α)·dissimilarity (0 = pure dissimilarity)")
 		seed      = flag.Int64("seed", 1, "random seed")
-		ideal     = flag.Bool("ideal", true, "report ideal-simulation ensemble TVD (circuits up to ~12 qubits)")
+		bspec     = flag.String("backend", "ideal", "execution backend for the ensemble report: one of "+strings.Join(quest.Backends(), ", ")+" (name[:arg], e.g. noisy:0.005; empty disables the report)")
+		shots     = flag.Int("shots", 0, "measurement shots for the ensemble report (0 = exact probabilities)")
 
 		timeout      = flag.Duration("timeout", 0, "whole-pipeline deadline (0 = none)")
 		blockTimeout = flag.Duration("block-timeout", 0, "per-attempt block synthesis deadline (0 = none)")
@@ -75,6 +78,8 @@ func main() {
 		BlockSize:     *blockSize,
 		Epsilon:       *epsilon,
 		MaxSamples:    *samples,
+		CXWeight:      *cxWeight,
+		CXWeightSet:   true,
 		Seed:          *seed,
 		Timeout:       *timeout,
 		BlockTimeout:  *blockTimeout,
@@ -112,12 +117,22 @@ func main() {
 			res.CacheStats.Hits, res.CacheStats.Misses, res.CacheStats.Evictions)
 	}
 
-	if *ideal && c.NumQubits <= 12 {
+	if *bspec != "" && c.NumQubits <= 12 {
+		be, err := quest.GetBackend(*bspec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quest:", err)
+			os.Exit(1)
+		}
+		if max := be.Capabilities().MaxQubits; max > 0 && c.NumQubits > max {
+			fmt.Fprintf(os.Stderr, "quest: backend %s supports at most %d qubits, circuit has %d\n",
+				be.Name(), max, c.NumQubits)
+			os.Exit(1)
+		}
 		truth := sim.Probabilities(c)
-		ens, err := res.EnsembleProbabilities(quest.IdealRunner())
+		ens, err := res.EnsembleProbabilitiesCtx(ctx, quest.BackendRunnerCtx(be, *shots, *seed), 0)
 		if err == nil {
-			fmt.Printf("ideal ensemble TVD = %.4f, JSD = %.4f\n",
-				metrics.TVD(truth, ens), metrics.JSD(truth, ens))
+			fmt.Printf("%s ensemble TVD = %.4f, JSD = %.4f\n",
+				be.Name(), metrics.TVD(truth, ens), metrics.JSD(truth, ens))
 		}
 	}
 

@@ -3,6 +3,7 @@ package quest
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/hamiltonian"
 	"repro/internal/kak"
 	"repro/internal/linalg"
@@ -11,8 +12,37 @@ import (
 )
 
 // This file exposes the supporting substrates that complement the core
-// pipeline: Pauli-string Hamiltonians and Trotterization, KAK two-qubit
-// analysis, and measurement-error mitigation.
+// pipeline: the execution backend layer, Pauli-string Hamiltonians and
+// Trotterization, KAK two-qubit analysis, and measurement-error
+// mitigation.
+
+// Backend is a named circuit-execution target (ideal simulator, noisy
+// simulator, routed device model) with declared capabilities; see
+// internal/backend for the interface contract.
+type Backend = backend.Backend
+
+// BackendCapabilities describes a backend's execution model.
+type BackendCapabilities = backend.Capabilities
+
+// Backends lists the registered backend names ("ideal", "noisy",
+// "manila", ...).
+func Backends() []string { return backend.Names() }
+
+// GetBackend resolves a backend spec of the form "name" or "name:arg":
+// "ideal", "noisy" (the paper's 1% error point), "noisy:0.005", "manila".
+func GetBackend(spec string) (Backend, error) { return backend.Get(spec) }
+
+// BackendRunner adapts a backend to the Runner signature consumed by
+// Result.EnsembleProbabilities, fixing shots and seed.
+func BackendRunner(b Backend, shots int, seed int64) Runner {
+	return backend.AsRunner(b, shots, seed)
+}
+
+// BackendRunnerCtx adapts a backend to the context-aware RunnerCtx
+// consumed by Result.EnsembleProbabilitiesCtx.
+func BackendRunnerCtx(b Backend, shots int, seed int64) RunnerCtx {
+	return backend.AsRunnerCtx(b, shots, seed)
+}
 
 // Hamiltonian is a sum of weighted Pauli strings; build spin models with
 // NewTFIMHamiltonian and friends or assemble terms directly.

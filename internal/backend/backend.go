@@ -1,0 +1,211 @@
+// Package backend unifies circuit execution behind one interface. The
+// pipeline produces approximate circuits; something has to run them — the
+// ideal statevector simulator, the stochastic Pauli noise simulator, or a
+// routed device model. Before this package each caller wired its own
+// closure over sim/noise; a Backend names the target, declares its
+// capabilities, and runs circuits under a context, and the registry lets
+// CLIs select one by spec string (`-backend ideal|noisy[:p]|manila`).
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/noise"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// Capabilities describes what a backend can execute and how.
+type Capabilities struct {
+	// MaxQubits is the largest circuit the backend accepts; 0 means
+	// bounded only by simulator memory.
+	MaxQubits int
+	// Noisy reports whether outputs include stochastic gate/readout
+	// errors.
+	Noisy bool
+	// Routed reports whether circuits are routed onto a coupling map
+	// (i.e. the backend models hardware connectivity, not all-to-all).
+	Routed bool
+}
+
+// Backend executes circuits and returns output probability distributions.
+// Implementations must be safe for concurrent RunCtx calls: the ensemble
+// averager fans circuits out across workers.
+type Backend interface {
+	// Name is the registry identity (e.g. "ideal", "noisy", "manila").
+	Name() string
+	// Capabilities describes the backend's execution model.
+	Capabilities() Capabilities
+	// RunCtx executes the circuit with the given shot and seed settings
+	// and returns its output distribution. shots <= 0 requests exact
+	// (infinite-shot) probabilities where the backend supports them.
+	RunCtx(ctx context.Context, c *circuit.Circuit, shots int, seed int64) ([]float64, error)
+}
+
+// funcBackend adapts a name, capabilities and a run function.
+type funcBackend struct {
+	name string
+	caps Capabilities
+	run  func(ctx context.Context, c *circuit.Circuit, shots int, seed int64) ([]float64, error)
+}
+
+func (b *funcBackend) Name() string               { return b.name }
+func (b *funcBackend) Capabilities() Capabilities { return b.caps }
+func (b *funcBackend) RunCtx(ctx context.Context, c *circuit.Circuit, shots int, seed int64) ([]float64, error) {
+	return b.run(ctx, c, shots, seed)
+}
+
+// Ideal returns the noiseless statevector backend. Shots and seed are
+// ignored: the output is the exact distribution.
+func Ideal() Backend {
+	return &funcBackend{
+		name: "ideal",
+		caps: Capabilities{},
+		run: func(ctx context.Context, c *circuit.Circuit, _ int, _ int64) ([]float64, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return sim.Probabilities(c), nil
+		},
+	}
+}
+
+// Noisy returns a backend over the paper's uniform Pauli noise model at
+// level p (two-qubit error p, one-qubit error p/10, readout error p).
+func Noisy(p float64) Backend {
+	return FromModel(fmt.Sprintf("noisy:%g", p), noise.Uniform(p))
+}
+
+// FromModel wraps an arbitrary noise model as a backend.
+func FromModel(name string, m noise.Model) Backend {
+	return &funcBackend{
+		name: name,
+		caps: Capabilities{Noisy: !m.IsZero()},
+		run: func(ctx context.Context, c *circuit.Circuit, shots int, seed int64) ([]float64, error) {
+			return m.RunCtx(ctx, c, noise.Options{Shots: shots, Seed: seed})
+		},
+	}
+}
+
+// FromDevice wraps a device model (noise + coupling constraints) as a
+// backend; circuits are routed onto the device before execution and the
+// output is reported in logical qubit order.
+func FromDevice(d *noise.Device) Backend {
+	caps := Capabilities{Noisy: !d.Model.IsZero(), Routed: true}
+	if d.Coupling != nil {
+		caps.MaxQubits = d.Coupling.NumQubits
+	}
+	return &funcBackend{
+		name: d.Name,
+		caps: caps,
+		run: func(ctx context.Context, c *circuit.Circuit, shots int, seed int64) ([]float64, error) {
+			return d.RunCtx(ctx, c, noise.Options{Shots: shots, Seed: seed})
+		},
+	}
+}
+
+// AsRunner adapts a backend to the pipeline.Runner signature used by
+// Result.EnsembleProbabilities, fixing shots and seed.
+func AsRunner(b Backend, shots int, seed int64) pipeline.Runner {
+	return func(c *circuit.Circuit) ([]float64, error) {
+		return b.RunCtx(context.Background(), c, shots, seed)
+	}
+}
+
+// AsRunnerCtx adapts a backend to the context-aware pipeline.RunnerCtx
+// used by Result.EnsembleProbabilitiesCtx.
+func AsRunnerCtx(b Backend, shots int, seed int64) pipeline.RunnerCtx {
+	return func(ctx context.Context, c *circuit.Circuit) ([]float64, error) {
+		return b.RunCtx(ctx, c, shots, seed)
+	}
+}
+
+// The registry maps backend names to constructors. A constructor receives
+// the parameter portion of the spec ("" when absent): Get("noisy:0.005")
+// invokes the "noisy" constructor with arg "0.005".
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func(arg string) (Backend, error){}
+)
+
+// Register installs a backend constructor under a name. Registering a
+// name twice panics: backend identity must be unambiguous.
+func Register(name string, ctor func(arg string) (Backend, error)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" || strings.Contains(name, ":") {
+		panic(fmt.Sprintf("backend: invalid registry name %q", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("backend: duplicate registration of %q", name))
+	}
+	registry[name] = ctor
+}
+
+// Names lists the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get resolves a backend spec of the form "name" or "name:arg", e.g.
+// "ideal", "noisy" (default error level), "noisy:0.005", "manila".
+func Get(spec string) (Backend, error) {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	regMu.RLock()
+	ctor, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	b, err := ctor(arg)
+	if err != nil {
+		return nil, fmt.Errorf("backend: %s: %w", name, err)
+	}
+	return b, nil
+}
+
+// DefaultNoiseLevel is the error level of the bare "noisy" spec: the
+// paper's headline p = 1% two-qubit error point.
+const DefaultNoiseLevel = 0.01
+
+func init() {
+	Register("ideal", func(arg string) (Backend, error) {
+		if arg != "" {
+			return nil, fmt.Errorf("takes no parameter, got %q", arg)
+		}
+		return Ideal(), nil
+	})
+	Register("noisy", func(arg string) (Backend, error) {
+		p := DefaultNoiseLevel
+		if arg != "" {
+			var err error
+			p, err = strconv.ParseFloat(arg, 64)
+			if err != nil || p < 0 || p >= 1 {
+				return nil, fmt.Errorf("bad error level %q (want a float in [0,1))", arg)
+			}
+		}
+		return Noisy(p), nil
+	})
+	Register("manila", func(arg string) (Backend, error) {
+		if arg != "" {
+			return nil, fmt.Errorf("takes no parameter, got %q", arg)
+		}
+		return FromDevice(noise.Manila()), nil
+	})
+}

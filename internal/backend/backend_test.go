@@ -1,0 +1,150 @@
+package backend
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/algos"
+	"repro/internal/noise"
+	"repro/internal/sim"
+)
+
+func TestRegistrySpecs(t *testing.T) {
+	names := Names()
+	want := map[string]bool{"ideal": false, "noisy": false, "manila": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("registry missing %q (have %v)", n, names)
+		}
+	}
+
+	cases := []struct {
+		spec   string
+		name   string
+		noisy  bool
+		routed bool
+	}{
+		{"ideal", "ideal", false, false},
+		{"noisy", "noisy:0.01", true, false},
+		{"noisy:0.005", "noisy:0.005", true, false},
+		{"manila", "manila-sim", true, true},
+	}
+	for _, tc := range cases {
+		b, err := Get(tc.spec)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", tc.spec, err)
+		}
+		if b.Name() != tc.name {
+			t.Errorf("Get(%q).Name() = %q, want %q", tc.spec, b.Name(), tc.name)
+		}
+		caps := b.Capabilities()
+		if caps.Noisy != tc.noisy || caps.Routed != tc.routed {
+			t.Errorf("Get(%q) caps = %+v, want noisy=%v routed=%v", tc.spec, caps, tc.noisy, tc.routed)
+		}
+	}
+
+	for _, bad := range []string{"", "nope", "noisy:x", "noisy:1.5", "ideal:3", "manila:a"} {
+		if _, err := Get(bad); err == nil {
+			t.Errorf("Get(%q): want error, got nil", bad)
+		}
+	}
+}
+
+func TestIdealBackendMatchesSimulator(t *testing.T) {
+	c, err := algos.Generate("tfim", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Get("ideal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.RunCtx(context.Background(), c, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Probabilities(c)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("prob[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNoisyBackendMatchesModel(t *testing.T) {
+	c, err := algos.Generate("qft", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Get("noisy:0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.RunCtx(context.Background(), c, 512, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := noise.Uniform(0.02).Run(c, noise.Options{Shots: 512, Seed: 11})
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("prob[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDeviceBackendCapabilities(t *testing.T) {
+	b := FromDevice(noise.Manila())
+	if got := b.Capabilities().MaxQubits; got != 5 {
+		t.Errorf("manila MaxQubits = %d, want 5", got)
+	}
+	c, err := algos.Generate("tfim", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.RunCtx(context.Background(), c, 256, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("distribution sums to %v", sum)
+	}
+}
+
+func TestAsRunnerAdapters(t *testing.T) {
+	c, err := algos.Generate("tfim", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Ideal()
+	r := AsRunner(b, 0, 0)
+	p1, err := r(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := AsRunnerCtx(b, 0, 0)
+	p2, err := rc(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if math.Float64bits(p1[i]) != math.Float64bits(p2[i]) {
+			t.Fatalf("runner adapters disagree at %d", i)
+		}
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rc(cancelled, c); err == nil {
+		t.Error("ideal backend ignored cancelled context")
+	}
+}

@@ -34,8 +34,8 @@ func New(n int) *Simulator {
 		s.z[i] = make([]bool, n)
 	}
 	for i := 0; i < n; i++ {
-		s.x[i][i] = true     // destabilizer X_i
-		s.z[n+i][i] = true   // stabilizer Z_i
+		s.x[i][i] = true   // destabilizer X_i
+		s.z[n+i][i] = true // stabilizer Z_i
 	}
 	return s
 }

@@ -1,756 +1,79 @@
-// Package core implements the QUEST pipeline (Sec. 3): partition a circuit
-// into small blocks, generate many low-CNOT approximate circuits per block
-// with approximate synthesis, then use a dual annealing engine driven by
-// the paper's Algorithm 1 to select up to M "dissimilar" low-CNOT full
-// circuit approximations whose averaged output tracks the original
-// circuit. The per-block process distances bound the full-circuit process
-// distance by the Sec. 3.8 theorem: HS(full) ≤ Σ_k ε_k.
+// Package core preserves the historical import path of the QUEST
+// pipeline (Sec. 3): partition a circuit into small blocks, generate many
+// low-CNOT approximate circuits per block with approximate synthesis,
+// then use a dual annealing engine driven by the paper's Algorithm 1 to
+// select up to M "dissimilar" low-CNOT full circuit approximations whose
+// averaged output tracks the original circuit. The per-block process
+// distances bound the full-circuit process distance by the Sec. 3.8
+// theorem: HS(full) ≤ Σ_k ε_k.
+//
+// The implementation lives in internal/pipeline as a typed composition
+// of stages (partition → synthesis → selection) with explicit, reusable
+// artifacts; this package re-exports the types and entry points so
+// existing callers keep working, and Run/RunCtx here ARE the staged
+// pipeline (asserted bit-for-bit against the pre-refactor outputs by
+// TestGoldenStagedPipelineMatchesSeed). New code that wants stage-level
+// access — computing a SynthesisArtifact once and re-selecting it across
+// ε/M sweeps — should import internal/pipeline directly.
 package core
 
 import (
 	"context"
-	"fmt"
-	"math"
-	"runtime"
-	"time"
 
-	"repro/internal/anneal"
-	"repro/internal/budget"
 	"repro/internal/circuit"
-	"repro/internal/faultinject"
-	"repro/internal/linalg"
-	"repro/internal/par"
-	"repro/internal/partition"
-	"repro/internal/sim"
-	"repro/internal/synth"
-	"repro/internal/ucache"
+	"repro/internal/pipeline"
 )
 
 // Config controls the pipeline. The zero value selects the paper-like
-// defaults (documented per field).
-type Config struct {
-	// BlockSize is the maximum partition block size in qubits. The paper
-	// uses 4; the default here is 3, which synthesizes much faster in
-	// pure Go while exercising the identical code path (see DESIGN.md).
-	BlockSize int
-	// Epsilon is the per-block process-distance budget. The full-circuit
-	// threshold is Epsilon × (number of blocks), i.e. proportional to
-	// the block count exactly as in Sec. 4.1, but capped at ThresholdCap
-	// so deep circuits cannot accumulate unboundedly coarse
-	// approximations. Default 0.05.
-	Epsilon float64
-	// ThresholdCap bounds the full-circuit distance threshold from
-	// above (default 0.5; HS distances approach 1 for unrelated
-	// unitaries, so budgets beyond ~0.5 admit junk).
-	ThresholdCap float64
-	// MaxSamples is M, the maximum number of dissimilar approximations
-	// selected (default 16).
-	MaxSamples int
-	// CXWeight is the objective weight on normalized CNOT count; the
-	// dissimilarity weight is 1-CXWeight. Default 0.5 (balanced).
-	CXWeight float64
-	// SynthBeam, SynthRestarts and SynthKeepPerDepth tune the per-block
-	// synthesis search (defaults 2, 1, 4).
-	SynthBeam         int
-	SynthRestarts     int
-	SynthKeepPerDepth int
-	// AnnealIterations is the dual annealing budget per selected sample
-	// (default 400).
-	AnnealIterations int
-	// Parallelism is the number of blocks synthesized concurrently
-	// (default runtime.NumCPU()); results are deterministic regardless.
-	Parallelism int
-	// Seed makes the whole pipeline deterministic (default 1).
-	Seed int64
-	// Timeout bounds the whole pipeline run; 0 means no limit. When it
-	// expires RunCtx fails with an ErrDeadline-wrapped error — or, with
-	// AllowDegraded, finishes immediately with a degraded result.
-	Timeout time.Duration
-	// BlockTimeout bounds each per-block synthesis attempt; 0 means no
-	// limit. An attempt that hits it counts as a failed attempt and is
-	// retried (see MaxRestarts).
-	BlockTimeout time.Duration
-	// MaxRestarts is how many extra synthesis attempts a failing block
-	// gets, each with a jittered seed and a widened search (one extra
-	// beam slot and restart per attempt). Default 2; negative disables
-	// retries.
-	MaxRestarts int
-	// AllowDegraded lets the pipeline substitute a block's exact
-	// (transpiled) circuit when the run or block time budget expires,
-	// instead of failing the run; degraded blocks are recorded in
-	// Result.Degradations. Quality failures (no candidate within the
-	// threshold after all retries) always degrade this way — the exact
-	// block is a valid, zero-error stand-in — regardless of this flag,
-	// which only governs budget-driven degradation.
-	AllowDegraded bool
-	// SynthCache, when non-nil, memoizes per-block synthesis results by
-	// target unitary (see internal/ucache). Blocks with identical
-	// unitaries — Trotter steps, repeated subcircuits — then synthesize
-	// once per run (or once across runs when the cache is shared).
-	// Nil disables caching, so every block synthesis actually runs; the
-	// timeout/retry/degradation machinery assumes that in its tests.
-	SynthCache *ucache.Cache
-}
+// defaults; see pipeline.Config for the field documentation and the
+// zero-value sentinel convention (CXWeightSet).
+type Config = pipeline.Config
 
-func (c *Config) defaults() {
-	if c.BlockSize == 0 {
-		c.BlockSize = 3
-	}
-	if c.Epsilon == 0 {
-		c.Epsilon = 0.05
-	}
-	if c.ThresholdCap == 0 {
-		c.ThresholdCap = 0.5
-	}
-	if c.MaxSamples == 0 {
-		c.MaxSamples = 16
-	}
-	if c.CXWeight == 0 {
-		c.CXWeight = 0.5
-	}
-	if c.SynthBeam == 0 {
-		c.SynthBeam = 2
-	}
-	if c.SynthRestarts == 0 {
-		c.SynthRestarts = 1
-	}
-	if c.SynthKeepPerDepth == 0 {
-		c.SynthKeepPerDepth = 4
-	}
-	if c.AnnealIterations == 0 {
-		c.AnnealIterations = 400
-	}
-	if c.Parallelism == 0 {
-		c.Parallelism = runtime.NumCPU()
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
-	switch {
-	case c.MaxRestarts == 0:
-		c.MaxRestarts = 2
-	case c.MaxRestarts < 0:
-		c.MaxRestarts = 0
-	}
-}
+// Result is the pipeline output.
+type Result = pipeline.Result
 
 // BlockApproximations holds one partition block with its harvested
 // approximate circuits.
-type BlockApproximations struct {
-	// Block is the partition block (global qubits + local circuit).
-	Block partition.Block
-	// Unitary is the block's original unitary.
-	Unitary *linalg.Matrix
-	// Candidates are the approximate circuits, sorted by (CNOTs,
-	// Distance); Candidates[i].Circuit acts on block-local qubits.
-	Candidates []synth.Candidate
-	// pairDist[i][j] is the HS distance between candidates i and j,
-	// used by the Algorithm-1 similarity rule.
-	pairDist [][]float64
-}
+type BlockApproximations = pipeline.BlockApproximations
 
 // Approximation is one selected full-circuit approximation.
-type Approximation struct {
-	// Choice[b] is the candidate index used for block b.
-	Choice []int
-	// Circuit is the reassembled full circuit.
-	Circuit *circuit.Circuit
-	// CNOTs is the full circuit's CNOT count.
-	CNOTs int
-	// EpsilonSum is Σ_k ε_k over the chosen block candidates: by the
-	// Sec. 3.8 theorem an upper bound on the full-circuit HS distance.
-	EpsilonSum float64
-}
+type Approximation = pipeline.Approximation
 
 // Timing records where pipeline time went (Fig. 12).
-type Timing struct {
-	Partition time.Duration
-	Synthesis time.Duration
-	Annealing time.Duration
-}
-
-// Total returns the summed pipeline time.
-func (t Timing) Total() time.Duration { return t.Partition + t.Synthesis + t.Annealing }
+type Timing = pipeline.Timing
 
 // Degradation records one block that fell back to its exact (transpiled)
-// circuit because synthesis failed to produce a usable approximation
-// within its retry and time budgets. A degraded block contributes zero
-// process distance, so the assembled circuits stay valid — the pipeline
-// just loses CNOT savings on that block.
-type Degradation struct {
-	// Block is the index into Result.Blocks.
-	Block int
-	// Qubits are the block's global qubit indices.
-	Qubits []int
-	// Attempts is the number of synthesis attempts made.
-	Attempts int
-	// Reason describes the final failure (e.g. "no candidate within
-	// threshold" or the last attempt's error text).
-	Reason string
+// circuit.
+type Degradation = pipeline.Degradation
+
+// Runner executes a circuit and returns an output distribution; see
+// pipeline.Runner for the concurrency contract.
+type Runner = pipeline.Runner
+
+// RunnerCtx is a context-aware Runner.
+type RunnerCtx = pipeline.RunnerCtx
+
+// Run executes the QUEST pipeline on a circuit.
+func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
+	return pipeline.Run(c, cfg)
 }
 
-// Result is the pipeline output.
-type Result struct {
-	// Original is the input circuit.
-	Original *circuit.Circuit
-	// Blocks holds per-block approximation sets.
-	Blocks []BlockApproximations
-	// Selected are the chosen dissimilar approximations, in selection
-	// order (the first has the lowest CNOT count).
-	Selected []Approximation
-	// Threshold is the full-circuit distance threshold used
-	// (Epsilon × number of blocks).
-	Threshold float64
-	// Timing is the per-stage cost breakdown.
-	Timing Timing
-	// Degradations lists blocks that fell back to their exact circuit,
-	// in block order. Empty on a fully approximated run.
-	Degradations []Degradation
-	// CacheStats is the synthesis-cache activity during this run
-	// (zero when Config.SynthCache is nil). With a cache shared across
-	// concurrent runs the numbers include the other runs' activity.
-	CacheStats ucache.Stats
+// RunCtx executes the QUEST pipeline under a context: the composition of
+// the partition, synthesis and selection stages. See pipeline.RunCtx for
+// the budget/degradation semantics.
+func RunCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Result, error) {
+	return pipeline.RunCtx(ctx, c, cfg)
 }
 
-// BestCNOTs returns the smallest CNOT count among selected approximations.
-func (r *Result) BestCNOTs() int {
-	best := math.MaxInt
-	for _, a := range r.Selected {
-		if a.CNOTs < best {
-			best = a.CNOTs
-		}
-	}
-	return best
+// Assemble rebuilds a full-circuit approximation from a per-block
+// candidate choice (choice[b] indexes blocks[b].Candidates).
+func Assemble(numQubits int, blocks []BlockApproximations, choice []int) (Approximation, error) {
+	return pipeline.Assemble(numQubits, blocks, choice)
 }
 
 // UpperBound is the Sec. 3.8 theorem: the process distance of a circuit
 // assembled from approximate blocks is at most the sum of the blocks'
 // process distances.
 func UpperBound(blockDistances []float64) float64 {
-	var s float64
-	for _, d := range blockDistances {
-		s += d
-	}
-	return s
-}
-
-// Run executes the QUEST pipeline on a circuit.
-func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
-	return RunCtx(context.Background(), c, cfg)
-}
-
-// RunCtx executes the QUEST pipeline under a context. Config.Timeout (if
-// set) is layered on top of ctx's own deadline. Cancellation is checked
-// at every stage boundary and inside every stage's inner loops; when the
-// budget expires the run fails with a typed, wrapped error
-// (errors.Is(err, budget.ErrDeadline) or budget.ErrCancelled) — unless
-// Config.AllowDegraded is set, in which case unfinished blocks fall back
-// to their exact circuits (recorded in Result.Degradations) and a valid,
-// degraded result is returned with a nil error.
-func RunCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Result, error) {
-	cfg.defaults()
-	if c.Size() == 0 {
-		return nil, fmt.Errorf("core: empty circuit")
-	}
-	if cfg.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
-		defer cancel()
-	}
-
-	res := &Result{Original: c}
-
-	// STEP 1: partition. Pure, fast compute — with AllowDegraded it runs
-	// even on an expired budget, because producing the (fully degraded)
-	// exact fallback still requires the block structure.
-	t0 := time.Now()
-	if err := budget.Check(ctx); err != nil && !cfg.AllowDegraded {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	blocks, err := partition.Scan(c, cfg.BlockSize)
-	if err != nil {
-		return nil, fmt.Errorf("core: partition: %w", err)
-	}
-	res.Timing.Partition = time.Since(t0)
-	res.Threshold = math.Min(cfg.Epsilon*float64(len(blocks)), cfg.ThresholdCap)
-
-	// STEP 2: per-block approximate synthesis (parallel, deterministic:
-	// block i's search is seeded from (Seed, i) and writes only slot i).
-	// Retry/quality degradation is handled inside synthesizeBlock, so an
-	// error out of this loop is either the run budget expiring or a
-	// worker panic (surfaced as *par.PanicError).
-	t0 = time.Now()
-	var statsBefore ucache.Stats
-	if cfg.SynthCache != nil {
-		statsBefore = cfg.SynthCache.Stats()
-	}
-	res.Blocks = make([]BlockApproximations, len(blocks))
-	degs := make([]*Degradation, len(blocks))
-	synthErr := par.ForEachErr(ctx, cfg.Parallelism, len(blocks), func(bctx context.Context, i int) error {
-		ba, deg, err := synthesizeBlock(bctx, i, blocks[i], cfg, res.Threshold)
-		if err != nil {
-			return fmt.Errorf("synthesize block %d: %w", i, err)
-		}
-		res.Blocks[i] = ba
-		degs[i] = deg
-		return nil
-	})
-	if cfg.SynthCache != nil {
-		res.CacheStats = cfg.SynthCache.Stats().Sub(statsBefore)
-	}
-	if synthErr != nil {
-		if !budget.Terminated(synthErr) || !cfg.AllowDegraded {
-			return nil, fmt.Errorf("core: %w", synthErr)
-		}
-		// Budget expired with AllowDegraded: every unfinished block
-		// degrades to its exact circuit so the result stays valid.
-		for i := range res.Blocks {
-			if res.Blocks[i].Candidates == nil {
-				res.Blocks[i] = exactOnlyBlock(blocks[i])
-				degs[i] = &Degradation{
-					Block:    i,
-					Qubits:   blocks[i].Qubits,
-					Attempts: 0,
-					Reason:   "run budget exhausted: " + synthErr.Error(),
-				}
-			}
-		}
-	}
-	for _, d := range degs {
-		if d != nil {
-			res.Degradations = append(res.Degradations, *d)
-		}
-	}
-	res.Timing.Synthesis = time.Since(t0)
-
-	// STEP 3: dual-annealing selection of dissimilar approximations. A
-	// budget error here still leaves res.Selected valid (the selection
-	// loop falls back to the per-block best choice), so with
-	// AllowDegraded the partial selection is returned as-is.
-	t0 = time.Now()
-	if err := selectApproximations(ctx, res, cfg); err != nil {
-		if !budget.Terminated(err) || !cfg.AllowDegraded {
-			return nil, err
-		}
-	}
-	res.Timing.Annealing = time.Since(t0)
-	return res, nil
-}
-
-// exactOnlyBlock builds the degraded approximation set for a block: its
-// own (exact, zero-distance) circuit as the only candidate.
-func exactOnlyBlock(b partition.Block) BlockApproximations {
-	return BlockApproximations{
-		Block:   b,
-		Unitary: sim.Unitary(b.Circuit),
-		Candidates: []synth.Candidate{{
-			Circuit:  b.Circuit.Clone(),
-			Distance: 0,
-			CNOTs:    b.Circuit.CNOTCount(),
-		}},
-		pairDist: [][]float64{{0}},
-	}
-}
-
-// synthesizeBlock harvests approximations for one block, retrying with
-// jittered seeds and a widened search on failure, and degrading to the
-// exact circuit when every attempt fails. Candidates whose process
-// distance already exceeds the FULL circuit threshold can never appear
-// in a feasible selection (the bound is a sum of non-negative terms), so
-// they are pruned before the annealing stage.
-//
-// The returned *Degradation is non-nil when the block degraded. An error
-// is returned only when the run's own budget expired (typed, unwrappable
-// to budget.ErrDeadline/ErrCancelled) — or when a per-block budget
-// expired and Config.AllowDegraded is off.
-func synthesizeBlock(ctx context.Context, idx int, b partition.Block, cfg Config, threshold float64) (BlockApproximations, *Degradation, error) {
-	u := sim.Unitary(b.Circuit)
-	// The search seed is derived from the block's CONTENT (its unitary's
-	// phase-invariant hash), not its position: identical blocks — e.g.
-	// repeated Trotter steps — run identical searches, which both keeps
-	// the pipeline deterministic for any Parallelism and makes their
-	// synthesis results shareable through Config.SynthCache.
-	seed := cfg.Seed ^ int64(ucache.TargetKey(u)&0x7fffffffffffffff)
-	maxCNOTs := b.Circuit.CNOTCount()
-	if maxCNOTs == 0 {
-		maxCNOTs = -1 // rotation-only block: forbid CNOT layers entirely
-	}
-
-	attempts := 1 + cfg.MaxRestarts
-	var kept []synth.Candidate
-	lastReason := "no candidate within threshold"
-	budgetFailure := false
-	attempt := 0
-	for ; attempt < attempts; attempt++ {
-		if err := budget.Check(ctx); err != nil {
-			return BlockApproximations{}, nil, err
-		}
-		// Deterministic fault injection: a hook at core.block.<idx> can
-		// force this attempt to fail (e.g. with budget.ErrNoConvergence)
-		// to exercise the retry and degradation paths.
-		if faultinject.Enabled() {
-			if err := faultinject.Fire(fmt.Sprintf("core.block.%d", idx)); err != nil {
-				if budget.Terminated(err) {
-					return BlockApproximations{}, nil, err
-				}
-				lastReason = err.Error()
-				continue
-			}
-		}
-		actx := ctx
-		cancel := context.CancelFunc(func() {})
-		if cfg.BlockTimeout > 0 {
-			actx, cancel = context.WithTimeout(ctx, cfg.BlockTimeout)
-		}
-		opts := synth.Options{
-			Threshold:    math.Max(cfg.Epsilon/4, 1e-6),
-			MaxCNOTs:     maxCNOTs,
-			Beam:         cfg.SynthBeam + attempt,
-			Restarts:     cfg.SynthRestarts + attempt,
-			KeepPerDepth: cfg.SynthKeepPerDepth,
-			HarvestAll:   true,
-			Seed:         seed + int64(attempt)*15485863,
-		}
-		var sres synth.Result
-		var err error
-		if cfg.SynthCache != nil {
-			sres, _, err = cfg.SynthCache.SynthesizeCtx(actx, u, opts)
-		} else {
-			sres, err = synth.SynthesizeCtx(actx, u, opts)
-		}
-		cancel()
-		if err != nil {
-			if budget.Terminated(err) && ctx.Err() != nil {
-				// The run's budget, not the per-block one: abort.
-				return BlockApproximations{}, nil, err
-			}
-			lastReason = err.Error()
-			budgetFailure = budgetFailure || budget.Terminated(err)
-			continue
-		}
-		kept = sres.Candidates[:0]
-		for _, cand := range sres.Candidates {
-			if cand.Distance <= threshold {
-				kept = append(kept, cand)
-			}
-		}
-		if len(kept) > 0 {
-			break
-		}
-		lastReason = "no candidate within threshold"
-	}
-
-	if len(kept) == 0 {
-		// Every attempt failed: degrade to the exact (transpiled) block.
-		// A time-budget failure degrades only when the caller opted in;
-		// quality failures always degrade (the exact block is a valid,
-		// zero-error stand-in — the pre-retry behavior, now reported).
-		if budgetFailure && !cfg.AllowDegraded {
-			return BlockApproximations{}, nil, fmt.Errorf("block budget exhausted after %d attempts: %w", attempt, budget.ErrDeadline)
-		}
-		deg := &Degradation{Block: idx, Qubits: b.Qubits, Attempts: attempt, Reason: lastReason}
-		return exactOnlyBlock(b), deg, nil
-	}
-
-	// The block's own circuit is always an exact candidate: it anchors
-	// the selection space (QUEST can never do worse than the Baseline)
-	// and guarantees an exact option when the synthesis search missed
-	// the exact solution at low depth.
-	hasExact := false
-	for _, cand := range kept {
-		if cand.Distance < 1e-7 && cand.CNOTs <= b.Circuit.CNOTCount() {
-			hasExact = true
-			break
-		}
-	}
-	if !hasExact {
-		kept = append(kept, synth.Candidate{
-			Circuit:  b.Circuit.Clone(),
-			Distance: 0,
-			CNOTs:    b.Circuit.CNOTCount(),
-		})
-	}
-	ba := BlockApproximations{Block: b, Unitary: u, Candidates: kept}
-	// Precompute pairwise candidate distances for the similarity rule.
-	// Candidate unitaries and the upper triangle fan out across workers
-	// (each (i, j>i) cell is written exactly once); the mirror pass runs
-	// after the barrier so it only reads completed cells.
-	us := make([]*linalg.Matrix, len(ba.Candidates))
-	par.ForEach(cfg.Parallelism, len(us), func(i int) {
-		us[i] = sim.Unitary(ba.Candidates[i].Circuit)
-	})
-	ba.pairDist = make([][]float64, len(us))
-	for i := range us {
-		ba.pairDist[i] = make([]float64, len(us))
-	}
-	par.ForEach(cfg.Parallelism, len(us), func(i int) {
-		for j := i + 1; j < len(us); j++ {
-			ba.pairDist[i][j] = linalg.HSDistance(us[i], us[j])
-		}
-	})
-	for i := range us {
-		for j := 0; j < i; j++ {
-			ba.pairDist[i][j] = ba.pairDist[j][i]
-		}
-	}
-	return ba, nil, nil
-}
-
-// blockSimilar implements the paper's similarity criterion for one block:
-// two candidates are similar when their mutual distance does not exceed
-// the larger of their distances to the original.
-func (ba *BlockApproximations) blockSimilar(i, j int) bool {
-	if i == j {
-		return true
-	}
-	di := ba.Candidates[i].Distance
-	dj := ba.Candidates[j].Distance
-	return ba.pairDist[i][j] <= math.Max(di, dj)
-}
-
-// similarity returns the fraction of blocks on which the two choice
-// vectors pick similar candidates (the scalable full-circuit similarity
-// of Sec. 3.6).
-func similarity(blocks []BlockApproximations, a, b []int) float64 {
-	if len(blocks) == 0 {
-		return 1
-	}
-	m := 0
-	for k := range blocks {
-		if blocks[k].blockSimilar(a[k], b[k]) {
-			m++
-		}
-	}
-	return float64(m) / float64(len(blocks))
-}
-
-// choiceStats returns the CNOT count and Σε of a choice vector.
-func choiceStats(blocks []BlockApproximations, choice []int) (cnots int, epsSum float64) {
-	for k, ba := range blocks {
-		cand := ba.Candidates[choice[k]]
-		cnots += cand.CNOTs
-		epsSum += cand.Distance
-	}
-	return cnots, epsSum
-}
-
-// selectApproximations runs the dual annealing engine repeatedly,
-// implementing Algorithm 1 as the objective, until MaxSamples circuits are
-// selected, the engine returns an already-selected circuit, or the ctx
-// budget expires. On budget expiry it stops selecting, still guarantees
-// at least one (fallback) selection, and returns the typed error so the
-// caller can decide whether the partial selection is acceptable.
-func selectApproximations(ctx context.Context, res *Result, cfg Config) error {
-	blocks := res.Blocks
-	nb := len(blocks)
-	origCNOTs := res.Original.CNOTCount()
-	if origCNOTs == 0 {
-		origCNOTs = 1 // avoid division by zero for CNOT-free circuits
-	}
-
-	lower := make([]float64, nb)
-	upper := make([]float64, nb)
-	for k, ba := range blocks {
-		upper[k] = float64(len(ba.Candidates))
-	}
-	toChoice := func(x []float64) []int {
-		choice := make([]int, nb)
-		for k, v := range x {
-			i := int(math.Floor(v))
-			if i >= len(blocks[k].Candidates) {
-				i = len(blocks[k].Candidates) - 1
-			}
-			if i < 0 {
-				i = 0
-			}
-			choice[k] = i
-		}
-		return choice
-	}
-
-	var selected [][]int
-	// Algorithm 1: the objective for the next sample given selected set.
-	// One annealer-friendly refinement over the paper's pseudocode: an
-	// infeasible choice scores 1 + (Σε − threshold) instead of a flat
-	// 1.0, so the plateau has a slope toward feasibility. Any value > 1
-	// is still strictly worse than every feasible choice, so the
-	// selection semantics of Algorithm 1 are unchanged.
-	objective := func(x []float64) float64 {
-		choice := toChoice(x)
-		cnots, epsSum := choiceStats(blocks, choice)
-		if epsSum > res.Threshold {
-			return 1.0 + (epsSum - res.Threshold)
-		}
-		cnorm := float64(cnots) / float64(origCNOTs)
-		if len(selected) == 0 {
-			return cnorm
-		}
-		m := 0.0
-		for _, s := range selected {
-			m += similarity(blocks, choice, s)
-		}
-		m /= float64(len(selected))
-		return (1-cfg.CXWeight)*m + cfg.CXWeight*cnorm
-	}
-
-	sameChoice := func(a, b []int) bool {
-		for i := range a {
-			if a[i] != b[i] {
-				return false
-			}
-		}
-		return true
-	}
-
-	const dupRetries = 2
-	var stopErr error
-samples:
-	for s := 0; s < cfg.MaxSamples; s++ {
-		var choice []int
-		ok := false
-		for attempt := 0; attempt <= dupRetries; attempt++ {
-			r, aerr := anneal.MinimizeCtx(ctx, objective, lower, upper, anneal.Options{
-				MaxIterations: cfg.AnnealIterations,
-				Seed:          cfg.Seed + int64(s)*104729 + int64(attempt)*1299709,
-			})
-			if aerr != nil {
-				stopErr = aerr
-				break samples
-			}
-			choice = toChoice(r.X)
-			if _, epsSum := choiceStats(blocks, choice); epsSum > res.Threshold {
-				continue // nothing feasible found this attempt
-			}
-			dup := false
-			for _, prev := range selected {
-				if sameChoice(choice, prev) {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			// Paper: terminate when the engine keeps returning already
-			// selected (or infeasible) circuits.
-			break
-		}
-		selected = append(selected, choice)
-		approx, err := assemble(res.Original.NumQubits, blocks, choice)
-		if err != nil {
-			return err
-		}
-		res.Selected = append(res.Selected, approx)
-	}
-
-	// The annealer terminates when it keeps rediscovering the same
-	// choice, which on small circuits can happen after a single sample —
-	// leaving no ensemble to average. Greedily augment with the
-	// best-scoring feasible single-block deviations so that the output
-	// rule has dissimilar samples to work with whenever they exist.
-	for stopErr == nil && len(selected) > 0 && len(selected) < cfg.MaxSamples {
-		if stopErr = budget.Check(ctx); stopErr != nil {
-			break
-		}
-		bestScore := math.Inf(1)
-		var best []int
-		for _, base := range selected {
-			for b := range blocks {
-				for i := range blocks[b].Candidates {
-					if i == base[b] {
-						continue
-					}
-					cand := append([]int(nil), base...)
-					cand[b] = i
-					if _, epsSum := choiceStats(blocks, cand); epsSum > res.Threshold {
-						continue
-					}
-					dup := false
-					for _, prev := range selected {
-						if sameChoice(cand, prev) {
-							dup = true
-							break
-						}
-					}
-					if dup {
-						continue
-					}
-					x := make([]float64, nb)
-					for k, v := range cand {
-						x[k] = float64(v)
-					}
-					if score := objective(x); score < bestScore {
-						bestScore = score
-						best = cand
-					}
-				}
-			}
-		}
-		if best == nil {
-			break // space exhausted
-		}
-		selected = append(selected, best)
-		approx, err := assemble(res.Original.NumQubits, blocks, best)
-		if err != nil {
-			return err
-		}
-		res.Selected = append(res.Selected, approx)
-	}
-
-	if len(res.Selected) == 0 {
-		// Fall back to the per-block best candidates so callers always
-		// get at least one approximation (equivalent to a very tight
-		// exact synthesis result).
-		choice := make([]int, nb)
-		for k, ba := range blocks {
-			best := 0
-			for i, cand := range ba.Candidates {
-				if cand.Distance < ba.Candidates[best].Distance {
-					best = i
-				}
-			}
-			choice[k] = best
-		}
-		approx, err := assemble(res.Original.NumQubits, blocks, choice)
-		if err != nil {
-			return err
-		}
-		res.Selected = append(res.Selected, approx)
-	}
-	if stopErr != nil {
-		return fmt.Errorf("core: select: %w", stopErr)
-	}
-	return nil
-}
-
-// Assemble rebuilds a full-circuit approximation from a per-block
-// candidate choice (choice[b] indexes blocks[b].Candidates). It is the
-// building block for ablation studies that bypass the dual annealing
-// selection (for example random sampling of the approximation space).
-func Assemble(numQubits int, blocks []BlockApproximations, choice []int) (Approximation, error) {
-	return assemble(numQubits, blocks, choice)
-}
-
-// assemble rebuilds a full circuit from a per-block candidate choice.
-func assemble(numQubits int, blocks []BlockApproximations, choice []int) (Approximation, error) {
-	full := circuit.New(numQubits)
-	cnots := 0
-	epsSum := 0.0
-	for k, ba := range blocks {
-		cand := ba.Candidates[choice[k]]
-		if err := full.AppendCircuit(cand.Circuit, ba.Block.Qubits); err != nil {
-			return Approximation{}, fmt.Errorf("core: assemble block %d: %w", k, err)
-		}
-		cnots += cand.CNOTs
-		epsSum += cand.Distance
-	}
-	return Approximation{
-		Choice:     append([]int(nil), choice...),
-		Circuit:    full,
-		CNOTs:      cnots,
-		EpsilonSum: epsSum,
-	}, nil
+	return pipeline.UpperBound(blockDistances)
 }

@@ -167,13 +167,17 @@ func ablateEnsembleSize(cfg Config) error {
 
 	cfg.section("Ablation: ensemble size M (Heisenberg-4)")
 	cfg.printf("%6s %10s %12s %12s\n", "M", "selected", "ideal TVD", "noisy TVD")
-	for _, m := range []int{1, 2, 4, 8} {
-		pc := pipelineConfig(cfg)
-		pc.MaxSamples = m
-		res, err := core.Run(w.circuit, pc)
-		if err != nil {
-			return err
-		}
+	// MaxSamples is a selection-stage parameter: synthesize once and
+	// re-select per M. Each point is bit-identical to a full run at that
+	// M (asserted by TestReselectAcrossMaxSamplesMatchesFullRuns).
+	sizes := []int{1, 2, 4, 8}
+	base := pipelineConfig(cfg)
+	variants := make([]core.Config, len(sizes))
+	for i, m := range sizes {
+		variants[i] = base
+		variants[i].MaxSamples = m
+	}
+	return reselectSweep(w.circuit, base, variants, func(i int, res *core.Result) error {
 		ens, err := res.EnsembleProbabilities(idealProbabilities)
 		if err != nil {
 			return err
@@ -183,9 +187,9 @@ func ablateEnsembleSize(cfg Config) error {
 			return err
 		}
 		cfg.printf("%6d %10d %12.4f %12.4f\n",
-			m, len(res.Selected), metrics.TVD(ideal, ens), metrics.TVD(ideal, noisy))
-	}
-	return nil
+			sizes[i], len(res.Selected), metrics.TVD(ideal, ens), metrics.TVD(ideal, noisy))
+		return nil
+	})
 }
 
 // ablateWeight sweeps the objective weight between CNOT count and

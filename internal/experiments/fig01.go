@@ -13,32 +13,32 @@ import (
 // TFIM-4 (average magnetization) and Heisenberg-4 from the Néel state
 // (staggered magnetization), as functions of the timestep count.
 func caseStudyAlgos() []struct {
-	name      string
-	build     func(steps int) *circuit.Circuit
+	name       string
+	build      func(steps int) *circuit.Circuit
 	observable func(p []float64, n int) float64
-	obsName   string
+	obsName    string
 } {
 	const (
 		n  = 4
 		dt = 0.05
 	)
 	return []struct {
-		name      string
-		build     func(steps int) *circuit.Circuit
+		name       string
+		build      func(steps int) *circuit.Circuit
 		observable func(p []float64, n int) float64
-		obsName   string
+		obsName    string
 	}{
 		{
-			name:      "TFIM",
-			build:     func(steps int) *circuit.Circuit { return algos.TFIM(n, steps, dt, 1, 1) },
+			name:       "TFIM",
+			build:      func(steps int) *circuit.Circuit { return algos.TFIM(n, steps, dt, 1, 1) },
 			observable: metrics.AverageMagnetization,
-			obsName:   "avg magnetization",
+			obsName:    "avg magnetization",
 		},
 		{
-			name:      "Heisenberg",
-			build:     func(steps int) *circuit.Circuit { return algos.HeisenbergNeel(n, steps, dt, 1, 0.5) },
+			name:       "Heisenberg",
+			build:      func(steps int) *circuit.Circuit { return algos.HeisenbergNeel(n, steps, dt, 1, 0.5) },
 			observable: metrics.StaggeredMagnetization,
-			obsName:   "staggered magnetization",
+			obsName:    "staggered magnetization",
 		},
 	}
 }

@@ -13,27 +13,23 @@ import (
 // process distance of the assembled full-circuit approximation.
 func Fig07BoundVsActual(cfg Config) error {
 	cfg.defaults()
-	ws, err := workloads(cfg)
+	// A representative subset keeps the full-unitary comparison cheap;
+	// the bound is additionally property-tested in internal/pipeline.
+	subset := map[string]bool{"tfim": true, "xy": true, "qft": true, "adder": true}
+	prep, err := preparedWorkloads(cfg, "fig7", sweepOpts{
+		maxQubits: 6,
+		filter:    func(w workload) bool { return subset[w.name] },
+	})
 	if err != nil {
 		return err
 	}
 	cfg.section("Fig 7: theoretical upper bound vs actual full-circuit process distance")
 	cfg.printf("%16s %8s %12s %12s %8s\n", "algorithm", "sample", "bound Σε", "actual HS", "ok")
 
-	// A representative subset keeps the full-unitary comparison cheap;
-	// the bound is additionally property-tested in internal/core.
-	subset := map[string]bool{"tfim": true, "xy": true, "qft": true, "adder": true}
-
 	violations := 0
 	checked := 0
-	for _, w := range ws {
-		if w.circuit.NumQubits > 6 || !subset[w.name] {
-			continue
-		}
-		res, err := questRun(w, cfg)
-		if err != nil {
-			return fmt.Errorf("fig7 %s: %w", w.label(), err)
-		}
+	for _, pr := range prep {
+		w, res := pr.w, pr.res
 		orig := sim.Unitary(w.circuit)
 		for i, a := range res.Selected {
 			actual := linalg.HSDistance(orig, sim.Unitary(a.Circuit))

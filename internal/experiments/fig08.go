@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"repro/internal/transpile"
 )
 
@@ -13,23 +11,19 @@ import (
 // Heisenberg-style circuits.
 func Fig08CNOTReduction(cfg Config) error {
 	cfg.defaults()
-	ws, err := workloads(cfg)
+	prep, err := preparedWorkloads(cfg, "fig8", sweepOpts{
+		filter: func(w workload) bool { return w.circuit.CNOTCount() > 0 },
+	})
 	if err != nil {
 		return err
 	}
 	cfg.section("Fig 8: % CNOT reduction over Baseline")
 	cfg.printf("%16s %10s %10s %10s %14s\n", "algorithm", "baseline", "qiskit%", "quest%", "quest+qiskit%")
 
-	for _, w := range ws {
+	for _, pr := range prep {
+		w, res := pr.w, pr.res
 		base := float64(w.circuit.CNOTCount())
-		if base == 0 {
-			continue
-		}
 		qiskit := float64(transpile.Optimize(w.circuit).CNOTCount())
-		res, err := questRun(w, cfg)
-		if err != nil {
-			return fmt.Errorf("fig8 %s: %w", w.label(), err)
-		}
 		quest := meanCNOTs(res, false)
 		questQiskit := meanCNOTs(res, true)
 		cfg.printf("%16s %10.0f %10.1f %10.1f %14.1f\n",

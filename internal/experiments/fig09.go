@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -12,21 +10,15 @@ import (
 // environment — (a) TVD and (b) JSD per benchmark.
 func Fig09IdealOutputDistance(cfg Config) error {
 	cfg.defaults()
-	ws, err := workloads(cfg)
+	prep, err := preparedWorkloads(cfg, "fig9", sweepOpts{maxQubits: 10})
 	if err != nil {
 		return err
 	}
 	cfg.section("Fig 9: ideal-simulation output distance of the QUEST ensemble")
 	cfg.printf("%16s %10s %10s %10s\n", "algorithm", "samples", "TVD", "JSD")
 
-	for _, w := range ws {
-		if w.circuit.NumQubits > 10 {
-			continue
-		}
-		res, err := questRun(w, cfg)
-		if err != nil {
-			return fmt.Errorf("fig9 %s: %w", w.label(), err)
-		}
+	for _, pr := range prep {
+		w, res := pr.w, pr.res
 		ideal := sim.Probabilities(w.circuit)
 		ens, err := res.EnsembleProbabilities(idealProbabilities)
 		if err != nil {

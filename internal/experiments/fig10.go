@@ -18,7 +18,13 @@ import (
 // some cases by tens of percentage points.
 func Fig10Manila(cfg Config) error {
 	cfg.defaults()
-	ws, err := workloads(cfg)
+	// Device runs use a per-block budget of 0.1, the noisy-execution
+	// optimum identified by the Fig. 16 threshold study (the paper
+	// likewise selects its threshold constant from that sweep).
+	prep, err := preparedWorkloads(cfg, "fig10", sweepOpts{
+		maxQubits: 5,
+		mutate:    func(pc *core.Config) { pc.Epsilon = 0.1 },
+	})
 	if err != nil {
 		return err
 	}
@@ -38,16 +44,8 @@ func Fig10Manila(cfg Config) error {
 	cfg.section("Fig 10: TVD on the Manila-class device (Qiskit vs QUEST+Qiskit)")
 	cfg.printf("%16s %12s %16s %12s\n", "algorithm", "qiskit TVD", "quest+qiskit TVD", "Δ (pts)")
 
-	// Device runs use a per-block budget of 0.1, the noisy-execution
-	// optimum identified by the Fig. 16 threshold study (the paper
-	// likewise selects its threshold constant from that sweep).
-	pc := pipelineConfig(cfg)
-	pc.Epsilon = 0.1
-
-	for _, w := range ws {
-		if w.circuit.NumQubits > 5 {
-			continue
-		}
+	for _, pr := range prep {
+		w, res := pr.w, pr.res
 		ideal := sim.Probabilities(w.circuit)
 
 		qp, err := deviceRun(w.circuit, cfg.Seed, cfg.Parallelism)
@@ -56,10 +54,6 @@ func Fig10Manila(cfg Config) error {
 		}
 		qiskitTVD := metrics.TVD(ideal, qp)
 
-		res, err := core.Run(w.circuit, pc)
-		if err != nil {
-			return fmt.Errorf("fig10 %s quest: %w", w.label(), err)
-		}
 		ens, err := res.EnsembleProbabilitiesWorkers(func(c *circuit.Circuit) ([]float64, error) {
 			return deviceRun(c, cfg.Seed, 1)
 		}, cfg.Parallelism)

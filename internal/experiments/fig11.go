@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/noise"
 	"repro/internal/sim"
@@ -18,10 +17,6 @@ var noiseLevels = []float64{0.01, 0.005, 0.001}
 // hardware noise (projecting QUEST onto future NISQ devices).
 func Fig11NoiseSweep(cfg Config) error {
 	cfg.defaults()
-	ws, err := workloads(cfg)
-	if err != nil {
-		return err
-	}
 	shots := 8192
 	trajectories := 100
 	if cfg.Quick {
@@ -29,20 +24,9 @@ func Fig11NoiseSweep(cfg Config) error {
 	}
 
 	// The pipeline output is noise-independent; run it once per workload.
-	type prepared struct {
-		w   workload
-		res *core.Result
-	}
-	var prep []prepared
-	for _, w := range ws {
-		if w.circuit.NumQubits > 8 {
-			continue
-		}
-		res, err := questRun(w, cfg)
-		if err != nil {
-			return fmt.Errorf("fig11 %s: %w", w.label(), err)
-		}
-		prep = append(prep, prepared{w, res})
+	prep, err := preparedWorkloads(cfg, "fig11", sweepOpts{maxQubits: 8})
+	if err != nil {
+		return err
 	}
 
 	for _, p := range noiseLevels {

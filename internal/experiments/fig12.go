@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"time"
 )
 
@@ -12,18 +11,15 @@ import (
 // synthesis/partitioning, amortized across executions.)
 func Fig12Overhead(cfg Config) error {
 	cfg.defaults()
-	ws, err := workloads(cfg)
+	prep, err := preparedWorkloads(cfg, "fig12", sweepOpts{})
 	if err != nil {
 		return err
 	}
 	cfg.section("Fig 12: QUEST one-time cost and stage breakdown")
 	cfg.printf("%16s %12s %12s %12s %12s\n", "algorithm", "total", "partition%", "synthesis%", "annealing%")
 
-	for _, w := range ws {
-		res, err := questRun(w, cfg)
-		if err != nil {
-			return fmt.Errorf("fig12 %s: %w", w.label(), err)
-		}
+	for _, pr := range prep {
+		w, res := pr.w, pr.res
 		tot := res.Timing.Total()
 		pct := func(d time.Duration) float64 {
 			if tot == 0 {

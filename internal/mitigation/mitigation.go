@@ -23,7 +23,7 @@ func Symmetric(e float64) Confusion { return Confusion{Eps01: e, Eps10: e} }
 
 // invertible reports whether the confusion matrix can be inverted.
 func (c Confusion) invertible() bool {
-	det := (1 - c.Eps01) * (1 - c.Eps10) - c.Eps01*c.Eps10
+	det := (1-c.Eps01)*(1-c.Eps10) - c.Eps01*c.Eps10
 	return math.Abs(det) > 1e-12
 }
 

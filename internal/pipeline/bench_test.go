@@ -1,0 +1,67 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/algos"
+)
+
+// The ε-sweep benchmark pair quantifies the artifact-reuse win recorded
+// in BENCH_pipeline.json: a Fig. 16-style threshold sweep either re-runs
+// the whole pipeline per ε-point (Full) or synthesizes once at the
+// tightest ε and re-runs only the selection stage per point (Reselect).
+// Synthesis dominates the pipeline cost (Fig. 12), so the reuse should
+// win by the sweep's point count, roughly.
+
+var sweepEpsilons = []float64{0.01, 0.03, 0.05, 0.1, 0.2, 0.4}
+
+func sweepConfig() Config {
+	return Config{
+		MaxSamples:       4,
+		AnnealIterations: 120,
+		ThresholdCap:     1e9,
+		Seed:             1,
+	}
+}
+
+func BenchmarkEpsilonSweepFull(b *testing.B) {
+	c, err := algos.Generate("tfim", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, eps := range sweepEpsilons {
+			cfg := sweepConfig()
+			cfg.Epsilon = eps
+			if _, err := Run(c, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkEpsilonSweepReselect(b *testing.B) {
+	c, err := algos.Generate("tfim", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		base := sweepConfig()
+		base.Epsilon = sweepEpsilons[0]
+		art, err := Synthesize(ctx, c, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eps := range sweepEpsilons {
+			cfg := base
+			cfg.Epsilon = eps
+			if _, err := Reselect(ctx, art, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package pipeline
+
+import "testing"
+
+// CXWeight's zero value is a legitimate setting (pure-dissimilarity
+// objective), so defaults() must only fill in the paper's 0.5 when the
+// CXWeightSet sentinel says the caller left the field untouched.
+func TestCXWeightSentinel(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want float64
+	}{
+		{"unset zero gets default", Config{}, 0.5},
+		{"explicit zero survives", Config{CXWeight: 0, CXWeightSet: true}, 0},
+		{"explicit value survives", Config{CXWeight: 0.75}, 0.75},
+		{"explicit value with sentinel survives", Config{CXWeight: 0.75, CXWeightSet: true}, 0.75},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.cfg.defaults()
+			if tc.cfg.CXWeight != tc.want {
+				t.Errorf("CXWeight = %v, want %v", tc.cfg.CXWeight, tc.want)
+			}
+			if !tc.cfg.CXWeightSet {
+				t.Error("defaults() did not mark CXWeight as resolved")
+			}
+		})
+	}
+}
+
+// defaults() must be idempotent: re-resolving a resolved config (as
+// Reselect does with an artifact's stored Cfg) changes nothing.
+func TestDefaultsIdempotent(t *testing.T) {
+	cfg := Config{CXWeight: 0, CXWeightSet: true, MaxSamples: 3}
+	cfg.defaults()
+	once := cfg
+	cfg.defaults()
+	if cfg != once {
+		t.Errorf("defaults() not idempotent: %+v vs %+v", cfg, once)
+	}
+}

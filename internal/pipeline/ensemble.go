@@ -1,4 +1,4 @@
-package core
+package pipeline
 
 import (
 	"context"
@@ -11,7 +11,8 @@ import (
 
 // Runner executes a circuit and returns its output distribution; it
 // abstracts the ideal simulator, the noisy simulator, and device models so
-// the ensemble rule is identical across backends.
+// the ensemble rule is identical across backends (see internal/backend
+// for the named, capability-tagged implementations).
 //
 // Concurrency contract: ensemble evaluation calls the Runner from
 // multiple goroutines, so a Runner must be safe for concurrent use. Every

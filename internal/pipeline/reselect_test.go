@@ -1,0 +1,214 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/algos"
+	"repro/internal/circuit"
+	"repro/internal/qasm"
+)
+
+func testCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c, err := algos.Generate("tfim", 4)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return c
+}
+
+func fastCfg() Config {
+	return Config{MaxSamples: 4, AnnealIterations: 100, Seed: 3}
+}
+
+// sameSelection asserts two results selected bit-identical approximations.
+func sameSelection(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.Selected) != len(b.Selected) {
+		t.Fatalf("%s: selected %d vs %d approximations", label, len(a.Selected), len(b.Selected))
+	}
+	for i := range a.Selected {
+		x, y := a.Selected[i], b.Selected[i]
+		if x.CNOTs != y.CNOTs {
+			t.Errorf("%s: sample %d CNOTs %d vs %d", label, i, x.CNOTs, y.CNOTs)
+		}
+		if math.Float64bits(x.EpsilonSum) != math.Float64bits(y.EpsilonSum) {
+			t.Errorf("%s: sample %d EpsilonSum %v vs %v", label, i, x.EpsilonSum, y.EpsilonSum)
+		}
+		if qasm.Write(x.Circuit) != qasm.Write(y.Circuit) {
+			t.Errorf("%s: sample %d circuits differ", label, i)
+		}
+	}
+}
+
+// A Reselect whose config matches the artifact's must be bit-identical to
+// the full pipeline run (the re-filter path and the primary path share
+// finishBlock).
+func TestReselectSameConfigBitIdentical(t *testing.T) {
+	c := testCircuit(t)
+	cfg := fastCfg()
+
+	full, err := Run(c, cfg)
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	art, err := Synthesize(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	re, err := Reselect(context.Background(), art, cfg)
+	if err != nil {
+		t.Fatalf("reselect: %v", err)
+	}
+	sameSelection(t, "same-config", full, re)
+	if math.Float64bits(re.Threshold) != math.Float64bits(full.Threshold) {
+		t.Errorf("threshold %v vs %v", re.Threshold, full.Threshold)
+	}
+}
+
+// MaxSamples does not enter the synthesis stage, so an M-sweep over one
+// SynthesisArtifact must be bit-identical to full re-runs at each M.
+func TestReselectAcrossMaxSamplesMatchesFullRuns(t *testing.T) {
+	c := testCircuit(t)
+	base := fastCfg()
+	art, err := Synthesize(context.Background(), c, base)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	for _, m := range []int{1, 2, 6} {
+		cfg := base
+		cfg.MaxSamples = m
+		full, err := Run(c, cfg)
+		if err != nil {
+			t.Fatalf("full run M=%d: %v", m, err)
+		}
+		re, err := Reselect(context.Background(), art, cfg)
+		if err != nil {
+			t.Fatalf("reselect M=%d: %v", m, err)
+		}
+		sameSelection(t, "M-sweep", full, re)
+	}
+}
+
+// An ε-sweep over one artifact re-filters the harvested candidates; the
+// Sec. 3.8 bound must hold at each swept threshold.
+func TestReselectAcrossEpsilonRespectsNewThreshold(t *testing.T) {
+	c := testCircuit(t)
+	base := fastCfg()
+	base.Epsilon = 0.4
+	base.ThresholdCap = 1e9
+	art, err := Synthesize(context.Background(), c, base)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	for _, eps := range []float64{0.01, 0.05, 0.2, 0.4} {
+		cfg := base
+		cfg.Epsilon = eps
+		res, err := Reselect(context.Background(), art, cfg)
+		if err != nil {
+			t.Fatalf("reselect eps=%v: %v", eps, err)
+		}
+		if len(res.Selected) == 0 {
+			t.Fatalf("eps=%v: no selections", eps)
+		}
+		for i, a := range res.Selected {
+			if a.EpsilonSum > res.Threshold+1e-12 {
+				t.Errorf("eps=%v sample %d: Σε %v exceeds threshold %v", eps, i, a.EpsilonSum, res.Threshold)
+			}
+		}
+		// The synthesis timing of a reselect is the re-filter residue; it
+		// must not claim the artifact's full synthesis cost.
+		if res.Timing.Synthesis > art.Elapsed && art.Elapsed > 0 {
+			t.Errorf("eps=%v: reselect synthesis timing %v exceeds artifact's %v",
+				eps, res.Timing.Synthesis, art.Elapsed)
+		}
+	}
+}
+
+func TestReselectRejectsBlockSizeMismatch(t *testing.T) {
+	c := testCircuit(t)
+	art, err := Synthesize(context.Background(), c, fastCfg())
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	bad := fastCfg()
+	bad.BlockSize = 2
+	if _, err := Reselect(context.Background(), art, bad); err == nil {
+		t.Fatal("want error on BlockSize mismatch, got nil")
+	}
+}
+
+// Save/Load must round-trip the artifact so a loaded artifact reselects
+// bit-identically to the in-memory one.
+func TestSynthesisArtifactSaveLoadRoundTrip(t *testing.T) {
+	c := testCircuit(t)
+	cfg := fastCfg()
+	art, err := Synthesize(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := art.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := LoadSynthesis(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.Key != art.Key {
+		t.Errorf("key %q vs %q", loaded.Key, art.Key)
+	}
+	want, err := Reselect(context.Background(), art, cfg)
+	if err != nil {
+		t.Fatalf("reselect original: %v", err)
+	}
+	got, err := Reselect(context.Background(), loaded, cfg)
+	if err != nil {
+		t.Fatalf("reselect loaded: %v", err)
+	}
+	sameSelection(t, "save-load", want, got)
+
+	// Reuse across ε must survive the round-trip too (raw harvest kept).
+	tight := cfg
+	tight.Epsilon = 0.01
+	wantT, err := Reselect(context.Background(), art, tight)
+	if err != nil {
+		t.Fatalf("reselect original tight: %v", err)
+	}
+	gotT, err := Reselect(context.Background(), loaded, tight)
+	if err != nil {
+		t.Fatalf("reselect loaded tight: %v", err)
+	}
+	sameSelection(t, "save-load-tight", wantT, gotT)
+}
+
+// Composing the stages by hand must equal RunCtx (which is itself the
+// composition).
+func TestStageCompositionMatchesRunCtx(t *testing.T) {
+	c := testCircuit(t)
+	cfg := fastCfg()
+	want, err := Run(c, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	ctx := context.Background()
+	resolved := cfg
+	resolved.defaults()
+	pa, err := PartitionStage(resolved).Run(ctx, c)
+	if err != nil {
+		t.Fatalf("partition stage: %v", err)
+	}
+	sa, err := SynthesisStage(resolved).Run(ctx, pa)
+	if err != nil {
+		t.Fatalf("synthesis stage: %v", err)
+	}
+	sel, err := SelectionStage(resolved).Run(ctx, sa)
+	if err != nil {
+		t.Fatalf("selection stage: %v", err)
+	}
+	sameSelection(t, "manual-composition", want, sel.Result())
+}

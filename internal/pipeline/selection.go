@@ -1,0 +1,273 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/anneal"
+	"repro/internal/budget"
+	"repro/internal/circuit"
+)
+
+// blockSimilar implements the paper's similarity criterion for one block:
+// two candidates are similar when their mutual distance does not exceed
+// the larger of their distances to the original.
+func (ba *BlockApproximations) blockSimilar(i, j int) bool {
+	if i == j {
+		return true
+	}
+	di := ba.Candidates[i].Distance
+	dj := ba.Candidates[j].Distance
+	return ba.pairDist[i][j] <= math.Max(di, dj)
+}
+
+// similarity returns the fraction of blocks on which the two choice
+// vectors pick similar candidates (the scalable full-circuit similarity
+// of Sec. 3.6).
+func similarity(blocks []BlockApproximations, a, b []int) float64 {
+	if len(blocks) == 0 {
+		return 1
+	}
+	m := 0
+	for k := range blocks {
+		if blocks[k].blockSimilar(a[k], b[k]) {
+			m++
+		}
+	}
+	return float64(m) / float64(len(blocks))
+}
+
+// choiceStats returns the CNOT count and Σε of a choice vector.
+func choiceStats(blocks []BlockApproximations, choice []int) (cnots int, epsSum float64) {
+	for k, ba := range blocks {
+		cand := ba.Candidates[choice[k]]
+		cnots += cand.CNOTs
+		epsSum += cand.Distance
+	}
+	return cnots, epsSum
+}
+
+// selectApproximations runs the dual annealing engine repeatedly,
+// implementing Algorithm 1 as the objective, until MaxSamples circuits are
+// selected, the engine returns an already-selected circuit, or the ctx
+// budget expires. On budget expiry it stops selecting, still guarantees
+// at least one (fallback) selection, and returns the typed error so the
+// caller can decide whether the partial selection is acceptable.
+func selectApproximations(ctx context.Context, sa *SynthesisArtifact, cfg Config) ([]Approximation, error) {
+	blocks := sa.Blocks
+	threshold := sa.Partition.Threshold
+	original := sa.Partition.Original
+	nb := len(blocks)
+	origCNOTs := original.CNOTCount()
+	if origCNOTs == 0 {
+		origCNOTs = 1 // avoid division by zero for CNOT-free circuits
+	}
+
+	lower := make([]float64, nb)
+	upper := make([]float64, nb)
+	for k, ba := range blocks {
+		upper[k] = float64(len(ba.Candidates))
+	}
+	toChoice := func(x []float64) []int {
+		choice := make([]int, nb)
+		for k, v := range x {
+			i := int(math.Floor(v))
+			if i >= len(blocks[k].Candidates) {
+				i = len(blocks[k].Candidates) - 1
+			}
+			if i < 0 {
+				i = 0
+			}
+			choice[k] = i
+		}
+		return choice
+	}
+
+	var out []Approximation
+	var selected [][]int
+	// Algorithm 1: the objective for the next sample given selected set.
+	// One annealer-friendly refinement over the paper's pseudocode: an
+	// infeasible choice scores 1 + (Σε − threshold) instead of a flat
+	// 1.0, so the plateau has a slope toward feasibility. Any value > 1
+	// is still strictly worse than every feasible choice, so the
+	// selection semantics of Algorithm 1 are unchanged.
+	objective := func(x []float64) float64 {
+		choice := toChoice(x)
+		cnots, epsSum := choiceStats(blocks, choice)
+		if epsSum > threshold {
+			return 1.0 + (epsSum - threshold)
+		}
+		cnorm := float64(cnots) / float64(origCNOTs)
+		if len(selected) == 0 {
+			return cnorm
+		}
+		m := 0.0
+		for _, s := range selected {
+			m += similarity(blocks, choice, s)
+		}
+		m /= float64(len(selected))
+		return (1-cfg.CXWeight)*m + cfg.CXWeight*cnorm
+	}
+
+	sameChoice := func(a, b []int) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	const dupRetries = 2
+	var stopErr error
+samples:
+	for s := 0; s < cfg.MaxSamples; s++ {
+		var choice []int
+		ok := false
+		for attempt := 0; attempt <= dupRetries; attempt++ {
+			r, aerr := anneal.MinimizeCtx(ctx, objective, lower, upper, anneal.Options{
+				MaxIterations: cfg.AnnealIterations,
+				Seed:          cfg.Seed + int64(s)*104729 + int64(attempt)*1299709,
+			})
+			if aerr != nil {
+				stopErr = aerr
+				break samples
+			}
+			choice = toChoice(r.X)
+			if _, epsSum := choiceStats(blocks, choice); epsSum > threshold {
+				continue // nothing feasible found this attempt
+			}
+			dup := false
+			for _, prev := range selected {
+				if sameChoice(choice, prev) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			// Paper: terminate when the engine keeps returning already
+			// selected (or infeasible) circuits.
+			break
+		}
+		selected = append(selected, choice)
+		approx, err := assemble(original.NumQubits, blocks, choice)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, approx)
+	}
+
+	// The annealer terminates when it keeps rediscovering the same
+	// choice, which on small circuits can happen after a single sample —
+	// leaving no ensemble to average. Greedily augment with the
+	// best-scoring feasible single-block deviations so that the output
+	// rule has dissimilar samples to work with whenever they exist.
+	for stopErr == nil && len(selected) > 0 && len(selected) < cfg.MaxSamples {
+		if stopErr = budget.Check(ctx); stopErr != nil {
+			break
+		}
+		bestScore := math.Inf(1)
+		var best []int
+		for _, base := range selected {
+			for b := range blocks {
+				for i := range blocks[b].Candidates {
+					if i == base[b] {
+						continue
+					}
+					cand := append([]int(nil), base...)
+					cand[b] = i
+					if _, epsSum := choiceStats(blocks, cand); epsSum > threshold {
+						continue
+					}
+					dup := false
+					for _, prev := range selected {
+						if sameChoice(cand, prev) {
+							dup = true
+							break
+						}
+					}
+					if dup {
+						continue
+					}
+					x := make([]float64, nb)
+					for k, v := range cand {
+						x[k] = float64(v)
+					}
+					if score := objective(x); score < bestScore {
+						bestScore = score
+						best = cand
+					}
+				}
+			}
+		}
+		if best == nil {
+			break // space exhausted
+		}
+		selected = append(selected, best)
+		approx, err := assemble(original.NumQubits, blocks, best)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, approx)
+	}
+
+	if len(out) == 0 {
+		// Fall back to the per-block best candidates so callers always
+		// get at least one approximation (equivalent to a very tight
+		// exact synthesis result).
+		choice := make([]int, nb)
+		for k, ba := range blocks {
+			best := 0
+			for i, cand := range ba.Candidates {
+				if cand.Distance < ba.Candidates[best].Distance {
+					best = i
+				}
+			}
+			choice[k] = best
+		}
+		approx, err := assemble(original.NumQubits, blocks, choice)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, approx)
+	}
+	if stopErr != nil {
+		return out, fmt.Errorf("pipeline: select: %w", stopErr)
+	}
+	return out, nil
+}
+
+// Assemble rebuilds a full-circuit approximation from a per-block
+// candidate choice (choice[b] indexes blocks[b].Candidates). It is the
+// building block for ablation studies that bypass the dual annealing
+// selection (for example random sampling of the approximation space).
+func Assemble(numQubits int, blocks []BlockApproximations, choice []int) (Approximation, error) {
+	return assemble(numQubits, blocks, choice)
+}
+
+// assemble rebuilds a full circuit from a per-block candidate choice.
+func assemble(numQubits int, blocks []BlockApproximations, choice []int) (Approximation, error) {
+	full := circuit.New(numQubits)
+	cnots := 0
+	epsSum := 0.0
+	for k, ba := range blocks {
+		cand := ba.Candidates[choice[k]]
+		if err := full.AppendCircuit(cand.Circuit, ba.Block.Qubits); err != nil {
+			return Approximation{}, fmt.Errorf("pipeline: assemble block %d: %w", k, err)
+		}
+		cnots += cand.CNOTs
+		epsSum += cand.Distance
+	}
+	return Approximation{
+		Choice:     append([]int(nil), choice...),
+		Circuit:    full,
+		CNOTs:      cnots,
+		EpsilonSum: epsSum,
+	}, nil
+}

@@ -1,0 +1,169 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/partition"
+	"repro/internal/qasm"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// The on-disk SynthesisArtifact encoding: JSON with circuits as OpenQASM
+// 2.0 (the writer prints parameters with %.17g, so float64 round-trips
+// bit-exactly) and distances as plain JSON numbers (encoding/json emits
+// the shortest representation that round-trips a float64 exactly).
+// Unitaries and pairwise candidate distances are NOT stored: both are
+// deterministic functions of the circuits and are recomputed on load, so
+// a loaded artifact Reselects bit-identically to the artifact it was
+// saved from.
+
+const synthArtifactVersion = 1
+
+type candJSON struct {
+	QASM     string  `json:"qasm"`
+	Distance float64 `json:"distance"`
+	CNOTs    int     `json:"cnots"`
+}
+
+type blockJSON struct {
+	Qubits     []int      `json:"qubits"`
+	QASM       string     `json:"qasm"`
+	Candidates []candJSON `json:"candidates"`
+	// Raw is the unpruned harvest Reselect re-filters; empty for
+	// degraded blocks.
+	Raw []candJSON `json:"raw,omitempty"`
+}
+
+type synthArtifactJSON struct {
+	Version      int           `json:"version"`
+	Key          string        `json:"key"`
+	PartitionKey string        `json:"partition_key"`
+	BlockSize    int           `json:"block_size"`
+	Epsilon      float64       `json:"epsilon"`
+	ThresholdCap float64       `json:"threshold_cap"`
+	Seed         int64         `json:"seed"`
+	Threshold    float64       `json:"threshold"`
+	Original     string        `json:"original"`
+	Blocks       []blockJSON   `json:"blocks"`
+	Degradations []Degradation `json:"degradations,omitempty"`
+	ElapsedNS    int64         `json:"elapsed_ns"`
+	PartElapsed  int64         `json:"partition_elapsed_ns"`
+}
+
+func encodeCands(cands []synth.Candidate) []candJSON {
+	out := make([]candJSON, len(cands))
+	for i, c := range cands {
+		out[i] = candJSON{QASM: qasm.Write(c.Circuit), Distance: c.Distance, CNOTs: c.CNOTs}
+	}
+	return out
+}
+
+func decodeCands(cands []candJSON) ([]synth.Candidate, error) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	out := make([]synth.Candidate, len(cands))
+	for i, c := range cands {
+		circ, err := qasm.Parse(c.QASM)
+		if err != nil {
+			return nil, fmt.Errorf("candidate %d: %w", i, err)
+		}
+		out[i] = synth.Candidate{Circuit: circ, Distance: c.Distance, CNOTs: c.CNOTs}
+	}
+	return out, nil
+}
+
+// Save writes the artifact in its portable JSON encoding, so an expensive
+// synthesis pass can be computed once (per suite, per CI shard, per
+// machine) and re-selected against many configurations later.
+func (art *SynthesisArtifact) Save(w io.Writer) error {
+	doc := synthArtifactJSON{
+		Version:      synthArtifactVersion,
+		Key:          art.Key,
+		PartitionKey: art.Partition.Key,
+		BlockSize:    art.Cfg.BlockSize,
+		Epsilon:      art.Cfg.Epsilon,
+		ThresholdCap: art.Cfg.ThresholdCap,
+		Seed:         art.Cfg.Seed,
+		Threshold:    art.Partition.Threshold,
+		Original:     qasm.Write(art.Partition.Original),
+		Degradations: art.Degradations,
+		ElapsedNS:    art.Elapsed.Nanoseconds(),
+		PartElapsed:  art.Partition.Elapsed.Nanoseconds(),
+	}
+	for _, ba := range art.Blocks {
+		doc.Blocks = append(doc.Blocks, blockJSON{
+			Qubits:     ba.Block.Qubits,
+			QASM:       qasm.Write(ba.Block.Circuit),
+			Candidates: encodeCands(ba.Candidates),
+			Raw:        encodeCands(ba.all),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}
+
+// LoadSynthesis reads an artifact saved with Save. Circuits, unitaries
+// and pairwise candidate distances are reconstructed deterministically;
+// the result Reselects bit-identically to the saved artifact.
+func LoadSynthesis(r io.Reader) (*SynthesisArtifact, error) {
+	var doc synthArtifactJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("pipeline: load artifact: %w", err)
+	}
+	if doc.Version != synthArtifactVersion {
+		return nil, fmt.Errorf("pipeline: load artifact: unsupported version %d", doc.Version)
+	}
+	orig, err := qasm.Parse(doc.Original)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: load artifact: original: %w", err)
+	}
+	cfg := Config{
+		BlockSize:    doc.BlockSize,
+		Epsilon:      doc.Epsilon,
+		ThresholdCap: doc.ThresholdCap,
+		Seed:         doc.Seed,
+	}
+	cfg.defaults()
+	art := &SynthesisArtifact{
+		Partition: &PartitionArtifact{
+			Original:  orig,
+			Threshold: doc.Threshold,
+			Key:       doc.PartitionKey,
+			Elapsed:   time.Duration(doc.PartElapsed),
+		},
+		Degradations: doc.Degradations,
+		Cfg:          cfg,
+		Key:          doc.Key,
+		Elapsed:      time.Duration(doc.ElapsedNS),
+	}
+	for i, bj := range doc.Blocks {
+		bc, err := qasm.Parse(bj.QASM)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: load artifact: block %d: %w", i, err)
+		}
+		cands, err := decodeCands(bj.Candidates)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: load artifact: block %d: %w", i, err)
+		}
+		raw, err := decodeCands(bj.Raw)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: load artifact: block %d raw: %w", i, err)
+		}
+		blk := partition.Block{Qubits: bj.Qubits, Circuit: bc}
+		ba := BlockApproximations{
+			Block:      blk,
+			Unitary:    sim.Unitary(bc),
+			Candidates: cands,
+			all:        raw,
+		}
+		ba.pairDist = pairDistances(cands, cfg.Parallelism)
+		art.Blocks = append(art.Blocks, ba)
+		art.Partition.Blocks = append(art.Partition.Blocks, blk)
+	}
+	return art, nil
+}

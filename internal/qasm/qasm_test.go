@@ -120,15 +120,15 @@ func TestParseAliases(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := []string{
-		"qreg q[2];\nbogus q[0];\n",            // unknown gate
-		"qreg q[2];\nh q[5];\n",                // out of range
-		"qreg q[2];\nrz q[0];\n",               // missing params
-		"qreg q[2];\ncx q[0];\n",               // missing operand
-		"qreg q[2];\nh r[0];\n",                // unknown register
-		"qreg q[2];\nqreg q[2];\n",             // duplicate register
-		"qreg q[2];\nrz(1/0) q[0];\n",          // division by zero
-		"qreg q[2];\nh q[0]",                   // missing semicolon
-		"qreg q[2];\nrz(nonsense) q[0];\n",     // unknown ident in expr
+		"qreg q[2];\nbogus q[0];\n",        // unknown gate
+		"qreg q[2];\nh q[5];\n",            // out of range
+		"qreg q[2];\nrz q[0];\n",           // missing params
+		"qreg q[2];\ncx q[0];\n",           // missing operand
+		"qreg q[2];\nh r[0];\n",            // unknown register
+		"qreg q[2];\nqreg q[2];\n",         // duplicate register
+		"qreg q[2];\nrz(1/0) q[0];\n",      // division by zero
+		"qreg q[2];\nh q[0]",               // missing semicolon
+		"qreg q[2];\nrz(nonsense) q[0];\n", // unknown ident in expr
 	}
 	for _, src := range cases {
 		if _, err := Parse(src); err == nil {

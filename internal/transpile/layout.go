@@ -25,7 +25,7 @@ func GridCoupling(rows, cols int) *CouplingMap {
 				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
 			}
 			if r+1 < rows {
-				edges = append(edges, [2]int{id(r, c), id(r + 1, c)})
+				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
 			}
 		}
 	}

@@ -100,13 +100,13 @@ func lowerOp(out *circuit.Circuit, op circuit.Op) {
 		u3(q[1], 0, 0, -p[0]/2)
 		out.CX(q[0], q[1])
 	case "ch":
-		u3(q[1], 0, 0, math.Pi/2)          // s
-		u3(q[1], math.Pi/2, 0, math.Pi)    // h
-		u3(q[1], 0, 0, math.Pi/4)          // t
+		u3(q[1], 0, 0, math.Pi/2)       // s
+		u3(q[1], math.Pi/2, 0, math.Pi) // h
+		u3(q[1], 0, 0, math.Pi/4)       // t
 		out.CX(q[0], q[1])
-		u3(q[1], 0, 0, -math.Pi/4)         // tdg
-		u3(q[1], math.Pi/2, 0, math.Pi)    // h
-		u3(q[1], 0, 0, -math.Pi/2)         // sdg
+		u3(q[1], 0, 0, -math.Pi/4)      // tdg
+		u3(q[1], math.Pi/2, 0, math.Pi) // h
+		u3(q[1], 0, 0, -math.Pi/2)      // sdg
 	case "ccx":
 		c1, c2, tg := q[0], q[1], q[2]
 		u3(tg, math.Pi/2, 0, math.Pi) // h
@@ -117,8 +117,8 @@ func lowerOp(out *circuit.Circuit, op circuit.Op) {
 		out.CX(c2, tg)
 		u3(tg, 0, 0, -math.Pi/4) // tdg
 		out.CX(c1, tg)
-		u3(c2, 0, 0, math.Pi/4) // t
-		u3(tg, 0, 0, math.Pi/4) // t
+		u3(c2, 0, 0, math.Pi/4)       // t
+		u3(tg, 0, 0, math.Pi/4)       // t
 		u3(tg, math.Pi/2, 0, math.Pi) // h
 		out.CX(c1, c2)
 		u3(c1, 0, 0, math.Pi/4)  // t

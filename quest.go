@@ -27,6 +27,7 @@ import (
 	"context"
 
 	"repro/internal/algos"
+	"repro/internal/backend"
 	"repro/internal/budget"
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -194,21 +195,18 @@ func TVD(p, q []float64) float64 { return metrics.TVD(p, q) }
 // JSD returns the Jensen-Shannon distance between two distributions.
 func JSD(p, q []float64) float64 { return metrics.JSD(p, q) }
 
-// IdealRunner returns a Runner backed by the ideal simulator.
+// IdealRunner returns a Runner backed by the ideal simulator backend.
 func IdealRunner() Runner {
-	return func(c *Circuit) ([]float64, error) { return sim.Probabilities(c), nil }
+	return backend.AsRunner(backend.Ideal(), 0, 0)
 }
 
-// NoisyRunner returns a Runner backed by the noisy simulator.
+// NoisyRunner returns a Runner backed by the noisy simulator backend.
 func NoisyRunner(m NoiseModel, shots int, seed int64) Runner {
-	return func(c *Circuit) ([]float64, error) {
-		return m.Run(c, noise.Options{Shots: shots, Seed: seed}), nil
-	}
+	return backend.AsRunner(backend.FromModel("noisy", m), shots, seed)
 }
 
-// DeviceRunner returns a Runner that routes onto and runs a device model.
+// DeviceRunner returns a Runner that routes onto and runs a device model
+// backend.
 func DeviceRunner(d *Device, shots int, seed int64) Runner {
-	return func(c *Circuit) ([]float64, error) {
-		return d.Run(c, noise.Options{Shots: shots, Seed: seed})
-	}
+	return backend.AsRunner(backend.FromDevice(d), shots, seed)
 }
