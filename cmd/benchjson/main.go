@@ -21,10 +21,9 @@ import (
 )
 
 func main() {
-	var (
-		out     = flag.String("out", "BENCH_synth.json", "output JSON file (merged if it exists)")
-		section = flag.String("section", "current", "section name to (re)write in the output file")
-	)
+	var section sectionFlag
+	out := flag.String("out", "BENCH_synth.json", "output JSON file (merged if it exists)")
+	flag.Var(&section, "section", "section name to (re)write in the output file (non-empty, at most once; default \"current\")")
 	flag.Parse()
 
 	benches, err := parseBench(bufio.NewScanner(os.Stdin))
@@ -48,7 +47,7 @@ func main() {
 		}
 	}
 	doc.GOOS, doc.GOARCH = runtime.GOOS, runtime.GOARCH
-	doc.Sections[*section] = benches
+	doc.Sections[section.Get()] = benches
 
 	enc, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
@@ -59,5 +58,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("benchjson: wrote %d benchmarks to section %q of %s\n", len(benches), *section, *out)
+	fmt.Printf("benchjson: wrote %d benchmarks to section %q of %s\n", len(benches), section.Get(), *out)
 }

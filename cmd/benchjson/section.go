@@ -1,0 +1,45 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// sectionFlag is the -section flag: a section name that must be
+// non-empty and may be set at most once. A plain flag.String silently
+// keeps the LAST of repeated -section flags — an easy way to clobber the
+// wrong snapshot in a copy-pasted command line — so repetition is a hard
+// error instead.
+type sectionFlag struct {
+	name string
+	set  bool
+}
+
+// Get returns the effective section name (the default when the flag was
+// never passed).
+func (s *sectionFlag) Get() string {
+	if !s.set {
+		return "current"
+	}
+	return s.name
+}
+
+func (s *sectionFlag) String() string {
+	if s == nil {
+		return "current"
+	}
+	return s.Get()
+}
+
+func (s *sectionFlag) Set(v string) error {
+	if s.set {
+		return fmt.Errorf("duplicate -section flag (already %q)", s.name)
+	}
+	if strings.TrimSpace(v) == "" {
+		return errors.New("section name must not be empty")
+	}
+	s.name = v
+	s.set = true
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestSectionFlagDefault(t *testing.T) {
+	var s sectionFlag
+	if got := s.Get(); got != "current" {
+		t.Errorf("unset Get() = %q, want %q", got, "current")
+	}
+	if got := s.String(); got != "current" {
+		t.Errorf("unset String() = %q, want %q", got, "current")
+	}
+}
+
+func TestSectionFlagSetOnce(t *testing.T) {
+	var s sectionFlag
+	if err := s.Set("after"); err != nil {
+		t.Fatalf("Set(after) = %v", err)
+	}
+	if got := s.Get(); got != "after" {
+		t.Errorf("Get() = %q, want %q", got, "after")
+	}
+}
+
+func TestSectionFlagRejectsEmpty(t *testing.T) {
+	for _, v := range []string{"", "   ", "\t"} {
+		var s sectionFlag
+		if err := s.Set(v); err == nil {
+			t.Errorf("Set(%q) accepted an empty section name", v)
+		}
+	}
+}
+
+func TestSectionFlagRejectsDuplicate(t *testing.T) {
+	var s sectionFlag
+	if err := s.Set("before"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Set("after")
+	if err == nil {
+		t.Fatal("second Set succeeded; duplicate -section must be rejected")
+	}
+	if !strings.Contains(err.Error(), "duplicate") || !strings.Contains(err.Error(), "before") {
+		t.Errorf("duplicate error %q should name the flag and the first value", err)
+	}
+	if got := s.Get(); got != "before" {
+		t.Errorf("Get() after rejected duplicate = %q, want the first value", got)
+	}
+}
+
+// TestSectionFlagThroughFlagSet exercises the flag through an actual
+// FlagSet, as main wires it: repeated or empty -section must fail the
+// parse, a single one must land in Get().
+func TestSectionFlagThroughFlagSet(t *testing.T) {
+	parse := func(args ...string) (*sectionFlag, error) {
+		var s sectionFlag
+		fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		fs.Var(&s, "section", "")
+		return &s, fs.Parse(args)
+	}
+
+	if s, err := parse("-section", "after"); err != nil || s.Get() != "after" {
+		t.Errorf("parse(-section after) = %q, %v", s.Get(), err)
+	}
+	if s, err := parse(); err != nil || s.Get() != "current" {
+		t.Errorf("parse() = %q, %v; want default", s.Get(), err)
+	}
+	if _, err := parse("-section", "a", "-section", "b"); err == nil {
+		t.Error("repeated -section parsed cleanly; want an error")
+	}
+	if _, err := parse("-section", ""); err == nil {
+		t.Error("empty -section parsed cleanly; want an error")
+	}
+}

@@ -1,0 +1,231 @@
+// Command questlint runs the project's static-analysis suite
+// (internal/analysis) over the module: the invariants PRs 1–4
+// established by hand — determinism, context propagation, budget-error
+// wrapping, the zero-value sentinel convention, float-equality hygiene —
+// enforced at `make verify` time instead of discovered by golden tests.
+//
+// Usage:
+//
+//	questlint [flags] [patterns]
+//
+// Patterns are ./...-style package patterns relative to the module root
+// ("./...", "./internal/...", "./internal/pipeline"); the default is
+// every package in the module. Diagnostics print as
+// file:line:col: check: message, and the exit status is 1 when any
+// unsuppressed finding (or malformed/unknown lint:ignore directive)
+// remains, 2 on internal errors.
+//
+// Flags:
+//
+//	-checks a,b     run only the named checks (default: all)
+//	-list-ignores   print every lint:ignore directive (file:line,
+//	                check, reason) instead of linting
+//
+// A finding is suppressed with `// lint:ignore <check> <reason>` on the
+// offending line or the line directly above; the reason is mandatory and
+// must name a real check, and -list-ignores is the audit trail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("questlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		checks      = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		listIgnores = fs.Bool("list-ignores", false, "print every lint:ignore directive and exit")
+		rootFlag    = fs.String("root", "", "module root to lint (default: discovered from the working directory)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	root := *rootFlag
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "questlint:", err)
+			return 2
+		}
+	}
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "questlint:", err)
+		return 2
+	}
+
+	loader, err := analysis.NewModuleLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "questlint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadTree(loader.Module)
+	if err != nil {
+		fmt.Fprintln(stderr, "questlint:", err)
+		return 2
+	}
+	pkgs = filterPackages(pkgs, loader.Module, fs.Args())
+
+	if *listIgnores {
+		printIgnores(stdout, root, pkgs)
+		// Unknown check names still fail the listing: the audit trail
+		// must not contain directives that suppress nothing.
+		if diags := analysis.ValidateIgnores(pkgs, analysis.KnownCheck); len(diags) > 0 {
+			printDiagnostics(stderr, root, diags)
+			return 1
+		}
+		return 0
+	}
+
+	diags, err := analysis.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(stderr, "questlint:", err)
+		return 2
+	}
+	diags = append(diags, analysis.ValidateIgnores(pkgs, analysis.KnownCheck)...)
+	if len(diags) == 0 {
+		return 0
+	}
+	printDiagnostics(stdout, root, diags)
+	fmt.Fprintf(stderr, "questlint: %d finding(s)\n", len(diags))
+	return 1
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	all := analysis.Registry()
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (have: %s)", name, checkNames(all))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func checkNames(as []*analysis.Analyzer) string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// filterPackages applies ./...-style patterns (relative to the module
+// root) to the loaded package set. No patterns, "." or "./..." keep
+// everything.
+func filterPackages(pkgs []*analysis.Package, module string, patterns []string) []*analysis.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	keep := func(path string) bool {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, module), "/")
+		for _, pat := range patterns {
+			pat = strings.TrimPrefix(pat, "./")
+			if pat == "..." || pat == "." || pat == "" {
+				return true
+			}
+			if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+				if rel == sub || strings.HasPrefix(rel, sub+"/") {
+					return true
+				}
+				continue
+			}
+			if rel == pat {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*analysis.Package
+	for _, p := range pkgs {
+		if keep(p.Path) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// relPath shortens an absolute diagnostic path to be root-relative, so
+// output is stable across checkouts.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+func printDiagnostics(w io.Writer, root string, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n",
+			relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+}
+
+func printIgnores(w io.Writer, root string, pkgs []*analysis.Package) {
+	type row struct {
+		file   string
+		line   int
+		check  string
+		reason string
+	}
+	var rows []row
+	for _, p := range pkgs {
+		for _, ig := range p.Ignores {
+			rows = append(rows, row{relPath(root, ig.Pos.Filename), ig.Pos.Line, ig.Check, ig.Reason})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].file != rows[j].file {
+			return rows[i].file < rows[j].file
+		}
+		return rows[i].line < rows[j].line
+	})
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s:%d: %s: %s\n", r.file, r.line, r.check, r.reason)
+	}
+	fmt.Fprintf(w, "%d suppression(s)\n", len(rows))
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// runLint invokes the driver exactly as main does, capturing both
+// streams.
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func badmodRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("testdata/badmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestRepoIsLintClean is the enforcement test: the repo's own tree must
+// carry zero unsuppressed findings. When this fails, either fix the
+// finding or suppress it with a written justification — see DESIGN.md.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the full module")
+	}
+	code, stdout, stderr := runLint(t, "-root", repoRoot(t), "./...")
+	if code != 0 {
+		t.Fatalf("questlint on this repo: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("expected no output on a clean tree, got:\n%s", stdout)
+	}
+}
+
+// TestRepoIgnoresNameExistingChecks audits the tree's suppression
+// directives: -list-ignores must succeed and every listed row must name
+// a registered check.
+func TestRepoIgnoresNameExistingChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the full module")
+	}
+	code, stdout, stderr := runLint(t, "-list-ignores", "-root", repoRoot(t))
+	if code != 0 {
+		t.Fatalf("-list-ignores: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) == 0 || !strings.HasSuffix(lines[len(lines)-1], "suppression(s)") {
+		t.Fatalf("missing trailing count line:\n%s", stdout)
+	}
+	for _, line := range lines[:len(lines)-1] {
+		// Rows print as file:line: check: reason.
+		parts := strings.SplitN(line, ": ", 3)
+		if len(parts) != 3 {
+			t.Fatalf("unparseable -list-ignores row %q", line)
+		}
+		if check := parts[1]; !analysis.KnownCheck(check) {
+			t.Errorf("suppression %q names unknown check %q", line, check)
+		}
+		if strings.TrimSpace(parts[2]) == "" {
+			t.Errorf("suppression %q has an empty reason", line)
+		}
+	}
+}
+
+func TestSeededViolationsFailTheRun(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-root", badmodRoot(t))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, want := range []string{
+		"determinism: time.Now reads the wall clock",
+		"floateq:",
+		`lint: lint:ignore names unknown check "floatqe"`,
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	// Quiet's time.Now is validly suppressed: exactly one determinism
+	// finding (Stamp) remains.
+	if n := strings.Count(stdout, "determinism:"); n != 1 {
+		t.Errorf("determinism findings = %d, want 1 (valid suppression must hold):\n%s", n, stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr missing summary count: %q", stderr)
+	}
+}
+
+func TestListIgnoresRejectsUnknownCheck(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-list-ignores", "-root", badmodRoot(t))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (typoed directive must fail the audit)\nstderr:\n%s", code, stderr)
+	}
+	// Both directives are still listed before the failure.
+	if !strings.Contains(stdout, "determinism: fixture: exercises a valid suppression") {
+		t.Errorf("valid directive missing from listing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "floatqe: typoed check name") {
+		t.Errorf("typoed directive missing from listing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "2 suppression(s)") {
+		t.Errorf("count line wrong:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, `unknown check "floatqe"`) {
+		t.Errorf("stderr missing unknown-check diagnostic: %q", stderr)
+	}
+}
+
+func TestChecksFlagSubsets(t *testing.T) {
+	code, stdout, _ := runLint(t, "-root", badmodRoot(t), "-checks", "floateq")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(stdout, "determinism:") {
+		t.Errorf("-checks floateq still ran determinism:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "floateq:") {
+		t.Errorf("-checks floateq reported nothing:\n%s", stdout)
+	}
+}
+
+func TestChecksFlagRejectsUnknownName(t *testing.T) {
+	code, _, stderr := runLint(t, "-root", badmodRoot(t), "-checks", "nosuch")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown check "nosuch"`) {
+		t.Errorf("stderr missing unknown-check error: %q", stderr)
+	}
+}
+
+func TestPatternFiltering(t *testing.T) {
+	// A pattern matching nothing leaves no packages, hence no findings.
+	code, stdout, stderr := runLint(t, "-root", badmodRoot(t), "./nosuch/...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (no packages selected)\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	// An explicit subtree pattern still finds the seeded violations.
+	code, stdout, _ = runLint(t, "-root", badmodRoot(t), "./internal/...")
+	if code != 1 || !strings.Contains(stdout, "floateq:") {
+		t.Fatalf("./internal/... filtering lost the findings (exit %d):\n%s", code, stdout)
+	}
+}

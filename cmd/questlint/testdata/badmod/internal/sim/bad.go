@@ -1,0 +1,29 @@
+// Package sim is a questlint end-to-end fixture: a module with seeded
+// violations of the determinism and floateq invariants, one valid
+// suppression, and one typoed suppression that must fail validation.
+package sim
+
+import "time"
+
+// Stamp reads the wall clock inside a deterministic-scope package.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Close compares floats with ==.
+func Close(a, b float64) bool {
+	return a == b
+}
+
+// Quiet carries a well-formed suppression and must NOT be reported.
+func Quiet() int64 {
+	// lint:ignore determinism fixture: exercises a valid suppression
+	return time.Now().UnixNano()
+}
+
+// Typo carries a directive naming a check that does not exist; the
+// directive fails validation AND the finding below it still reports.
+func Typo(a, b float64) bool {
+	// lint:ignore floatqe typoed check name
+	return a == b
+}

@@ -1,0 +1,152 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// stdlib-only (go/parser + go/types) analogue of golang.org/x/tools'
+// analysis package, purpose-built to enforce the project invariants that
+// PRs 1–4 established by hand and that golden tests only catch late:
+//
+//   - determinism: results are bit-reproducible for any Parallelism, so
+//     the simulation/synthesis packages must not read wall clocks, the
+//     global math/rand source, or map iteration order (see DESIGN.md §4b).
+//   - ctxprop: a function holding a context.Context must not call the
+//     non-Ctx variant of a callee that has one — the deadline-hole class
+//     PR 2 closed by hand (DESIGN.md §4c).
+//   - errwrap: internal/budget sentinels travel through fmt.Errorf %w
+//     chains and are classified with errors.Is, never ==.
+//   - zerosentinel: a Config/Options field documented as having a
+//     meaningful zero value needs a <Field>Set bool sentinel (the
+//     Config.CXWeight trap fixed in PR 4).
+//   - floateq: no ==/!= on floating-point operands outside tests and the
+//     ucache quantization code.
+//
+// A finding is suppressed by a `// lint:ignore <check> <reason>` comment
+// on the offending line or the line directly above it; the reason is
+// mandatory and `questlint -list-ignores` prints every suppression in
+// the tree. The driver is cmd/questlint; `make lint` (part of
+// `make verify`) runs it over the module.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer is one named check. Run inspects a fully type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the check identifier used in diagnostics and in the
+	// suppression directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects pass.Pkg and calls pass.Reportf for each finding.
+	// A non-nil error aborts the whole analysis run (reserved for
+	// internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding (or one directive error) with its source
+// position.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
+}
+
+// Run applies every analyzer to every package, drops findings suppressed
+// by lint:ignore directives, and returns the rest sorted by position
+// (file, line, column, check). Malformed directives (missing check name
+// or reason) surface as "lint" diagnostics — they cannot be suppressed.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, pkg.BadDirectives...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				if !pkg.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}
+
+// Registry returns the project analyzers in stable order. cmd/questlint
+// runs exactly this set; the suppression-hygiene test asserts that
+// every suppression directive in the tree names one of these checks.
+func Registry() []*Analyzer {
+	return []*Analyzer{Determinism, CtxProp, ErrWrap, ZeroSentinel, FloatEq}
+}
+
+// KnownCheck reports whether name is a registered analyzer name.
+func KnownCheck(name string) bool {
+	for _, a := range Registry() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateIgnores returns one "lint" diagnostic per lint:ignore
+// directive whose check name is not in known. The driver calls this with
+// the full registry so a typoed directive fails the lint run instead of
+// silently suppressing nothing.
+func ValidateIgnores(pkgs []*Package, known func(string) bool) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, ig := range pkg.Ignores {
+			if !known(ig.Check) {
+				out = append(out, Diagnostic{
+					Check:   "lint",
+					Pos:     ig.Pos,
+					Message: fmt.Sprintf("lint:ignore names unknown check %q", ig.Check),
+				})
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,138 @@
+// Package analysistest is the expectation-comment harness for the
+// project analyzers: fixture packages under testdata/src carry
+// `// want "regexp"` comments on the lines where a diagnostic is
+// expected, and Run fails the test on any mismatch in either direction —
+// an unexpected diagnostic, or a want that nothing matched. Suppressed
+// findings (lint:ignore) count as absent, so the suppression machinery
+// is exercised by fixtures that carry directives and no wants.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE extracts the quoted expectations from a `// want "..." "..."`
+// comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package (rooted at root, typically
+// "testdata/src") with a tree loader, applies the analyzer, and checks
+// every diagnostic against the fixtures' want comments.
+func Run(t *testing.T, root string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewTreeLoader(root)
+	var pkgs []*analysis.Package
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		if !consume(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", d.Pos, d.Check, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkgs []*analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWant(t, pkg, c)...)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func parseWant(t *testing.T, pkg *analysis.Package, c *ast.Comment) []*expectation {
+	t.Helper()
+	body, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return nil
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, "want")
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	matches := wantRE.FindAllStringSubmatch(rest, -1)
+	if len(matches) == 0 {
+		t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+	}
+	var out []*expectation
+	for _, m := range matches {
+		raw := m[1]
+		if m[2] != "" {
+			raw = m[2]
+		}
+		// The double-quoted form supports \" escapes; undo them.
+		raw = strings.ReplaceAll(raw, `\"`, `"`)
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+	}
+	return out
+}
+
+// consume marks the first unmatched expectation on (file, line) whose
+// pattern matches message.
+func consume(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// MustFindings is a convenience for driver-level tests: it runs the
+// analyzers over already-loaded packages and formats the diagnostics one
+// per line.
+func MustFindings(t *testing.T, analyzers []*analysis.Analyzer, pkgs []*analysis.Package) []string {
+	t.Helper()
+	diags, err := analysis.Run(analyzers, pkgs)
+	if err != nil {
+		t.Fatalf("analysis run: %v", err)
+	}
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprint(d)
+	}
+	return out
+}

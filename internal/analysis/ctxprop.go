@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxProp closes the deadline-hole class PR 2 fixed by hand: a function
+// that was handed a context.Context must keep the caller's deadline and
+// cancellation flowing downward. Two shapes are flagged inside any
+// function (or literal) whose signature includes a context.Context:
+//
+//   - calling X(...) when the callee's package or method set also
+//     defines XCtx(ctx, ...): the non-Ctx variant silently runs on
+//     context.Background, so the caller's deadline stops propagating;
+//   - calling context.Background() or context.TODO(): minting a fresh
+//     root context discards the one in scope.
+//
+// Detached work (metrics flushes, background cache warms) is the
+// legitimate exception; suppress those sites with a lint:ignore stating
+// why the work must outlive the caller.
+var CtxProp = &Analyzer{
+	Name: "ctxprop",
+	Doc: "a function holding a context.Context must call the Ctx variant of any " +
+		"callee that has one, and must not mint fresh root contexts",
+	Run: runCtxProp,
+}
+
+func runCtxProp(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var ftype *ast.FuncType
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body, ftype = n.Body, n.Type
+			case *ast.FuncLit:
+				body, ftype = n.Body, n.Type
+			default:
+				return true
+			}
+			if body == nil || !funcTypeTakesContext(info, ftype) {
+				return true
+			}
+			checkCtxBody(pass, info, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func funcTypeTakesContext(info *types.Info, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCtxBody(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// A nested literal with its own context parameter is governed by
+		// that parameter and visited by the file-level walk; skipping it
+		// here avoids double reports. Literals that merely capture this
+		// ctx stay part of this body.
+		if lit, ok := n.(*ast.FuncLit); ok && funcTypeTakesContext(info, lit.Type) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			pass.Reportf(call.Pos(),
+				"context.%s discards the context already in scope; pass the caller's ctx (or lint:ignore with why this work is detached)",
+				fn.Name())
+			return true
+		}
+		if sib := ctxSibling(fn); sib != nil {
+			pass.Reportf(call.Pos(),
+				"%s has a context-aware sibling %s; call it with the in-scope ctx so the deadline keeps propagating",
+				fn.Name(), sib.Name())
+		}
+		return true
+	})
+}
+
+// ctxSibling returns the <name>Ctx counterpart of fn — a function or
+// method in the same package/method set whose first parameter is a
+// context.Context — or nil.
+func ctxSibling(fn *types.Func) *types.Func {
+	name := fn.Name()
+	if len(name) >= 3 && name[len(name)-3:] == "Ctx" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var cand types.Object
+	if recv := sig.Recv(); recv != nil {
+		cand, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name+"Ctx")
+	} else {
+		cand = fn.Pkg().Scope().Lookup(name + "Ctx")
+	}
+	sibling, ok := cand.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sibSig, ok := sibling.Type().(*types.Signature)
+	if !ok || !signatureTakesContext(sibSig) {
+		return nil
+	}
+	return sibling
+}

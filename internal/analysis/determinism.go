@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs are the packages whose results must be
+// bit-reproducible for any Parallelism (DESIGN.md §4b): the simulation
+// and synthesis substrate plus the pipeline that composes it.
+var deterministicPkgs = []string{"synth", "pipeline", "noise", "sim", "linalg", "ucache"}
+
+// randConstructors are the math/rand package-level functions that build
+// explicitly-seeded generators rather than drawing from the global
+// source; calling them is the fix, not the bug.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+// Determinism enforces the bit-reproducibility invariant inside the
+// simulation/synthesis packages: no wall-clock reads (time.Now,
+// time.Since), no draws from the global math/rand source (every stream
+// is a splitmix64-derived *rand.Rand), and no map iteration feeding
+// slices or order-sensitive accumulators (Go randomizes map order per
+// run). Keys collected from a map and sorted afterwards are fine.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global math/rand and map-order dependent " +
+		"results in the deterministic packages (internal/{synth,pipeline,noise,sim,linalg,ucache})",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !pkgPathWithin(pass.Pkg.Path, deterministicPkgs...) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkNondeterministicCall(pass, info, n)
+				case *ast.RangeStmt:
+					checkMapRange(pass, info, n, fd.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkNondeterministicCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Float64) are seeded streams
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock in a deterministic package; results must be bit-reproducible",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the global source; use a seeded *rand.Rand stream",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags map iterations whose bodies feed results that
+// outlive the loop in iteration order: appends to an outer slice (unless
+// that slice is sorted later in the same function) and compound
+// assignments to outer floating-point accumulators (float addition is
+// not associative, so accumulation order changes the bits).
+func checkMapRange(pass *Pass, info *types.Info, rng *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if ok && id.Name == "append" && len(n.Args) > 0 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true // a shadowing user function named append
+				}
+				if obj := outerObject(info, n.Args[0], rng); obj != nil && !sortedAfter(info, enclosing, rng, obj) {
+					pass.Reportf(n.Pos(),
+						"append to %s inside map iteration: element order follows randomized map order; collect and sort keys first",
+						obj.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok.String() {
+			case "+=", "-=", "*=", "/=":
+				if len(n.Lhs) != 1 {
+					return true
+				}
+				obj := outerObject(info, n.Lhs[0], rng)
+				if obj == nil {
+					return true
+				}
+				if isFloatish(info.TypeOf(n.Lhs[0])) {
+					pass.Reportf(n.Pos(),
+						"order-sensitive accumulation into %s inside map iteration: float reduction order follows randomized map order; iterate sorted keys",
+						obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// outerObject resolves e's root identifier to an object declared outside
+// the range statement, or nil.
+func outerObject(info *types.Info, e ast.Expr, rng *ast.RangeStmt) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil || declaredWithin(obj, rng) {
+		return nil
+	}
+	return obj
+}
+
+func isFloatish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices function
+// after the range statement in the same enclosing body — the
+// collect-then-sort idiom, which is deterministic.
+func sortedAfter(info *types.Info, enclosing *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rng.End() {
+			return !found
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil && info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

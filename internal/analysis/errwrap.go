@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap locks in the internal/budget error contract (DESIGN.md §4c):
+// the typed sentinels (budget.ErrDeadline, ErrCancelled,
+// ErrNoConvergence) travel through any number of fmt.Errorf layers and
+// are classified with errors.Is. Three shapes are flagged:
+//
+//   - a fmt.Errorf call that passes a sentinel under a verb other than
+//     %w (an %v/%s wrap breaks every errors.Is upstream);
+//   - == or != against a sentinel (fails on any wrapped error);
+//   - a switch case listing a sentinel (== in disguise).
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "internal/budget sentinels must be wrapped with %w and classified with " +
+		"errors.Is, never compared with == or switch cases",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, info, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					for _, side := range []ast.Expr{n.X, n.Y} {
+						if s := budgetSentinel(info, side); s != nil {
+							pass.Reportf(n.Pos(),
+								"%s compared with %s: wrapped errors never match; use errors.Is",
+								s.Name(), n.Op)
+							break
+						}
+					}
+				}
+			case *ast.CaseClause:
+				for _, e := range n.List {
+					if s := budgetSentinel(info, e); s != nil {
+						pass.Reportf(e.Pos(),
+							"switch case on %s compares with ==; use if errors.Is chains instead",
+							s.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// budgetSentinel resolves e to one of the internal/budget Err* sentinel
+// variables (or a package-level alias of one elsewhere), or nil.
+func budgetSentinel(info *types.Info, e ast.Expr) types.Object {
+	obj := resolveObj(info, e)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	p := v.Pkg().Path()
+	if p == "internal/budget" || strings.HasSuffix(p, "/internal/budget") {
+		return v
+	}
+	return nil
+}
+
+// checkErrorfWrap verifies that a budget sentinel passed to fmt.Errorf
+// sits under a %w verb.
+func checkErrorfWrap(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	verbs, ok := formatVerbs(info, call.Args[0])
+	for i, arg := range call.Args[1:] {
+		s := budgetSentinel(info, arg)
+		if s == nil {
+			continue
+		}
+		if !ok {
+			// Non-constant format string: the verb cannot be checked
+			// statically, which is itself a hazard for a sentinel wrap.
+			pass.Reportf(arg.Pos(),
+				"%s passed to fmt.Errorf with a non-constant format; use a constant format with %%w so errors.Is keeps working",
+				s.Name())
+			continue
+		}
+		if i >= len(verbs) || verbs[i] != 'w' {
+			got := "none"
+			if i < len(verbs) {
+				got = "%" + string(verbs[i])
+			}
+			pass.Reportf(arg.Pos(),
+				"%s must be wrapped with %%w (got %s); a non-wrapping verb breaks errors.Is upstream",
+				s.Name(), got)
+		}
+	}
+}
+
+// formatVerbs extracts the verb letter for each argument position from a
+// constant format string. ok=false when the format is not a compile-time
+// constant or uses explicit argument indexes (%[1]v), which this checker
+// does not model.
+func formatVerbs(info *types.Info, e ast.Expr) ([]byte, bool) {
+	tv, found := info.Types[e]
+	if !found || tv.Value == nil {
+		return nil, false
+	}
+	format, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return nil, false
+	}
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width and precision (may consume * args — not modeled).
+		for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			continue
+		case '[':
+			return nil, false // indexed argument, not modeled
+		case '*':
+			return nil, false // star width consumes args, not modeled
+		default:
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point (or complex) operands:
+// after any arithmetic, exact equality is a rounding-error lottery —
+// compare against a tolerance (or use math.IsNaN for the x != x idiom).
+//
+// Two deliberate carve-outs:
+//
+//   - comparisons against the exact constant zero. A float that was
+//     assigned 0 and never touched compares == 0 exactly (IEEE 754), and
+//     the codebase leans on that for zero-mass guards (metrics, noise)
+//     and sparse-entry skips (linalg kernels);
+//   - internal/ucache, whose quantization layer compares floats by
+//     design (keys are rounded to a grid precisely so that == is exact).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "forbid ==/!= on floating-point operands outside _test.go and the " +
+		"ucache quantization code (exact-zero guards are allowed)",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	if pkgPathWithin(pass.Pkg.Path, "ucache") {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(info, be.X) && !isFloatOperand(info, be.Y) {
+				return true
+			}
+			if isExactZero(info, be.X) || isExactZero(info, be.Y) {
+				return true
+			}
+			if bothConstant(info, be.X, be.Y) {
+				return true // compile-time comparison, exact by definition
+			}
+			pass.Reportf(be.Pos(),
+				"floating-point %s comparison; compare |a-b| against a tolerance (or math.IsNaN for x != x)",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isExactZero reports whether e is a compile-time constant equal to zero.
+func isExactZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(tv.Value)) == 0 &&
+			constant.Sign(constant.Imag(tv.Value)) == 0
+	}
+	return false
+}
+
+func bothConstant(info *types.Info, x, y ast.Expr) bool {
+	tx, okx := info.Types[x]
+	ty, oky := info.Types[y]
+	return okx && oky && tx.Value != nil && ty.Value != nil
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil for builtins, conversions, and calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// resolveObj resolves an expression that names an object (identifier or
+// selector), unwrapping parentheses; nil otherwise.
+func resolveObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// signatureTakesContext reports whether the signature's first parameter
+// is a context.Context.
+func signatureTakesContext(sig *types.Signature) bool {
+	return sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+// pkgPathWithin reports whether an import path lies in one of the named
+// internal packages (or a subpackage): pkgPathWithin("a/internal/sim/x",
+// "sim") is true. Matching on the "internal/<name>" segment rather than
+// the module prefix lets the testdata fixtures impersonate real package
+// paths.
+func pkgPathWithin(path string, names ...string) bool {
+	for _, name := range names {
+		seg := "internal/" + name
+		if path == seg ||
+			strings.HasSuffix(path, "/"+seg) ||
+			strings.Contains(path, "/"+seg+"/") ||
+			strings.HasPrefix(path, seg+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredWithin reports whether obj's declaration lies inside node —
+// used to distinguish loop-local accumulators from ones that outlive a
+// map-iteration.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() != 0 && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// rootIdent walks to the base identifier of an lvalue-ish expression:
+// x, x.f, x[i], *x all root at x; composite expressions root at nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full form is
+//
+//	// lint:ignore <check> <reason>
+//
+// placed either at the end of the offending line or on its own line
+// directly above it. The reason is mandatory: a suppression without a
+// written justification is itself a finding.
+const ignorePrefix = "lint:ignore"
+
+// An Ignore is one well-formed suppression directive.
+type Ignore struct {
+	Pos    token.Position
+	Check  string
+	Reason string
+}
+
+// scanDirectives harvests every lint:ignore directive from the files'
+// comments. Malformed directives (no check name, or no reason) come back
+// as "lint" diagnostics, which Run surfaces un-suppressibly.
+func scanDirectives(fset *token.FileSet, files []*ast.File) ([]Ignore, []Diagnostic) {
+	var igs []Ignore
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{Check: "lint", Pos: pos,
+						Message: "lint:ignore needs a check name and a reason"})
+				case len(fields) == 1:
+					bad = append(bad, Diagnostic{Check: "lint", Pos: pos,
+						Message: fmt.Sprintf("lint:ignore %s needs a written reason", fields[0])})
+				default:
+					igs = append(igs, Ignore{
+						Pos:    pos,
+						Check:  fields[0],
+						Reason: strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return igs, bad
+}
+
+// directiveText returns the text after "lint:ignore" if the comment is a
+// suppression directive. Only line comments count: a directive buried in
+// a /* */ block is too easy to orphan from the code it excuses.
+func directiveText(comment string) (string, bool) {
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, ignorePrefix)
+	if !ok {
+		return "", false
+	}
+	// Require a clean token boundary so e.g. "lint:ignorexyz" is not a
+	// directive.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// suppressed reports whether d is excused by an ignore for the same
+// check on the same line or the line directly above.
+func (p *Package) suppressed(d Diagnostic) bool {
+	for _, ig := range p.Ignores {
+		if ig.Check != d.Check || ig.Pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if ig.Pos.Line == d.Pos.Line || ig.Pos.Line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

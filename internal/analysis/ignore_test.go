@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []Ignore, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	igs, bad := scanDirectives(fset, []*ast.File{f})
+	return fset, igs, bad
+}
+
+func TestScanDirectives(t *testing.T) {
+	src := `package p
+
+// lint:ignore floateq golden values compared bit-exactly
+var a = 1
+
+var b = 2 // lint:ignore determinism elapsed metadata only
+
+// lint:ignore errwrap
+var c = 3
+
+// lint:ignore
+var d = 4
+
+// lint:ignorenope not a directive
+var e = 5
+`
+	_, igs, bad := parseOne(t, src)
+	if len(igs) != 2 {
+		t.Fatalf("got %d well-formed ignores, want 2: %+v", len(igs), igs)
+	}
+	if igs[0].Check != "floateq" || igs[0].Reason != "golden values compared bit-exactly" || igs[0].Pos.Line != 3 {
+		t.Errorf("ignore[0] = %+v", igs[0])
+	}
+	if igs[1].Check != "determinism" || igs[1].Reason != "elapsed metadata only" || igs[1].Pos.Line != 6 {
+		t.Errorf("ignore[1] = %+v", igs[1])
+	}
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed directives, want 2: %+v", len(bad), bad)
+	}
+	if !strings.Contains(bad[0].Message, "needs a written reason") {
+		t.Errorf("bad[0] = %+v", bad[0])
+	}
+	if !strings.Contains(bad[1].Message, "needs a check name and a reason") {
+		t.Errorf("bad[1] = %+v", bad[1])
+	}
+}
+
+func TestDirectiveText(t *testing.T) {
+	cases := []struct {
+		comment string
+		text    string
+		ok      bool
+	}{
+		{"// lint:ignore floateq reason", "floateq reason", true},
+		{"//lint:ignore floateq reason", "floateq reason", true},
+		{"// lint:ignore", "", true},
+		{"// lint:ignorenope x", "", false},
+		{"/* lint:ignore floateq reason */", "", false},
+		{"// something else", "", false},
+	}
+	for _, c := range cases {
+		text, ok := directiveText(c.comment)
+		if text != c.text || ok != c.ok {
+			t.Errorf("directiveText(%q) = %q, %v; want %q, %v", c.comment, text, ok, c.text, c.ok)
+		}
+	}
+}
+
+func TestValidateIgnores(t *testing.T) {
+	src := `package p
+
+// lint:ignore floateq a fine reason
+var a = 1
+
+// lint:ignore nonsuch a typoed check name
+var b = 2
+`
+	_, igs, _ := parseOne(t, src)
+	pkg := &Package{Path: "p", Ignores: igs}
+	diags := ValidateIgnores([]*Package{pkg}, KnownCheck)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `unknown check "nonsuch"`) {
+		t.Errorf("diagnostic = %+v", diags[0])
+	}
+}

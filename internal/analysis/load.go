@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package, plus the suppression
+// directives harvested from its comments. Test files (_test.go) are
+// never loaded: every invariant the analyzers enforce is scoped to
+// production code, and the expectation-comment fixtures are plain .go
+// files.
+type Package struct {
+	// Path is the import path the package was loaded as.
+	Path string
+	// Dir is the directory its files were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Ignores are the well-formed lint:ignore directives in the package.
+	Ignores []Ignore
+	// BadDirectives are malformed lint:ignore comments, reported as
+	// un-suppressible "lint" diagnostics.
+	BadDirectives []Diagnostic
+}
+
+// A Loader parses and type-checks packages on demand, resolving module-
+// local import paths to directories and everything else through the
+// toolchain's importers. It memoizes: each package is checked once no
+// matter how many importers reach it.
+type Loader struct {
+	Fset *token.FileSet
+	// Module is the module path when the loader was built by
+	// NewModuleLoader (what "./..." means to cmd/questlint); empty for
+	// tree loaders.
+	Module string
+	// resolve maps an import path to the directory holding its source,
+	// or ok=false to defer to the standard-library importers.
+	resolve func(path string) (dir string, ok bool)
+	std     types.Importer
+	source  types.Importer
+	pkgs    map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg     *Package
+	err     error
+	loading bool
+}
+
+var moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// NewModuleLoader returns a loader rooted at a Go module directory:
+// import paths under the module path resolve into its tree, everything
+// else (the standard library) through the compiler importers.
+func NewModuleLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	m := moduleRE.FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	modPath := string(m[1])
+	l := newLoader(func(path string) (string, bool) {
+		if path == modPath {
+			return root, true
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			return filepath.Join(root, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	})
+	l.Module = modPath
+	return l, nil
+}
+
+// NewTreeLoader returns a loader that resolves any import path with
+// source under root (GOPATH-src style: path x/y loads root/x/y). The
+// fixture harness uses it so testdata packages can impersonate arbitrary
+// import paths — including repro/internal/budget — without touching the
+// real tree.
+func NewTreeLoader(root string) *Loader {
+	return newLoader(func(path string) (string, bool) {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+		return "", false
+	})
+}
+
+func newLoader(resolve func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		resolve: resolve,
+		std:     importer.Default(),
+		source:  importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*loadEntry{},
+	}
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSourceFile reports whether name is a non-test Go source file the
+// loader should parse.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// Load parses and type-checks the package at the given import path
+// (which must resolve inside the loader's tree), memoized.
+func (l *Loader) Load(path string) (*Package, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return e.pkg, e.err
+	}
+	dir, ok := l.resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %s does not resolve inside the loaded tree", path)
+	}
+	e := &loadEntry{loading: true}
+	l.pkgs[path] = e
+	e.pkg, e.err = l.check(path, dir)
+	e.loading = false
+	return e.pkg, e.err
+}
+
+func (l *Loader) check(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, en := range entries {
+		if !en.IsDir() && isSourceFile(en.Name()) {
+			names = append(names, en.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source files in %s", dir)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	pkg.Ignores, pkg.BadDirectives = scanDirectives(l.Fset, files)
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-local paths load from source,
+// everything else resolves through the compiled-stdlib importer with a
+// from-source fallback (toolchains without export data).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.resolve(path); ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if pkg, err := l.std.Import(path); err == nil {
+		return pkg, nil
+	}
+	return l.source.Import(path)
+}
+
+// LoadTree loads every package under root (the loader must resolve
+// rootPath to root): directories named testdata, hidden directories, and
+// directories with no non-test Go files are skipped. Packages come back
+// sorted by import path.
+func (l *Loader) LoadTree(rootPath string) ([]*Package, error) {
+	root, ok := l.resolve(rootPath)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %s does not resolve inside the loaded tree", rootPath)
+	}
+	var paths []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				rel, err := filepath.Rel(root, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					paths = append(paths, rootPath)
+				} else {
+					paths = append(paths, rootPath+"/"+filepath.ToSlash(rel))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walking %s: %w", root, err)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

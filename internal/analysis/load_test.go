@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTreeLoaderLoadsAndTypechecks(t *testing.T) {
+	l := NewTreeLoader("testdata/src")
+	pkg, err := l.Load("ctxfix/use")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if pkg.Types == nil || pkg.Info == nil || len(pkg.Files) == 0 {
+		t.Fatalf("package incompletely loaded: %+v", pkg)
+	}
+	if pkg.Types.Name() != "use" {
+		t.Errorf("package name = %q, want %q", pkg.Types.Name(), "use")
+	}
+	// Memoized: the dependency was loaded while type-checking and loads
+	// again as the identical object.
+	dep1, err := l.Load("ctxfix/dep")
+	if err != nil {
+		t.Fatalf("Load dep: %v", err)
+	}
+	dep2, _ := l.Load("ctxfix/dep")
+	if dep1 != dep2 {
+		t.Error("Load is not memoized")
+	}
+}
+
+func TestTreeLoaderStdlibImports(t *testing.T) {
+	l := NewTreeLoader("testdata/src")
+	if _, err := l.Import("context"); err != nil {
+		t.Fatalf("importing context: %v", err)
+	}
+}
+
+func TestLoaderDiagnosesImportCycle(t *testing.T) {
+	l := NewTreeLoader("testdata/src")
+	_, err := l.Load("cyclefix/a")
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("err = %v, want import cycle", err)
+	}
+}
+
+func TestLoaderRejectsUnresolvablePath(t *testing.T) {
+	l := NewTreeLoader("testdata/src")
+	if _, err := l.Load("no/such/package"); err == nil {
+		t.Fatal("expected error for unresolvable path")
+	}
+}
+
+func TestModuleLoaderOnThisRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load in -short mode")
+	}
+	l, err := NewModuleLoader("../..")
+	if err != nil {
+		t.Fatalf("NewModuleLoader: %v", err)
+	}
+	pkg, err := l.Load("repro/internal/budget")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if obj := pkg.Types.Scope().Lookup("ErrDeadline"); obj == nil {
+		t.Error("repro/internal/budget loaded without ErrDeadline")
+	}
+}

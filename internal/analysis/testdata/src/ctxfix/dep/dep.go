@@ -1,0 +1,31 @@
+// Package dep supplies the callee side of the ctxprop fixture: pairs of
+// functions and methods with and without Ctx variants.
+package dep
+
+import "context"
+
+func Run() {}
+
+func RunCtx(ctx context.Context) error { return ctx.Err() }
+
+// Plain has no Ctx sibling.
+func Plain() {}
+
+// Solve's lookalike sibling takes its context in the wrong position, so
+// it is not a context-aware variant.
+func Solve() {}
+
+func SolveCtx(n int, ctx context.Context) {}
+
+type Engine struct{}
+
+func (Engine) Minimize() {}
+
+func (Engine) MinimizeCtx(ctx context.Context) error { return ctx.Err() }
+
+func (*Engine) Start() {}
+
+func (*Engine) StartCtx(ctx context.Context) error { return ctx.Err() }
+
+// Stop has no Ctx sibling.
+func (*Engine) Stop() {}

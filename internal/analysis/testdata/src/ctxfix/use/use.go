@@ -1,0 +1,59 @@
+// Package use exercises the ctxprop analyzer: every function that holds
+// a context.Context must keep it flowing to context-aware callees.
+package use
+
+import (
+	"context"
+
+	"ctxfix/dep"
+)
+
+func work() {}
+
+func workCtx(ctx context.Context) {}
+
+func WithCtx(ctx context.Context) {
+	dep.Run()                    // want `Run has a context-aware sibling RunCtx`
+	_ = dep.RunCtx(ctx)          // correct variant: fine
+	dep.Plain()                  // no sibling: fine
+	dep.Solve()                  // SolveCtx's first param is not a context: fine
+	work()                       // want `work has a context-aware sibling workCtx`
+	ctx2 := context.Background() // want `context\.Background discards the context already in scope`
+	_ = ctx2
+	_ = context.TODO() // want `context\.TODO discards the context already in scope`
+}
+
+func Methods(ctx context.Context) {
+	var e dep.Engine
+	e.Minimize() // want `Minimize has a context-aware sibling MinimizeCtx`
+	e.Start()    // want `Start has a context-aware sibling StartCtx`
+	e.Stop()     // no sibling: fine
+	_ = e.MinimizeCtx(ctx)
+}
+
+// NoCtx holds no context, so calling the plain variants (and minting a
+// root context) is exactly what a non-Ctx wrapper does.
+func NoCtx() {
+	dep.Run()
+	_ = dep.RunCtx(context.Background())
+}
+
+func Literals(ctx context.Context) {
+	capture := func() {
+		dep.Run() // want `Run has a context-aware sibling RunCtx`
+	}
+	capture()
+	ownCtx := func(ctx context.Context) {
+		dep.Run() // want `Run has a context-aware sibling RunCtx`
+	}
+	ownCtx(ctx)
+}
+
+// LiteralInPlainFunc: a literal with its own ctx parameter is governed
+// by that parameter even when the enclosing function has none.
+func LiteralInPlainFunc() {
+	f := func(ctx context.Context) {
+		dep.Run() // want `Run has a context-aware sibling RunCtx`
+	}
+	f(context.Background())
+}

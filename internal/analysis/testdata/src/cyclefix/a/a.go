@@ -1,0 +1,8 @@
+// Package a imports b which imports a: the loader must diagnose the
+// cycle instead of recursing forever. (The go tool never builds testdata,
+// so this deliberately-illegal pair only ever meets our loader.)
+package a
+
+import "cyclefix/b"
+
+var V = b.V

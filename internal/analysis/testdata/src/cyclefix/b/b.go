@@ -1,0 +1,6 @@
+// Package b completes the import cycle with package a.
+package b
+
+import "cyclefix/a"
+
+var V = a.V

@@ -1,0 +1,56 @@
+// Package detsim is a determinism fixture that impersonates a package
+// under internal/sim, so every check in the determinism analyzer is in
+// scope.
+package detsim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Timing() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func GlobalSource(xs []int) float64 {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the global source`
+	return rand.Float64()                                                 // want `rand\.Float64 draws from the global source`
+}
+
+func SeededStream(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors build seeded streams: fine
+	return rng.Float64()
+}
+
+func MapOrder(m map[string]float64) ([]string, float64) {
+	var keys []string
+	total := 0.0
+	for k, v := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration`
+		total += v             // want `order-sensitive accumulation into total`
+	}
+	return keys, total
+}
+
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort idiom: fine
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func CountsAndLocals(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		var local []float64
+		for _, v := range vs {
+			local = append(local, v) // loop-local slice: fine
+		}
+		n += len(local) // integer accumulation is order-independent: fine
+	}
+	return n
+}

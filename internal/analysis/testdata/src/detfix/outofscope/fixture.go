@@ -1,0 +1,26 @@
+// Package outofscope repeats the determinism violations in a package
+// path outside internal/{synth,pipeline,noise,sim,linalg,ucache}: the
+// analyzer must stay silent here (no want comments).
+package outofscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timing() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func GlobalSource() float64 {
+	return rand.Float64()
+}
+
+func MapOrder(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

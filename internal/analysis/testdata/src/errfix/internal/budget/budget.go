@@ -1,0 +1,16 @@
+// Package budget is a stand-in for repro/internal/budget: the errwrap
+// analyzer recognizes sentinels by the internal/budget path suffix and
+// the Err name prefix, so this fixture package exercises exactly that
+// matching without importing the real tree.
+package budget
+
+import "errors"
+
+var (
+	ErrDeadline      = errors.New("deadline exceeded")
+	ErrCancelled     = errors.New("cancelled")
+	ErrNoConvergence = errors.New("no convergence")
+)
+
+// NotASentinel lacks the Err prefix.
+var NotASentinel = errors.New("not a sentinel")

@@ -1,0 +1,53 @@
+// Package use exercises the errwrap analyzer against the fixture budget
+// sentinels.
+package use
+
+import (
+	"errors"
+	"fmt"
+
+	"errfix/internal/budget"
+)
+
+func Classify(err error) error {
+	if err == budget.ErrDeadline { // want `ErrDeadline compared with ==`
+		return nil
+	}
+	if budget.ErrCancelled != err { // want `ErrCancelled compared with !=`
+		return nil
+	}
+	switch err {
+	case budget.ErrNoConvergence: // want `switch case on ErrNoConvergence`
+		return nil
+	case nil:
+		return nil
+	}
+	if errors.Is(err, budget.ErrDeadline) { // errors.Is: the correct form
+		return fmt.Errorf("stage: %w", budget.ErrDeadline) // %w wrap: fine
+	}
+	if err == budget.NotASentinel { // not an Err* sentinel: fine
+		return nil
+	}
+	return nil
+}
+
+func Wraps(attempt int) error {
+	if attempt > 3 {
+		return fmt.Errorf("gave up after %d attempts: %w", attempt, budget.ErrNoConvergence) // fine
+	}
+	return fmt.Errorf("stage: %v", budget.ErrDeadline) // want `ErrDeadline must be wrapped with %w \(got %v\)`
+}
+
+func Forgot(n int) error {
+	return fmt.Errorf("gave up", budget.ErrNoConvergence) // want `ErrNoConvergence must be wrapped with %w \(got none\)`
+}
+
+func Dynamic(format string) error {
+	return fmt.Errorf(format, budget.ErrCancelled) // want `ErrCancelled passed to fmt.Errorf with a non-constant format`
+}
+
+func OrdinaryErrors(err error) bool {
+	return err == errReuse // plain sentinels in ordinary packages: fine
+}
+
+var errReuse = errors.New("reuse")

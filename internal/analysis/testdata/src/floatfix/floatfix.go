@@ -1,0 +1,36 @@
+// Package floatfix exercises the floateq analyzer.
+package floatfix
+
+import "math"
+
+type Sample struct{ V float64 }
+
+func Compare(a, b float64, c complex128, n int) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if a != 1.5 { // want `floating-point != comparison`
+		return true
+	}
+	if c == 2i { // want `floating-point == comparison`
+		return true
+	}
+	if a == 0 { // exact-zero guard: fine
+		return true
+	}
+	if c != 0 { // exact-zero guard: fine
+		return true
+	}
+	if n == 1 { // integers: fine
+		return true
+	}
+	if a != a { // want `floating-point != comparison`
+		return math.IsNaN(a)
+	}
+	const x, y = 1.5, 2.5
+	return x == y // both compile-time constants: fine
+}
+
+func Fields(s, t Sample) bool {
+	return s.V == t.V // want `floating-point == comparison`
+}

@@ -1,0 +1,8 @@
+// Package ucache impersonates the quantization layer: float equality is
+// by design here (keys are rounded to a grid so == is exact), so the
+// floateq analyzer exempts the package (no want comments).
+package ucache
+
+func QuantizedEqual(a, b float64) bool {
+	return a == b
+}

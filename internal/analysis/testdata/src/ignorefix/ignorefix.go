@@ -1,0 +1,24 @@
+// Package ignorefix exercises the lint:ignore suppression rules through
+// the floateq analyzer: a directive on the offending line or directly
+// above it suppresses the finding; anything farther away does not.
+package ignorefix
+
+func SameLine(a, b float64) bool {
+	return a == b // lint:ignore floateq golden values are compared bit-exactly on purpose
+}
+
+func LineAbove(a, b float64) bool {
+	// lint:ignore floateq quantized inputs are bit-identical by construction
+	return a == b
+}
+
+func TooFarAway(a, b float64) bool {
+	// lint:ignore floateq this directive is two lines up and must not apply
+
+	return a == b // want `floating-point == comparison`
+}
+
+func OtherCheck(a, b float64) bool {
+	// lint:ignore determinism a directive for a different check must not apply
+	return a == b // want `floating-point == comparison`
+}

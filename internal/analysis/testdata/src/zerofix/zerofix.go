@@ -1,0 +1,50 @@
+// Package zerofix exercises the zerosentinel analyzer: exported
+// Config/Options fields whose docs declare the zero value legitimate or
+// meaningful need a <Field>Set bool sentinel.
+package zerofix
+
+// Config drives the fixture pipeline.
+type Config struct {
+	// CXWeight is the objective weight on CNOT count. CXWeight = 0 is a
+	// legitimate setting; because it coincides with the zero value it
+	// must be requested explicitly.
+	CXWeight float64 // want `CXWeight documents a meaningful zero value but has no CXWeightSet bool sentinel`
+
+	// Gamma is the damping weight. A zero Gamma is a meaningful
+	// configuration (damping off), selected by raising GammaSet.
+	Gamma float64
+	// GammaSet marks Gamma as explicitly chosen.
+	GammaSet bool
+
+	// Budget is the iteration budget; 0 means the default. (No marker
+	// word: zero is not a distinct setting, so no sentinel is needed.)
+	Budget int
+
+	// quiet is unexported; the convention covers the public surface.
+	// A zero quiet is a meaningful setting.
+	quiet float64
+}
+
+// Options tunes the fixture solver.
+type Options struct {
+	// Tol is the match tolerance. A 0 tolerance is meaningful: it
+	// selects strict bit-reproducible matching.
+	Tol float64 // want `Tol documents a meaningful zero value but has no TolSet bool sentinel`
+}
+
+// SweepConfig's suffix also puts it under the convention.
+type SweepConfig struct {
+	// Step of 0 is a legitimate request for adaptive stepping.
+	Step float64 // want `Step documents a meaningful zero value but has no StepSet bool sentinel`
+}
+
+// Runner is not a Config/Options type, so the convention does not apply.
+type Runner struct {
+	// Rate of 0 is a legitimate setting.
+	Rate float64
+}
+
+type hidden struct {
+	// Knob of 0 is a legitimate setting (unexported struct: skipped).
+	Knob float64
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// ZeroSentinel enforces the zero-value convention documented on
+// pipeline.Config (the Config.CXWeight trap PR 4 shipped as a real bug):
+// a defaults() pass cannot tell "caller left the field zero" from
+// "caller chose zero" — so any exported Config/Options field whose doc
+// comment declares the zero value to be a legitimate or meaningful
+// setting must be paired with a sibling `<Field>Set bool` sentinel that
+// callers raise when they mean it.
+//
+// Detection is doc-driven on purpose: "0 means no limit"-style defaults
+// are fine precisely because zero is NOT a distinct setting there, and
+// the convention text requires the ambiguous fields to say so in their
+// docs (with the words "legitimate" or "meaningful").
+var ZeroSentinel = &Analyzer{
+	Name: "zerosentinel",
+	Doc: "an exported Config/Options field documented with a legitimate/meaningful " +
+		"zero value must have a matching <Field>Set bool sentinel",
+	Run: runZeroSentinel,
+}
+
+// zeroDocRE matches field docs that declare zero a real setting: the
+// sentence must mention both the zero value and one of the convention's
+// marker words.
+var (
+	zeroWordRE   = regexp.MustCompile(`(?i)\bzero\b|(^|[^.\w])0([^.\w]|$)`)
+	markerWordRE = regexp.MustCompile(`(?i)\b(legitimate|meaningful)\b`)
+)
+
+func runZeroSentinel(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || !ts.Name.IsExported() || !configLikeName(ts.Name.Name) {
+				return true
+			}
+			checkConfigStruct(pass, st)
+			return true
+		})
+	}
+	return nil
+}
+
+func configLikeName(name string) bool {
+	return name == "Config" || name == "Options" ||
+		strings.HasSuffix(name, "Config") || strings.HasSuffix(name, "Options")
+}
+
+func checkConfigStruct(pass *Pass, st *ast.StructType) {
+	sentinels := map[string]bool{}
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			if strings.HasSuffix(name.Name, "Set") && isBoolExpr(f.Type) {
+				sentinels[name.Name] = true
+			}
+		}
+	}
+	for _, f := range st.Fields.List {
+		if f.Doc == nil {
+			continue
+		}
+		doc := f.Doc.Text()
+		if !markerWordRE.MatchString(doc) || !zeroWordRE.MatchString(doc) {
+			continue
+		}
+		for _, name := range f.Names {
+			if !name.IsExported() || strings.HasSuffix(name.Name, "Set") {
+				continue
+			}
+			if !sentinels[name.Name+"Set"] {
+				pass.Reportf(name.Pos(),
+					"%s documents a meaningful zero value but has no %sSet bool sentinel; defaults() cannot tell \"unset\" from \"chose zero\" (the CXWeight trap)",
+					name.Name, name.Name)
+			}
+		}
+	}
+}
+
+func isBoolExpr(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "bool"
+}

@@ -1,0 +1,139 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/budget"
+)
+
+// TestForEachErrSingleItemRunsInline pins the n==1 fast path: no worker
+// goroutines are spawned, so a panic is recovered on worker 0 and the
+// single index still runs under the group context.
+func TestForEachErrSingleItemRunsInline(t *testing.T) {
+	ran := 0
+	err := ForEachErr(context.Background(), 8, 1, func(ctx context.Context, i int) error {
+		ran++
+		if ctx.Err() != nil {
+			t.Error("group context already done on the inline path")
+		}
+		return nil
+	})
+	if err != nil || ran != 1 {
+		t.Fatalf("err = %v, ran = %d; want nil, 1", err, ran)
+	}
+
+	err = ForEachErr(context.Background(), 8, 1, func(context.Context, int) error {
+		panic("inline boom")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Worker != 0 || pe.Index != 0 {
+		t.Errorf("inline panic attributed to worker %d index %d, want 0/0", pe.Worker, pe.Index)
+	}
+}
+
+// TestForEachErrWorkersExceedN asserts the worker count clamps to n:
+// concurrency never exceeds the item count and every index runs exactly
+// once.
+func TestForEachErrWorkersExceedN(t *testing.T) {
+	const n = 3
+	var inFlight, peak atomic.Int64
+	hits := make([]atomic.Int64, n)
+	err := ForEachErr(context.Background(), 64, n, func(_ context.Context, i int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		hits[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Errorf("index %d ran %d times", i, got)
+		}
+	}
+	if peak.Load() > n {
+		t.Errorf("peak concurrency %d exceeds n=%d", peak.Load(), n)
+	}
+}
+
+// TestForEachErrPanicAtLastIndex panics on the final item only: the
+// recovered *PanicError must name index n-1 even though every other
+// index completed successfully first.
+func TestForEachErrPanicAtLastIndex(t *testing.T) {
+	const n = 50
+	var completed atomic.Int64
+	err := ForEachErr(context.Background(), 4, n, func(_ context.Context, i int) error {
+		if i == n-1 {
+			panic("last item boom")
+		}
+		completed.Add(1)
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != n-1 {
+		t.Errorf("panic index = %d, want %d", pe.Index, n-1)
+	}
+	if pe.Value != "last item boom" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if completed.Load() > n-1 {
+		t.Errorf("%d successful completions for %d non-panicking items", completed.Load(), n-1)
+	}
+}
+
+// TestForEachErrCancellationRacingCompletion cancels the parent context
+// from inside the very last item, racing the loop's own completion.
+// Whatever the interleaving, the error must be the typed budget sentinel
+// — never a raw context.Canceled leaking through.
+func TestForEachErrCancellationRacingCompletion(t *testing.T) {
+	const n = 32
+	for trial := 0; trial < 50; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := ForEachErr(ctx, 4, n, func(_ context.Context, i int) error {
+			if i == n-1 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, budget.ErrCancelled) {
+			t.Fatalf("trial %d: err = %v, want ErrCancelled (cancel raced completion)", trial, err)
+		}
+		if err != nil && (errors.Is(err, context.Canceled) && !budget.Terminated(err)) {
+			t.Fatalf("trial %d: raw context error leaked: %v", trial, err)
+		}
+	}
+
+	// The mirror race: cancellation from OUTSIDE the loop, fired
+	// concurrently with fast items. Either the loop finishes first (nil)
+	// or the typed sentinel reports the cut — nothing else.
+	for trial := 0; trial < 50; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			cancel()
+			close(done)
+		}()
+		err := ForEachErr(ctx, 4, n, func(context.Context, int) error { return nil })
+		<-done
+		if err != nil && !errors.Is(err, budget.ErrCancelled) {
+			t.Fatalf("trial %d: err = %v, want nil or ErrCancelled", trial, err)
+		}
+	}
+}

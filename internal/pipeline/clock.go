@@ -1,0 +1,22 @@
+package pipeline
+
+import "time"
+
+// stageClock is the ONLY place the pipeline reads the wall clock. The
+// Elapsed fields on artifacts are operator telemetry — they never feed a
+// computation, a fingerprint key, or a golden output (the 13-case golden
+// test pins everything result-shaped and ignores Elapsed) — so the
+// determinism invariant is suppressed here, once, with the audit trail
+// below, instead of at every stage. Usage:
+//
+//	elapsed := stageClock()
+//	... do the stage's work ...
+//	art.Elapsed = elapsed()
+func stageClock() func() time.Duration {
+	// lint:ignore determinism Elapsed is wall-clock telemetry only; it never feeds results, artifact keys, or golden outputs
+	t0 := time.Now()
+	return func() time.Duration {
+		// lint:ignore determinism see stageClock: telemetry-only read, centralized so stages stay clock-free
+		return time.Since(t0)
+	}
+}

@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/anneal"
+	"repro/internal/budget"
+	"repro/internal/faultinject"
+)
+
+// TestSentinelsRoundTripPipelineWrapShapes pins the wrapping contract:
+// every budget sentinel must survive errors.Is through the exact
+// fmt.Errorf shapes the pipeline stacks on top of it, and must never
+// alias another sentinel.
+func TestSentinelsRoundTripPipelineWrapShapes(t *testing.T) {
+	sentinels := []error{budget.ErrDeadline, budget.ErrCancelled, budget.ErrNoConvergence}
+	wraps := []func(error) error{
+		// synthesizeBlock's retry-exhaustion shape (stages.go).
+		func(err error) error { return fmt.Errorf("block budget exhausted after %d attempts: %w", 3, err) },
+		// SynthesisStage's per-block shape under ForEachErr.
+		func(err error) error { return fmt.Errorf("synthesize block %d: %w", 1, err) },
+		// The stage-level prefix every hard failure leaves with.
+		func(err error) error { return fmt.Errorf("pipeline: %w", err) },
+	}
+	for _, sentinel := range sentinels {
+		err := sentinel
+		for depth, wrap := range wraps {
+			err = wrap(err)
+			if !errors.Is(err, sentinel) {
+				t.Errorf("%v lost through %d wrap layer(s): %v", sentinel, depth+1, err)
+			}
+			for _, other := range sentinels {
+				if other != sentinel && errors.Is(err, other) {
+					t.Errorf("wrapped %v also matches %v", sentinel, other)
+				}
+			}
+		}
+		wantTerminated := sentinel != budget.ErrNoConvergence
+		if got := budget.Terminated(err); got != wantTerminated {
+			t.Errorf("Terminated(wrapped %v) = %v, want %v", sentinel, got, wantTerminated)
+		}
+	}
+}
+
+// TestRunCtxDeadlineDiscriminatesSentinels asserts the full-pipeline
+// deadline error classifies as ErrDeadline and ONLY ErrDeadline.
+func TestRunCtxDeadlineDiscriminatesSentinels(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline actually expire
+	_, err := RunCtx(ctx, algos.TFIM(4, 3, 0.1, 1, 1), testConfig())
+	if !errors.Is(err, budget.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if errors.Is(err, budget.ErrCancelled) || errors.Is(err, budget.ErrNoConvergence) {
+		t.Errorf("deadline error also matches another sentinel: %v", err)
+	}
+	if !budget.Terminated(err) {
+		t.Errorf("Terminated(%v) = false, want true", err)
+	}
+}
+
+// TestRunCtxCancelDiscriminatesSentinels is the cancellation twin.
+func TestRunCtxCancelDiscriminatesSentinels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, algos.TFIM(4, 3, 0.1, 1, 1), testConfig())
+	if !errors.Is(err, budget.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if errors.Is(err, budget.ErrDeadline) || errors.Is(err, budget.ErrNoConvergence) {
+		t.Errorf("cancellation error also matches another sentinel: %v", err)
+	}
+	if !budget.Terminated(err) {
+		t.Errorf("Terminated(%v) = false, want true", err)
+	}
+}
+
+// TestAnnealLayerRoundTripsSentinels drives anneal.MinimizeCtx — the
+// deepest wrapping layer under SelectionStage — with an expired and a
+// cancelled context and asserts the typed sentinel survives the extra
+// fmt.Errorf layer the selection loop would add.
+func TestAnnealLayerRoundTripsSentinels(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] * x[0] }
+	lower, upper := []float64{-1}, []float64{1}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	time.Sleep(time.Millisecond)
+	_, err := anneal.MinimizeCtx(dctx, f, lower, upper, anneal.Options{MaxIterations: 100, Seed: 1})
+	if !errors.Is(fmt.Errorf("pipeline: %w", err), budget.ErrDeadline) {
+		t.Errorf("anneal deadline err = %v, want ErrDeadline through a wrap", err)
+	}
+
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	_, err = anneal.MinimizeCtx(cctx, f, lower, upper, anneal.Options{MaxIterations: 100, Seed: 1})
+	if !errors.Is(fmt.Errorf("pipeline: %w", err), budget.ErrCancelled) {
+		t.Errorf("anneal cancel err = %v, want ErrCancelled through a wrap", err)
+	}
+}
+
+// TestNoConvergenceIsRetryableNotTerminal injects ErrNoConvergence into
+// every synthesis attempt of one block: the pipeline must treat it as a
+// quality failure (retry, then degrade and succeed), never as a
+// termination sentinel, and the degradation reason must carry the
+// sentinel's text for the operator.
+func TestNoConvergenceIsRetryableNotTerminal(t *testing.T) {
+	restore := faultinject.Set("core.block.0", faultinject.FailAlways(
+		fmt.Errorf("synth attempt: %w", budget.ErrNoConvergence)))
+	defer restore()
+
+	res, err := Run(algos.TFIM(4, 2, 0.1, 1, 1), testConfig())
+	if err != nil {
+		t.Fatalf("Run = %v, want degraded success (ErrNoConvergence is retryable)", err)
+	}
+	found := false
+	for _, d := range res.Degradations {
+		if d.Block == 0 {
+			found = true
+			if !strings.Contains(d.Reason, budget.ErrNoConvergence.Error()) {
+				t.Errorf("degradation reason %q does not mention %q", d.Reason, budget.ErrNoConvergence)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("block 0 did not degrade despite failing every attempt")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"repro/internal/circuit"
 )
@@ -89,7 +88,7 @@ func Reselect(ctx context.Context, art *SynthesisArtifact, cfg Config) (*Result,
 // threshold. The receiver is not mutated and may be shared across
 // sequential Reselect calls.
 func (art *SynthesisArtifact) refilter(cfg Config) (*SynthesisArtifact, error) {
-	t0 := time.Now()
+	elapsed := stageClock()
 	pa := art.Partition
 	threshold := math.Min(cfg.Epsilon*float64(len(pa.Blocks)), cfg.ThresholdCap)
 	view := &SynthesisArtifact{
@@ -135,6 +134,6 @@ func (art *SynthesisArtifact) refilter(cfg Config) (*SynthesisArtifact, error) {
 	}
 	// The re-filtering cost is attributed to synthesis: it is the
 	// (cheap) residue of the synthesis work the reuse skipped.
-	view.Elapsed = time.Since(t0)
+	view.Elapsed = elapsed()
 	return view, nil
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"repro/internal/budget"
 	"repro/internal/circuit"
@@ -24,7 +23,7 @@ import (
 func PartitionStage(cfg Config) Stage[*circuit.Circuit, *PartitionArtifact] {
 	cfg.defaults()
 	return NewStage("partition", func(ctx context.Context, c *circuit.Circuit) (*PartitionArtifact, error) {
-		t0 := time.Now()
+		elapsed := stageClock()
 		if err := budget.Check(ctx); err != nil && !cfg.AllowDegraded {
 			return nil, fmt.Errorf("pipeline: %w", err)
 		}
@@ -37,7 +36,7 @@ func PartitionStage(cfg Config) Stage[*circuit.Circuit, *PartitionArtifact] {
 			Blocks:    blocks,
 			Threshold: math.Min(cfg.Epsilon*float64(len(blocks)), cfg.ThresholdCap),
 			Key:       cfg.partitionKey(),
-			Elapsed:   time.Since(t0),
+			Elapsed:   elapsed(),
 		}, nil
 	})
 }
@@ -52,7 +51,7 @@ func PartitionStage(cfg Config) Stage[*circuit.Circuit, *PartitionArtifact] {
 func SynthesisStage(cfg Config) Stage[*PartitionArtifact, *SynthesisArtifact] {
 	cfg.defaults()
 	return NewStage("synthesis", func(ctx context.Context, pa *PartitionArtifact) (*SynthesisArtifact, error) {
-		t0 := time.Now()
+		elapsed := stageClock()
 		var statsBefore ucache.Stats
 		if cfg.SynthCache != nil {
 			statsBefore = cfg.SynthCache.Stats()
@@ -99,7 +98,7 @@ func SynthesisStage(cfg Config) Stage[*PartitionArtifact, *SynthesisArtifact] {
 				art.Degradations = append(art.Degradations, *d)
 			}
 		}
-		art.Elapsed = time.Since(t0)
+		art.Elapsed = elapsed()
 		return art, nil
 	})
 }
@@ -111,11 +110,11 @@ func SynthesisStage(cfg Config) Stage[*PartitionArtifact, *SynthesisArtifact] {
 func SelectionStage(cfg Config) Stage[*SynthesisArtifact, *SelectionArtifact] {
 	cfg.defaults()
 	return NewStage("selection", func(ctx context.Context, sa *SynthesisArtifact) (*SelectionArtifact, error) {
-		t0 := time.Now()
+		elapsed := stageClock()
 		art := &SelectionArtifact{Synthesis: sa, Key: cfg.selectKey()}
 		selected, err := selectApproximations(ctx, sa, cfg)
 		art.Selected = selected
-		art.Elapsed = time.Since(t0)
+		art.Elapsed = elapsed()
 		if err != nil && (!budget.Terminated(err) || !cfg.AllowDegraded) {
 			return nil, err
 		}

@@ -32,6 +32,7 @@ type nodeQueue []*aStarNode
 
 func (q nodeQueue) Len() int { return len(q) }
 func (q nodeQueue) Less(i, j int) bool {
+	// lint:ignore floateq heap comparator tie-break: only bitwise-equal distances fall through to depth; a tolerance here would break the strict weak ordering heap.Interface requires
 	if q[i].dist != q[j].dist {
 		return q[i].dist < q[j].dist
 	}
