@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify verify-full bench bench-smoke bench-pipeline fmt-check lint lint-ignores
+.PHONY: build vet test test-race verify verify-full bench bench-smoke bench-pipeline cache-smoke fmt-check lint lint-ignores
 
 # Packages holding the hot-path benchmarks recorded in BENCH_synth.json:
 # objective/gradient evaluation and synthesis (synth), gate-apply kernels
@@ -54,6 +54,17 @@ bench:
 # catch kernel/benchmark regressions without paying for a full bench run.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ $(BENCH_PKGS) ./internal/pipeline
+
+# `make cache-smoke` exercises the disk-backed synthesis cache across two
+# real processes: a cold run populates the journal in a temp dir, then a
+# second process must be served entirely from it (zero misses).
+cache-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/quest -algo tfim -n 4 -synth-cache-dir "$$dir" >/dev/null || exit 1; \
+	out=$$($(GO) run ./cmd/quest -algo tfim -n 4 -synth-cache-dir "$$dir") || exit 1; \
+	echo "$$out" | grep 'synthesis cache:'; \
+	echo "$$out" | grep -q 'synthesis cache: [1-9][0-9]* hits, 0 misses' || \
+		{ echo "cache-smoke: warm run was not served from the disk cache"; exit 1; }
 
 # `make bench-pipeline` records the ε-sweep artifact-reuse speedup in
 # BENCH_pipeline.json: "full-rerun" re-runs the whole pipeline per sweep

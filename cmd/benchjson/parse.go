@@ -28,8 +28,15 @@ type benchResult struct {
 //	BenchmarkObjectiveGradient3Q-8  12345  98.7 ns/op  16 B/op  1 allocs/op
 //
 // The -8 GOMAXPROCS suffix is stripped so results compare across hosts.
+// ns/op (and MB/s) accept scientific notation — the testing package emits
+// e.g. 4.896910e+07 for slow benchmarks — and the -benchmem columns are
+// each independently optional, so a line carrying B/op without allocs/op
+// (or neither) still parses instead of being silently dropped.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(` + floatPat + `) ns/op(?:\s+` + floatPat + ` MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// floatPat matches the decimal and scientific forms go test prints.
+const floatPat = `[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?`
 
 // parseBench extracts benchmark results from `go test -bench` output,
 // ignoring non-benchmark lines (package headers, PASS/ok, logs).

@@ -37,3 +37,36 @@ ok  	repro/internal/synth	4.2s
 		t.Errorf("third = %+v", got[2])
 	}
 }
+
+func TestParseBenchScientificAndPartialColumns(t *testing.T) {
+	// Regression: slow benchmarks print ns/op in scientific notation
+	// (testing's prettyPrint switches format above ~1e6 with a fractional
+	// part), and lines can carry B/op without allocs/op. Both used to fail
+	// the line regex and be silently dropped from BENCH_synth.json.
+	in := `goos: linux
+BenchmarkSynthesizeHarvest3Q-8   	      24	 4.896910e+07 ns/op	   81920 B/op	     512 allocs/op
+BenchmarkThroughput-8            	    1000	 1.25e+06 ns/op	 512.00 MB/s
+BenchmarkBytesOnly-8             	 2000000	       812 ns/op	      64 B/op
+BenchmarkTinyOp-8                	2000000000	         0.25 ns/op
+PASS
+`
+	got, err := parseBench(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d lines, want 4: %+v", len(got), got)
+	}
+	if got[0].NsPerOp != 4.896910e+07 || got[0].BytesPerOp != 81920 || got[0].AllocsPerOp != 512 {
+		t.Errorf("scientific ns/op with benchmem = %+v", got[0])
+	}
+	if got[1].NsPerOp != 1.25e+06 || got[1].BytesPerOp != -1 || got[1].AllocsPerOp != -1 {
+		t.Errorf("scientific ns/op with MB/s = %+v", got[1])
+	}
+	if got[2].NsPerOp != 812 || got[2].BytesPerOp != 64 || got[2].AllocsPerOp != -1 {
+		t.Errorf("B/op without allocs/op = %+v", got[2])
+	}
+	if got[3].NsPerOp != 0.25 || got[3].Iterations != 2000000000 {
+		t.Errorf("sub-ns op = %+v", got[3])
+	}
+}

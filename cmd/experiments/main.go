@@ -34,12 +34,27 @@ func main() {
 
 		cacheSize = flag.Int("synth-cache", 1024, "synthesis cache entries shared across a figure's runs (0 = disabled)")
 		cacheTol  = flag.Float64("synth-cache-tol", 0, "cache match tolerance; 0 = strict (bit-reproducible), >0 reuses near-identical blocks with inflated distance bounds")
+		cacheDir  = flag.String("synth-cache-dir", "", "persist the synthesis cache in this directory so repeated figure runs reuse prior synthesis (empty = in-memory only)")
 	)
 	flag.Parse()
 
 	var cache *ucache.Cache
 	if *cacheSize > 0 {
-		cache = ucache.New(*cacheSize, *cacheTol)
+		if *cacheDir != "" {
+			var err error
+			cache, err = ucache.OpenDisk(*cacheDir, *cacheSize, *cacheTol)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v; continuing with an in-memory cache\n", err)
+				cache = ucache.New(*cacheSize, *cacheTol)
+			}
+		} else {
+			cache = ucache.New(*cacheSize, *cacheTol)
+		}
+		defer func() {
+			if err := cache.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 	cfg := experiments.Config{
 		Quick:        *quick,

@@ -51,6 +51,7 @@ func main() {
 
 		cacheSize = flag.Int("synth-cache", 1024, "synthesis cache entries; repeated block unitaries (Trotter steps, mirrored subcircuits) synthesize once (0 = disabled)")
 		cacheTol  = flag.Float64("synth-cache-tol", 0, "cache match tolerance; 0 = strict (bit-reproducible), >0 reuses near-identical blocks with inflated distance bounds")
+		cacheDir  = flag.String("synth-cache-dir", "", "persist the synthesis cache in this directory so warm hits survive across runs (empty = in-memory only)")
 	)
 	flag.Parse()
 
@@ -70,7 +71,20 @@ func main() {
 
 	var cache *ucache.Cache
 	if *cacheSize > 0 {
-		cache = ucache.New(*cacheSize, *cacheTol)
+		if *cacheDir != "" {
+			cache, err = ucache.OpenDisk(*cacheDir, *cacheSize, *cacheTol)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "quest: %v; continuing with an in-memory cache\n", err)
+				cache = ucache.New(*cacheSize, *cacheTol)
+			}
+		} else {
+			cache = ucache.New(*cacheSize, *cacheTol)
+		}
+		defer func() {
+			if err := cache.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "quest:", err)
+			}
+		}()
 	}
 
 	start := time.Now()

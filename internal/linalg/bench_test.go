@@ -140,3 +140,118 @@ func BenchmarkApplyVec2Generic(b *testing.B) {
 		ApplyVecTab(state, g.Data, tab)
 	}
 }
+
+// Wide-block kernels (k=3/k=4) vs the ScatterTab fallback they replace.
+// The acceptance bar for this layer is 0 allocs/op on the unrolled paths;
+// the Generic pairs still allocate nothing per call but pay the tab's
+// pointer-chasing (and, at the sim call sites they replace, a
+// NewScatterTab allocation per gate application).
+
+func BenchmarkApplyLeft3Unrolled(b *testing.B) {
+	m, g := benchKernelMatrices(b, 3)
+	for i := 0; i < b.N; i++ {
+		ApplyLeft3(m, (*[64]complex128)(g), 3, 1, 0)
+	}
+}
+
+func BenchmarkApplyLeft3Generic(b *testing.B) {
+	m, g := benchKernelMatrices(b, 3)
+	tab := NewScatterTab([]int{3, 1, 0})
+	for i := 0; i < b.N; i++ {
+		ApplyLeftTab(m, g, tab)
+	}
+}
+
+func BenchmarkApplyLeft4Unrolled(b *testing.B) {
+	m, g := benchKernelMatrices(b, 4)
+	for i := 0; i < b.N; i++ {
+		ApplyLeft4(m, (*[256]complex128)(g), 3, 2, 1, 0)
+	}
+}
+
+func BenchmarkApplyLeft4Generic(b *testing.B) {
+	m, g := benchKernelMatrices(b, 4)
+	tab := NewScatterTab([]int{3, 2, 1, 0})
+	for i := 0; i < b.N; i++ {
+		ApplyLeftTab(m, g, tab)
+	}
+}
+
+func BenchmarkApplyRight3Unrolled(b *testing.B) {
+	m, g := benchKernelMatrices(b, 3)
+	for i := 0; i < b.N; i++ {
+		ApplyRight3(m, (*[64]complex128)(g), 3, 1, 0)
+	}
+}
+
+func BenchmarkSubspaceTrace3Unrolled(b *testing.B) {
+	m, g := benchKernelMatrices(b, 3)
+	for i := 0; i < b.N; i++ {
+		SubspaceTrace3(m, (*[64]complex128)(g), 3, 1, 0)
+	}
+}
+
+func BenchmarkApplyVec3Unrolled(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	state := make([]complex128, 1<<10)
+	state[0] = 1
+	g := RandomUnitary(8, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyVec3(state, (*[64]complex128)(g.Data), 7, 3, 1)
+	}
+}
+
+func BenchmarkApplyVec3Generic(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	state := make([]complex128, 1<<10)
+	state[0] = 1
+	g := RandomUnitary(8, rng)
+	tab := NewScatterTab([]int{7, 3, 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyVecTab(state, g.Data, tab)
+	}
+}
+
+func BenchmarkApplyVec4Unrolled(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	state := make([]complex128, 1<<10)
+	state[0] = 1
+	g := RandomUnitary(16, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyVec4(state, (*[256]complex128)(g.Data), 7, 5, 3, 1)
+	}
+}
+
+func BenchmarkGatherProdBlocks2(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := RandomUnitary(16, rng)
+	c := RandomUnitary(16, rng)
+	dst := make([]complex128, 4*16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GatherProdBlocks2(dst, a, c, 3, 1)
+	}
+}
+
+func BenchmarkLayerGradContract(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	a := RandomUnitary(8, rng)
+	c := RandomUnitary(8, rng)
+	var rc, rt, w, v [4]complex128
+	for i := range rc {
+		rc[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		rt[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LayerGradContract(a, c, 2, 0, &rc, &rt, &w, &v)
+	}
+}

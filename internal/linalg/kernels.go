@@ -13,17 +13,38 @@
 // FIRST listed qubit is the most significant local bit.
 package linalg
 
+import "sync/atomic"
+
 // ScatterTab precomputes the bit-scatter tables needed to apply a k-qubit
 // gate on the listed qubits of an n-qubit object. Offs[l] is the global
 // bit pattern of local basis index l, so the global index of local l
-// within a group is base|Offs[l]. A ScatterTab owns scratch buffers and
-// must not be shared across goroutines.
+// within a group is base|Offs[l].
+//
+// A ScatterTab owns scratch buffers (idx, in) and is NOT safe for
+// concurrent use: two goroutines sharing one tab silently corrupt each
+// other's gather buffers. Parallel call sites (e.g. internal/sim's
+// UnitaryWorkers over internal/par) must build one tab per worker. Every
+// Tab kernel asserts single ownership with a cheap atomic check and panics
+// on overlap — the race detector would also flag the data race, but the
+// panic makes the misuse deterministic even in non-race builds.
 type ScatterTab struct {
 	K, Dim int
 	Mask   int
 	Offs   []int
 	idx    []int
 	in     []complex128
+	busy   uint32
+}
+
+// acquire marks the tab in-use for the duration of one kernel call.
+func (t *ScatterTab) acquire() {
+	if !atomic.CompareAndSwapUint32(&t.busy, 0, 1) {
+		panic("linalg: ScatterTab used concurrently; build one tab per goroutine")
+	}
+}
+
+func (t *ScatterTab) release() {
+	atomic.StoreUint32(&t.busy, 0)
 }
 
 // NewScatterTab builds the scatter table for a gate on the listed qubits
@@ -103,6 +124,8 @@ func ApplyLeft2(m *Matrix, g *[16]complex128, qHi, qLo int) {
 // ApplyLeftTab is the generic k-qubit form of ApplyLeft1/ApplyLeft2:
 // m <- G_full*m for a Dim x Dim gate g (row-major, len Dim*Dim).
 func ApplyLeftTab(m *Matrix, g []complex128, t *ScatterTab) {
+	t.acquire()
+	defer t.release()
 	dim := t.Dim
 	for base := 0; base < m.Rows; base++ {
 		if base&t.Mask != 0 {
@@ -171,6 +194,8 @@ func ApplyRight2(m *Matrix, g *[16]complex128, qHi, qLo int) {
 
 // ApplyRightTab is the generic k-qubit form of ApplyRight1/ApplyRight2.
 func ApplyRightTab(m *Matrix, g []complex128, t *ScatterTab) {
+	t.acquire()
+	defer t.release()
 	dim := t.Dim
 	for base := 0; base < m.Cols; base++ {
 		if base&t.Mask != 0 {
@@ -238,6 +263,8 @@ func SubspaceTrace2(a *Matrix, g *[16]complex128, qHi, qLo int) complex128 {
 
 // SubspaceTraceTab is the generic k-qubit form of SubspaceTrace1/2.
 func SubspaceTraceTab(a *Matrix, g []complex128, t *ScatterTab) complex128 {
+	t.acquire()
+	defer t.release()
 	dim := t.Dim
 	var tr complex128
 	for base := 0; base < a.Rows; base++ {
@@ -341,6 +368,8 @@ func ApplyVec2(state []complex128, g *[16]complex128, qHi, qLo int) {
 
 // ApplyVecTab is the generic k-qubit form of ApplyVec1/ApplyVec2.
 func ApplyVecTab(state []complex128, g []complex128, t *ScatterTab) {
+	t.acquire()
+	defer t.release()
 	dim := t.Dim
 	for base := 0; base < len(state); base++ {
 		if base&t.Mask != 0 {

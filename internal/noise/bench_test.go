@@ -72,3 +72,30 @@ func BenchmarkTrajectory(b *testing.B) {
 		m.Trajectory(c, rng)
 	}
 }
+
+// BenchmarkSampleShots measures the shot sampler alone at the Fig. 10/11
+// configuration (5-qubit distribution, 8192 shots) and at a wider
+// distribution, comparing the guide-table batch path against the per-shot
+// binary search it replaced.
+func BenchmarkSampleShots(b *testing.B) {
+	for _, dim := range []int{32, 1024} {
+		rng := rand.New(rand.NewSource(11))
+		p := make([]float64, dim)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		const shots = 8192
+		b.Run(fmt.Sprintf("guide/dim=%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SampleShots(p, shots, rng)
+			}
+		})
+		b.Run(fmt.Sprintf("binary/dim=%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				binarySearchSampleShots(p, shots, rng)
+			}
+		})
+	}
+}

@@ -288,12 +288,27 @@ func ApplyReadoutError(p []float64, n int, e float64) []float64 {
 	return out
 }
 
+// Batched sampling switches from a per-shot binary search to a cut-point
+// guide table once the batch is large enough to amortize building it. Both
+// paths consume the identical RNG stream (one Float64 per shot, in shot
+// order) and resolve each draw to the identical index, so the histogram is
+// bit-for-bit the same either way; the thresholds are purely a cost
+// crossover.
+const (
+	guideMinShots = 64
+	guideMinDim   = 4
+)
+
 // SampleShots draws `shots` samples from the distribution and returns the
 // normalized empirical histogram. The input need not be normalized —
 // sampling is proportional to the (non-negative) entries — but it must
 // carry some mass: a zero-total distribution has no valid sample, so the
 // all-zero histogram is returned rather than silently piling every shot
 // into basis state 0.
+//
+// Large batches resolve each draw through a cut-point guide table
+// (amortized O(1) per shot instead of a binary search); the sampled
+// histogram is bit-identical to the direct path for the same rng state.
 func SampleShots(p []float64, shots int, rng *rand.Rand) []float64 {
 	cdf := make([]float64, len(p))
 	var acc float64
@@ -305,14 +320,69 @@ func SampleShots(p []float64, shots int, rng *rand.Rand) []float64 {
 	if acc <= 0 || shots <= 0 {
 		return hist
 	}
-	for s := 0; s < shots; s++ {
-		hist[sampleIndex(cdf, acc, rng.Float64()*acc)]++
+	if shots >= guideMinShots && len(p) >= guideMinDim {
+		guide := buildShotGuide(cdf, acc)
+		for s := 0; s < shots; s++ {
+			hist[guideIndex(cdf, guide, acc, rng.Float64()*acc)]++
+		}
+	} else {
+		for s := 0; s < shots; s++ {
+			hist[sampleIndex(cdf, acc, rng.Float64()*acc)]++
+		}
 	}
 	inv := 1 / float64(shots)
 	for i := range hist {
 		hist[i] *= inv
 	}
 	return hist
+}
+
+// buildShotGuide precomputes the cut-point table: guide[j] is the first
+// cdf index whose value reaches bound_j = (j/len(cdf))·total, so a draw r
+// falling in equal-width bucket j starts its scan at guide[j] instead of
+// bisecting the whole cdf. One bucket per cdf entry keeps the expected
+// scan length below one step for any distribution shape.
+func buildShotGuide(cdf []float64, total float64) []int32 {
+	k := len(cdf)
+	guide := make([]int32, k+1)
+	idx := 0
+	for j := 1; j <= k; j++ {
+		bound := float64(j) / float64(k) * total
+		for idx < len(cdf) && cdf[idx] < bound {
+			idx++
+		}
+		guide[j] = int32(idx)
+	}
+	return guide
+}
+
+// guideIndex resolves one draw through the guide table. It returns exactly
+// what sampleIndex returns for the same (cdf, total, r): the backward
+// guard steps compensate for any float rounding in the bucket bound, after
+// which cdf[k-1] < r (or k = 0), so the forward scan lands on the first
+// index with cdf[k] >= r — the sort.SearchFloat64s answer.
+func guideIndex(cdf []float64, guide []int32, total, r float64) int {
+	if r >= total {
+		return len(cdf) - 1
+	}
+	j := int(r / total * float64(len(guide)-1))
+	if j < 0 {
+		j = 0
+	}
+	if j >= len(guide)-1 {
+		j = len(guide) - 2
+	}
+	k := int(guide[j])
+	for k > 0 && cdf[k-1] >= r {
+		k--
+	}
+	for k < len(cdf) && cdf[k] < r {
+		k++
+	}
+	if k >= len(cdf) {
+		k = len(cdf) - 1
+	}
+	return k
 }
 
 // sampleIndex locates r within the cumulative distribution, clamping to

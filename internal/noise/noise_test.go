@@ -365,3 +365,123 @@ func TestQuitoDevice(t *testing.T) {
 		t.Errorf("Quito Bell output degraded too much: P(00000)+P(10001) = %g", p[0]+p[17])
 	}
 }
+
+func TestSampleShotsGuideMatchesBinarySearch(t *testing.T) {
+	// The guide-table fast path must produce the bit-identical histogram
+	// the per-shot binary search produces from the same RNG state, for
+	// every distribution shape: skewed mass, zero runs, unnormalized
+	// totals, dims around the guide threshold.
+	shapes := map[string]func(rng *rand.Rand, dim int) []float64{
+		"uniformish": func(rng *rand.Rand, dim int) []float64 {
+			p := make([]float64, dim)
+			for i := range p {
+				p[i] = rng.Float64()
+			}
+			return p
+		},
+		"sparse": func(rng *rand.Rand, dim int) []float64 {
+			p := make([]float64, dim)
+			for i := range p {
+				if rng.Float64() < 0.2 {
+					p[i] = rng.Float64()
+				}
+			}
+			if allZero(p) {
+				p[dim/2] = 1
+			}
+			return p
+		},
+		"skewed": func(rng *rand.Rand, dim int) []float64 {
+			p := make([]float64, dim)
+			p[0] = 1e6
+			for i := 1; i < dim; i++ {
+				p[i] = rng.Float64() * 1e-6
+			}
+			return p
+		},
+	}
+	rng := rand.New(rand.NewSource(31))
+	for name, gen := range shapes {
+		for _, dim := range []int{guideMinDim, 5, 32, 257} {
+			p := gen(rng, dim)
+			shots := guideMinShots * 4
+			got := SampleShots(p, shots, rand.New(rand.NewSource(77)))
+			want := binarySearchSampleShots(p, shots, rand.New(rand.NewSource(77)))
+			for k := range want {
+				if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+					t.Fatalf("%s dim=%d: hist[%d] = %g, binary-search path %g",
+						name, dim, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func allZero(p []float64) bool {
+	for _, v := range p {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// binarySearchSampleShots is the pre-guide-table sampler, kept as the
+// reference implementation for the equivalence test.
+func binarySearchSampleShots(p []float64, shots int, rng *rand.Rand) []float64 {
+	cdf := make([]float64, len(p))
+	var acc float64
+	for i, v := range p {
+		acc += v
+		cdf[i] = acc
+	}
+	hist := make([]float64, len(p))
+	if acc <= 0 || shots <= 0 {
+		return hist
+	}
+	for s := 0; s < shots; s++ {
+		hist[sampleIndex(cdf, acc, rng.Float64()*acc)]++
+	}
+	inv := 1 / float64(shots)
+	for i := range hist {
+		hist[i] *= inv
+	}
+	return hist
+}
+
+func TestGuideIndexMatchesSampleIndexExhaustively(t *testing.T) {
+	// Sweep draws across bucket boundaries (including the exact bound
+	// values, where float rounding in the guide bucket is most likely to
+	// bite) and check guideIndex against sampleIndex on each.
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 50; trial++ {
+		dim := 1 + rng.Intn(64)
+		cdf := make([]float64, dim)
+		acc := 0.0
+		for i := range cdf {
+			if rng.Float64() < 0.3 {
+				acc += rng.Float64()
+			}
+			cdf[i] = acc
+		}
+		if acc == 0 {
+			continue
+		}
+		guide := buildShotGuide(cdf, acc)
+		probe := func(r float64) {
+			t.Helper()
+			if g, w := guideIndex(cdf, guide, acc, r), sampleIndex(cdf, acc, r); g != w {
+				t.Fatalf("dim=%d r=%g: guideIndex=%d sampleIndex=%d", dim, r, g, w)
+			}
+		}
+		for j := 0; j <= dim; j++ {
+			bound := float64(j) / float64(dim) * acc
+			probe(bound)
+			probe(math.Nextafter(bound, 0))
+			probe(math.Nextafter(bound, acc*2))
+		}
+		for i := 0; i < 200; i++ {
+			probe(rng.Float64() * acc)
+		}
+	}
+}

@@ -122,6 +122,10 @@ func LBFGSCtx(ctx context.Context, g Gradient, x0 []float64, opts LBFGSOptions) 
 	dir := make([]float64, n)
 	xNew := make([]float64, n)
 	gradNew := make([]float64, n)
+	alphas := make([]float64, 0, opts.Memory+1)
+	// Evicted correction pairs are recycled for the next accepted step so
+	// the steady-state iteration allocates nothing.
+	var spareS, spareY []float64
 
 	res := Result{X: append([]float64(nil), x...), F: f}
 	var stopErr error
@@ -140,7 +144,7 @@ outer:
 		}
 		// Two-loop recursion computes dir = -H grad.
 		copy(dir, grad)
-		alphas := make([]float64, len(hist))
+		alphas = alphas[:len(hist)]
 		for i := len(hist) - 1; i >= 0; i-- {
 			p := hist[i]
 			alphas[i] = p.rho * dot(p.s, dir)
@@ -212,8 +216,12 @@ outer:
 		}
 
 		// Update history.
-		s := make([]float64, n)
-		y := make([]float64, n)
+		s, y := spareS, spareY
+		spareS, spareY = nil, nil
+		if s == nil {
+			s = make([]float64, n)
+			y = make([]float64, n)
+		}
 		for i := range x {
 			s[i] = xNew[i] - x[i]
 			y[i] = gradNew[i] - grad[i]
@@ -222,8 +230,11 @@ outer:
 		if sy > 1e-12 {
 			hist = append(hist, pair{s: s, y: y, rho: 1 / sy})
 			if len(hist) > opts.Memory {
+				spareS, spareY = hist[0].s, hist[0].y
 				hist = hist[1:]
 			}
+		} else {
+			spareS, spareY = s, y
 		}
 		rel := math.Abs(f-fNew) / math.Max(1, math.Abs(f))
 		copy(x, xNew)

@@ -38,6 +38,10 @@ func ApplyMatrixOp(state linalg.Vector, n int, m *linalg.Matrix, qubits []int) {
 		apply1(state, m, qubits[0])
 	case 2:
 		apply2(state, m, qubits[0], qubits[1])
+	case 3:
+		linalg.ApplyVec3(state, (*[64]complex128)(m.Data), qubits[0], qubits[1], qubits[2])
+	case 4:
+		linalg.ApplyVec4(state, (*[256]complex128)(m.Data), qubits[0], qubits[1], qubits[2], qubits[3])
 	default:
 		applyK(state, m, qubits)
 	}

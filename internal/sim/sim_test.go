@@ -237,3 +237,22 @@ func TestUnitaryWorkersInvariant(t *testing.T) {
 		}
 	}
 }
+
+func TestApplyMatrixOpWideDispatchMatchesTab(t *testing.T) {
+	// The k=3 and k=4 cases route to the unrolled linalg kernels, which
+	// agree with the generic ScatterTab path bit-for-bit.
+	rng := rand.New(rand.NewSource(11))
+	const n = 5
+	for _, qs := range [][]int{{4, 1, 0}, {0, 2, 3}, {3, 4, 1, 0}, {0, 1, 2, 4}} {
+		m := linalg.RandomUnitary(1<<len(qs), rng)
+		state := linalg.RandomState(1<<n, rng)
+		viaTab := state.Copy()
+		ApplyMatrixOp(state, n, m, qs)
+		linalg.ApplyVecTab(viaTab, m.Data, linalg.NewScatterTab(qs))
+		for i := range state {
+			if state[i] != viaTab[i] {
+				t.Fatalf("qubits %v entry %d: %v != %v", qs, i, state[i], viaTab[i])
+			}
+		}
+	}
+}

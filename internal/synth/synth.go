@@ -166,6 +166,9 @@ func SynthesizeCtx(ctx context.Context, target *linalg.Matrix, opts Options) (Re
 
 	h := &harvester{keep: opts.KeepPerDepth}
 	evals := 0
+	// One scratch pool serves every node: the searches optimize nodes
+	// sequentially, so U† and the forward-chain matrices are shared.
+	pool := newObjPool(target)
 
 	optimizeNode := func(a *ansatz, warm []float64) (node, error) {
 		best := node{a: a, dist: math.Inf(1)}
@@ -175,7 +178,7 @@ func SynthesizeCtx(ctx context.Context, target *linalg.Matrix, opts Options) (Re
 		if err := faultinject.Fire("synth.optimize"); err != nil {
 			return best, err
 		}
-		obj := newObjective(a, target)
+		obj := newObjectiveFrom(pool, a)
 		starts := 1 + opts.Restarts
 		for s := 0; s < starts; s++ {
 			x0 := make([]float64, a.nparams)

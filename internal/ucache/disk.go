@@ -1,0 +1,415 @@
+// Disk persistence for the synthesis cache: an append-only, checksummed
+// journal that lets warm hits survive process restarts.
+//
+// Journal format (one record per line, text):
+//
+//	<16 hex digits> <JSON payload>\n
+//
+// The hex prefix is the FNV-1a 64 checksum of the payload bytes. The first
+// line's payload is a header {v, grid, tol, cap} identifying the journal
+// version and the key-derivation parameters; every following line is one
+// cache entry (key, phase-normalized target, full synthesis result).
+//
+// Invalidation rules:
+//
+//   - A header whose version, grid bits, or tolerance bits differ from the
+//     opening cache is a clean miss: the journal is discarded and rewritten
+//     empty. Keys are derived from grid/tol, so entries written under other
+//     parameters must never be trusted (a stale key could alias a different
+//     target bucket). A capacity change only rewrites the header; entries
+//     stay valid and are trimmed to the new bound by the in-memory LRU.
+//   - A record whose checksum does not match its payload (torn write,
+//     truncated tail after a crash, bit rot) is skipped; loading continues
+//     with the next line. Corruption can only lose entries, never fabricate
+//     a hit: every lookup still verifies the stored target against the
+//     request before returning a result.
+//   - A record that decodes but fails structural validation (dimension
+//     mismatch, unknown gate name, no candidates) is skipped the same way.
+//
+// Writes append one record per insert under the cache lock; a crash can
+// only tear the final line, which the checksum rejects on the next load.
+// Superseded and evicted records are left in place until the journal holds
+// more than twice the cache capacity, at which point it is compacted: the
+// live entries are rewritten (LRU order, oldest first) to a temporary file
+// that atomically replaces the journal. Reloading therefore reconstructs
+// the same entry set with the same recency order.
+package ucache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/linalg"
+	"repro/internal/synth"
+)
+
+// diskVersion identifies the journal layout; bump on any incompatible
+// change to the header or record schema.
+const diskVersion = 1
+
+// journalName is the journal's file name inside the cache directory.
+const journalName = "synth.journal"
+
+type diskHeader struct {
+	V    int     `json:"v"`
+	Grid float64 `json:"grid"`
+	Tol  float64 `json:"tol"`
+	Cap  int     `json:"cap"`
+}
+
+// diskMatrix carries a complex matrix as interleaved (re, im) pairs; JSON
+// floats round-trip bit-for-bit (shortest-form encoding), so the stored
+// target compares bit-identical after reload.
+type diskMatrix struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+type diskOp struct {
+	Name   string    `json:"name"`
+	Qubits []int     `json:"qubits"`
+	Params []float64 `json:"params,omitempty"`
+}
+
+type diskCircuit struct {
+	NumQubits int      `json:"n"`
+	Ops       []diskOp `json:"ops"`
+}
+
+type diskCandidate struct {
+	Circuit  diskCircuit `json:"circuit"`
+	Distance float64     `json:"distance"`
+	CNOTs    int         `json:"cnots"`
+}
+
+type diskRecord struct {
+	Key         uint64          `json:"key"`
+	Target      diskMatrix      `json:"target"`
+	Best        diskCandidate   `json:"best"`
+	Candidates  []diskCandidate `json:"candidates"`
+	Evaluations int             `json:"evals"`
+}
+
+// diskStore is the journal side of a disk-backed cache.
+type diskStore struct {
+	path    string
+	f       *os.File
+	records int   // journal body records, live + superseded
+	err     error // first append/compact failure; surfaced by Close
+}
+
+// OpenDisk returns a cache whose entries persist in dir. The directory is
+// created if needed; an existing journal written with the same version,
+// grid, and tolerance is loaded (entries trimmed to capacity), anything
+// else is discarded and started fresh. The returned cache behaves exactly
+// like New(capacity, tol) plus persistence; call Close to release the
+// journal file. Persistence is best-effort: if an append fails the cache
+// keeps serving from memory and Close reports the first write error.
+func OpenDisk(dir string, capacity int, tol float64) (*Cache, error) {
+	c := New(capacity, tol)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ucache: create cache dir: %w", err)
+	}
+	ds := &diskStore{path: filepath.Join(dir, journalName)}
+
+	data, err := os.ReadFile(ds.path)
+	switch {
+	case err == nil:
+		headerOK := c.loadJournal(data, ds)
+		// Start fresh on a bad/foreign header; rewrite also when the load
+		// left dead weight beyond the compaction bound.
+		if !headerOK || ds.records > 2*c.cap {
+			if err := ds.rewrite(c); err != nil {
+				return nil, err
+			}
+		}
+	case os.IsNotExist(err):
+		if err := ds.rewrite(c); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("ucache: read journal: %w", err)
+	}
+
+	f, err := os.OpenFile(ds.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ucache: open journal: %w", err)
+	}
+	ds.f = f
+	c.stats = Stats{} // loading is not cache activity
+	c.disk = ds
+	return c, nil
+}
+
+// Close releases the journal file of a disk-backed cache and reports the
+// first persistence error encountered, if any. On a memory-only cache it
+// is a no-op.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disk == nil {
+		return nil
+	}
+	ds := c.disk
+	c.disk = nil
+	if ds.f != nil {
+		if err := ds.f.Close(); ds.err == nil && err != nil {
+			ds.err = fmt.Errorf("ucache: close journal: %w", err)
+		}
+	}
+	return ds.err
+}
+
+// loadJournal parses journal bytes into the (empty) cache. It reports
+// whether the header matched this cache's parameters; entries are only
+// inserted when it did. ds.records counts the body lines seen, including
+// skipped and superseded ones, so the caller can decide to compact.
+func (c *Cache) loadJournal(data []byte, ds *diskStore) bool {
+	lines := bytes.Split(data, []byte{'\n'})
+	if len(lines) == 0 {
+		return false
+	}
+	payload, ok := checkLine(lines[0])
+	if !ok {
+		return false
+	}
+	var h diskHeader
+	if json.Unmarshal(payload, &h) != nil {
+		return false
+	}
+	if h.V != diskVersion ||
+		math.Float64bits(h.Grid) != math.Float64bits(c.grid) ||
+		math.Float64bits(h.Tol) != math.Float64bits(c.tol) {
+		return false
+	}
+	for _, line := range lines[1:] {
+		if len(line) == 0 {
+			continue
+		}
+		ds.records++
+		payload, ok := checkLine(line)
+		if !ok {
+			continue // torn/corrupt record: skip, keep loading
+		}
+		var rec diskRecord
+		if json.Unmarshal(payload, &rec) != nil {
+			continue
+		}
+		target, res, ok := rec.decode()
+		if !ok {
+			continue
+		}
+		c.insert(rec.Key, target, res)
+	}
+	return h.Cap == c.cap
+}
+
+// appendRecord journals one freshly inserted entry. Caller holds c.mu.
+// Failures are remembered and the cache degrades to memory-only behavior.
+func (ds *diskStore) appendRecord(key uint64, target *linalg.Matrix, res synth.Result) {
+	if ds.f == nil {
+		return
+	}
+	rec := encodeRecord(key, target, res)
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		if ds.err == nil {
+			ds.err = fmt.Errorf("ucache: encode record: %w", err)
+		}
+		return
+	}
+	if _, err := ds.f.Write(formatLine(payload)); err != nil {
+		if ds.err == nil {
+			ds.err = fmt.Errorf("ucache: append record: %w", err)
+		}
+		ds.f.Close()
+		ds.f = nil
+		return
+	}
+	ds.records++
+}
+
+// maybeCompact rewrites the journal once it holds more than twice the
+// cache capacity in records. Caller holds c.mu.
+func (c *Cache) maybeCompact() {
+	ds := c.disk
+	if ds == nil || ds.f == nil || ds.records <= 2*c.cap {
+		return
+	}
+	if ds.f != nil {
+		ds.f.Close()
+		ds.f = nil
+	}
+	if err := ds.rewrite(c); err != nil {
+		if ds.err == nil {
+			ds.err = err
+		}
+		return
+	}
+	f, err := os.OpenFile(ds.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		if ds.err == nil {
+			ds.err = fmt.Errorf("ucache: reopen journal: %w", err)
+		}
+		return
+	}
+	ds.f = f
+}
+
+// rewrite replaces the journal with a compact image of the cache: header
+// plus live entries in LRU order (oldest first, so a sequential reload
+// reconstructs the same recency order). The new image lands under a
+// temporary name and atomically renames over the journal.
+func (ds *diskStore) rewrite(c *Cache) error {
+	var buf bytes.Buffer
+	head, err := json.Marshal(diskHeader{V: diskVersion, Grid: c.grid, Tol: c.tol, Cap: c.cap})
+	if err != nil {
+		return fmt.Errorf("ucache: encode header: %w", err)
+	}
+	buf.Write(formatLine(head))
+	n := 0
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		payload, err := json.Marshal(encodeRecord(e.key, e.target, e.res))
+		if err != nil {
+			return fmt.Errorf("ucache: encode record: %w", err)
+		}
+		buf.Write(formatLine(payload))
+		n++
+	}
+	tmp := ds.path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("ucache: write journal: %w", err)
+	}
+	if err := os.Rename(tmp, ds.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ucache: replace journal: %w", err)
+	}
+	ds.records = n
+	return nil
+}
+
+// formatLine renders "<fnv64a hex> <payload>\n".
+func formatLine(payload []byte) []byte {
+	h := fnv.New64a()
+	h.Write(payload)
+	out := make([]byte, 0, len(payload)+18)
+	out = fmt.Appendf(out, "%016x ", h.Sum64())
+	out = append(out, payload...)
+	return append(out, '\n')
+}
+
+// checkLine splits a journal line into its payload and verifies the
+// checksum prefix.
+func checkLine(line []byte) ([]byte, bool) {
+	if len(line) < 18 || line[16] != ' ' {
+		return nil, false
+	}
+	var sum uint64
+	if _, err := fmt.Sscanf(string(line[:16]), "%016x", &sum); err != nil {
+		return nil, false
+	}
+	payload := line[17:]
+	h := fnv.New64a()
+	h.Write(payload)
+	if h.Sum64() != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+func encodeRecord(key uint64, target *linalg.Matrix, res synth.Result) diskRecord {
+	return diskRecord{
+		Key:         key,
+		Target:      encodeMatrix(target),
+		Best:        encodeCandidate(res.Best),
+		Candidates:  encodeCandidates(res.Candidates),
+		Evaluations: res.Evaluations,
+	}
+}
+
+func encodeMatrix(m *linalg.Matrix) diskMatrix {
+	data := make([]float64, 0, 2*len(m.Data))
+	for _, v := range m.Data {
+		data = append(data, real(v), imag(v))
+	}
+	return diskMatrix{Rows: m.Rows, Cols: m.Cols, Data: data}
+}
+
+func encodeCandidates(cs []synth.Candidate) []diskCandidate {
+	out := make([]diskCandidate, len(cs))
+	for i, c := range cs {
+		out[i] = encodeCandidate(c)
+	}
+	return out
+}
+
+func encodeCandidate(c synth.Candidate) diskCandidate {
+	ops := make([]diskOp, len(c.Circuit.Ops))
+	for i, op := range c.Circuit.Ops {
+		ops[i] = diskOp{Name: op.Name, Qubits: op.Qubits, Params: op.Params}
+	}
+	return diskCandidate{
+		Circuit:  diskCircuit{NumQubits: c.Circuit.NumQubits, Ops: ops},
+		Distance: c.Distance,
+		CNOTs:    c.CNOTs,
+	}
+}
+
+// decode validates and reconstructs a journal record. ok is false for any
+// structurally invalid record (wrong dimensions, unknown gate, empty
+// result) — such records are skipped at load.
+func (r *diskRecord) decode() (*linalg.Matrix, synth.Result, bool) {
+	if r.Target.Rows <= 0 || r.Target.Cols <= 0 ||
+		len(r.Target.Data) != 2*r.Target.Rows*r.Target.Cols ||
+		len(r.Candidates) == 0 {
+		return nil, synth.Result{}, false
+	}
+	target := linalg.New(r.Target.Rows, r.Target.Cols)
+	for i := range target.Data {
+		target.Data[i] = complex(r.Target.Data[2*i], r.Target.Data[2*i+1])
+	}
+	best, ok := r.Best.decode()
+	if !ok {
+		return nil, synth.Result{}, false
+	}
+	res := synth.Result{Best: best, Evaluations: r.Evaluations}
+	res.Candidates = make([]synth.Candidate, len(r.Candidates))
+	for i := range r.Candidates {
+		if res.Candidates[i], ok = r.Candidates[i].decode(); !ok {
+			return nil, synth.Result{}, false
+		}
+	}
+	return target, res, true
+}
+
+func (d *diskCandidate) decode() (synth.Candidate, bool) {
+	if d.Circuit.NumQubits <= 0 {
+		return synth.Candidate{}, false
+	}
+	c := circuit.New(d.Circuit.NumQubits)
+	for _, op := range d.Circuit.Ops {
+		spec, err := gate.Lookup(op.Name)
+		if err != nil {
+			return synth.Candidate{}, false
+		}
+		if len(op.Qubits) != spec.Qubits || len(op.Params) != spec.Params {
+			return synth.Candidate{}, false
+		}
+		for _, q := range op.Qubits {
+			if q < 0 || q >= d.Circuit.NumQubits {
+				return synth.Candidate{}, false
+			}
+		}
+		c.Ops = append(c.Ops, circuit.Op{Name: op.Name, Qubits: op.Qubits, Params: op.Params})
+	}
+	return synth.Candidate{Circuit: c, Distance: d.Distance, CNOTs: d.CNOTs}, true
+}

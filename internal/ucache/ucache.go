@@ -87,8 +87,15 @@ type Stats struct {
 	Evictions uint64
 }
 
-// Sub returns s - prev, the activity between two snapshots.
+// Sub returns s - prev, the activity between two snapshots. If any
+// counter in s is smaller than in prev, the counters were reset between
+// the snapshots (e.g. the cache was reopened) and an unsigned subtraction
+// would wrap to a huge bogus delta — in that case s itself is returned,
+// the activity since the reset.
 func (s Stats) Sub(prev Stats) Stats {
+	if s.Hits < prev.Hits || s.Misses < prev.Misses || s.Evictions < prev.Evictions {
+		return s
+	}
 	return Stats{
 		Hits:      s.Hits - prev.Hits,
 		Misses:    s.Misses - prev.Misses,
@@ -121,6 +128,7 @@ type Cache struct {
 	buckets map[uint64][]*list.Element
 	flights map[uint64]*flight
 	stats   Stats
+	disk    *diskStore // nil for memory-only caches; see OpenDisk
 }
 
 // New returns a cache bounded to capacity entries with the given match
@@ -276,8 +284,14 @@ func (c *Cache) lookup(key uint64, target *linalg.Matrix) (synth.Result, bool) {
 }
 
 // insert stores a result (already deep-copied) and evicts the least
-// recently used entries beyond capacity. Caller holds c.mu.
+// recently used entries beyond capacity. Caller holds c.mu. Disk-backed
+// caches journal the entry and compact the journal when it outgrows twice
+// the capacity (c.disk is still nil while OpenDisk replays the journal,
+// so loading never re-journals).
 func (c *Cache) insert(key uint64, target *linalg.Matrix, res synth.Result) {
+	if c.disk != nil {
+		c.disk.appendRecord(key, target, res)
+	}
 	el := c.ll.PushFront(&entry{key: key, target: target, res: res})
 	c.buckets[key] = append(c.buckets[key], el)
 	for c.ll.Len() > c.cap {
@@ -298,6 +312,7 @@ func (c *Cache) insert(key uint64, target *linalg.Matrix, res synth.Result) {
 		}
 		c.stats.Evictions++
 	}
+	c.maybeCompact()
 }
 
 // adjustedClone returns a deep copy of res adjusted from the stored
