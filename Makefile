@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify verify-full bench bench-smoke bench-pipeline cache-smoke fmt-check lint lint-ignores
+.PHONY: build vet test test-race verify verify-full bench bench-smoke bench-pipeline cache-smoke serve-smoke bench-serve fmt-check lint lint-ignores
 
 # Packages holding the hot-path benchmarks recorded in BENCH_synth.json:
 # objective/gradient evaluation and synthesis (synth), gate-apply kernels
@@ -65,6 +65,61 @@ cache-smoke:
 	echo "$$out" | grep 'synthesis cache:'; \
 	echo "$$out" | grep -q 'synthesis cache: [1-9][0-9]* hits, 0 misses' || \
 		{ echo "cache-smoke: warm run was not served from the disk cache"; exit 1; }
+
+# `make serve-smoke` proves questd's crash-safety contract across real
+# processes. A reference server computes a job cleanly; a second server
+# (with a chaos stall that holds workers mid-job) is kill -9'd while the
+# job is running, restarted on the same data directory, and must recover
+# the journaled job and serve a byte-for-byte identical result.
+serve-smoke:
+	@dir=$$(mktemp -d); refpid=; crashpid=; recpid=; \
+	trap 'kill $$refpid $$crashpid $$recpid 2>/dev/null; rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/questd" ./cmd/questd || exit 1; \
+	$(GO) build -o "$$dir/questload" ./cmd/questload || exit 1; \
+	\
+	"$$dir/questd" -dir "$$dir/ref-data" -addr 127.0.0.1:0 -addr-file "$$dir/ref.addr" \
+		>"$$dir/ref.log" 2>&1 & refpid=$$!; \
+	for i in $$(seq 50); do [ -s "$$dir/ref.addr" ] && break; sleep 0.1; done; \
+	[ -s "$$dir/ref.addr" ] || { echo "serve-smoke: reference questd never listened"; cat "$$dir/ref.log"; exit 1; }; \
+	id=$$("$$dir/questload" -addr @"$$dir/ref.addr" -submit -algo qft -qubits 5) || exit 1; \
+	"$$dir/questload" -addr @"$$dir/ref.addr" -wait "$$id" >/dev/null || { cat "$$dir/ref.log"; exit 1; }; \
+	"$$dir/questload" -addr @"$$dir/ref.addr" -fetch "$$id" >"$$dir/ref.json" || exit 1; \
+	kill $$refpid 2>/dev/null; refpid=; \
+	\
+	"$$dir/questd" -dir "$$dir/crash-data" -addr 127.0.0.1:0 -addr-file "$$dir/crash.addr" \
+		-chaos-stall 60s >"$$dir/crash1.log" 2>&1 & crashpid=$$!; \
+	for i in $$(seq 50); do [ -s "$$dir/crash.addr" ] && break; sleep 0.1; done; \
+	[ -s "$$dir/crash.addr" ] || { echo "serve-smoke: crash questd never listened"; cat "$$dir/crash1.log"; exit 1; }; \
+	id2=$$("$$dir/questload" -addr @"$$dir/crash.addr" -submit -algo qft -qubits 5) || exit 1; \
+	[ "$$id" = "$$id2" ] || { echo "serve-smoke: job ids diverged ($$id vs $$id2)"; exit 1; }; \
+	sleep 1; \
+	kill -9 $$crashpid 2>/dev/null; wait $$crashpid 2>/dev/null; crashpid=; \
+	\
+	rm -f "$$dir/crash.addr"; \
+	"$$dir/questd" -dir "$$dir/crash-data" -addr 127.0.0.1:0 -addr-file "$$dir/crash.addr" \
+		>"$$dir/crash2.log" 2>&1 & recpid=$$!; \
+	for i in $$(seq 50); do [ -s "$$dir/crash.addr" ] && break; sleep 0.1; done; \
+	[ -s "$$dir/crash.addr" ] || { echo "serve-smoke: restarted questd never listened"; cat "$$dir/crash2.log"; exit 1; }; \
+	grep -q '1 jobs recovered' "$$dir/crash2.log" || \
+		{ echo "serve-smoke: restart did not recover the in-flight job"; cat "$$dir/crash2.log"; exit 1; }; \
+	"$$dir/questload" -addr @"$$dir/crash.addr" -wait "$$id2" >/dev/null || { cat "$$dir/crash2.log"; exit 1; }; \
+	"$$dir/questload" -addr @"$$dir/crash.addr" -fetch "$$id2" >"$$dir/crash.json" || exit 1; \
+	cmp "$$dir/ref.json" "$$dir/crash.json" || \
+		{ echo "serve-smoke: recovered result differs from the clean reference run"; exit 1; }; \
+	echo "serve-smoke: kill -9 mid-job recovered to a byte-identical result"
+
+# `make bench-serve` records questd's serving behaviour under load into
+# BENCH_serve.json: latency percentiles/histogram plus shed and retry
+# counters from a concurrent batch against a small queue.
+bench-serve:
+	@dir=$$(mktemp -d); pid=; trap 'kill $$pid 2>/dev/null; rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/questd" ./cmd/questd || exit 1; \
+	$(GO) build -o "$$dir/questload" ./cmd/questload || exit 1; \
+	"$$dir/questd" -dir "$$dir/data" -addr 127.0.0.1:0 -addr-file "$$dir/addr" -queue-cap 8 \
+		>"$$dir/questd.log" 2>&1 & pid=$$!; \
+	for i in $$(seq 50); do [ -s "$$dir/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$dir/addr" ] || { echo "bench-serve: questd never listened"; cat "$$dir/questd.log"; exit 1; }; \
+	"$$dir/questload" -addr @"$$dir/addr" -n 32 -c 16 -algo qft -qubits 5 -out BENCH_serve.json
 
 # `make bench-pipeline` records the ε-sweep artifact-reuse speedup in
 # BENCH_pipeline.json: "full-rerun" re-runs the whole pipeline per sweep

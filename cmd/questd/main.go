@@ -1,0 +1,130 @@
+// Command questd is the crash-safe QUEST compilation service: submit a
+// circuit over HTTP, poll its status, fetch the approximated result.
+// Jobs survive the process — every transition is journaled, so a
+// kill -9 mid-synthesis recovers on restart: queued jobs re-enqueue,
+// running jobs restart with a retry budget and exponential backoff, and
+// completed results re-serve bit-identically from the content-addressed
+// artifact store.
+//
+// Usage:
+//
+//	questd -dir /var/lib/questd [-addr 127.0.0.1:8177] [pipeline flags]
+//
+// SIGINT/SIGTERM starts a graceful drain: readiness flips to 503, new
+// submissions bounce, in-flight jobs get -drain-timeout to finish, and
+// whatever is still running is journaled for the next start. See
+// internal/serve for the API and internal/jobs for the job lifecycle.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/jobs"
+	"repro/internal/pipeline"
+	"repro/internal/serve"
+	"repro/internal/ucache"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8177", "listen address")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (lets scripts discover a :0 port)")
+		dir      = flag.String("dir", "questd-data", "data directory (job journal + artifact store)")
+
+		workers      = flag.Int("workers", 0, "synthesis worker pool size (0 = default)")
+		queueCap     = flag.Int("queue-cap", 256, "maximum queued jobs before submissions shed with 429")
+		tenantCap    = flag.Int("tenant-cap", 0, "per-tenant queue bound (0 = the full queue)")
+		maxRetries   = flag.Int("max-retries", 3, "extra attempts after a crash or transient failure (-1 = none)")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
+
+		blockSize = flag.Int("blocksize", 3, "default maximum partition block size")
+		epsilon   = flag.Float64("eps", 0.05, "default per-block process-distance budget")
+		samples   = flag.Int("samples", 16, "default maximum number of dissimilar approximations (M)")
+		seed      = flag.Int64("seed", 1, "default random seed")
+		cacheSize = flag.Int("synth-cache", 1024, "per-block synthesis cache entries, shared across jobs (0 = disabled)")
+
+		chaosStall = flag.Duration("chaos-stall", 0, "chaos testing: hold every worker run at the jobs.worker.run fault site for this long, so an external kill is guaranteed to land mid-job (see make serve-smoke)")
+	)
+	flag.Parse()
+
+	if *chaosStall > 0 {
+		defer faultinject.Set("jobs.worker.run", faultinject.Stall(*chaosStall))()
+		log.Printf("questd: chaos: stalling every worker run %v", *chaosStall)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := pipeline.Config{
+		BlockSize:  *blockSize,
+		Epsilon:    *epsilon,
+		MaxSamples: *samples,
+		Seed:       *seed,
+	}
+	if *cacheSize > 0 {
+		cfg.SynthCache = ucache.New(*cacheSize, 0)
+	}
+	m, err := jobs.Open(jobs.Options{
+		Dir:            *dir,
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		TenantCap:      *tenantCap,
+		MaxRetries:     *maxRetries,
+		DefaultTimeout: *jobTimeout,
+		Pipeline:       cfg,
+	})
+	if err != nil {
+		log.Fatalf("questd: %v", err)
+	}
+	st := m.Stats()
+	log.Printf("questd: data dir %s: %d jobs recovered, queue depth %d",
+		*dir, st.Counters.Recovered, st.QueueDepth)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("questd: %v", err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("questd: write addr file: %v", err)
+		}
+	}
+	srv := &http.Server{Handler: serve.New(m).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("questd: listening on %s", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		log.Fatalf("questd: %v", err)
+	}
+	stop() // a second signal falls through to the default handler
+
+	log.Printf("questd: draining (up to %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("questd: http shutdown: %v", err)
+	}
+	if err := m.Close(dctx); err != nil {
+		log.Printf("questd: close: %v", err)
+		os.Exit(1)
+	}
+	fin := m.Stats()
+	fmt.Printf("questd: drained: %d done, %d failed, %d cancelled, %d retried, %d shed, queue depth %d journaled for next start\n",
+		fin.Counters.Done, fin.Counters.Failed, fin.Counters.Cancelled,
+		fin.Counters.Retried, fin.Counters.Shed, fin.QueueDepth)
+}

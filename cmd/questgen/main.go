@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	quest "repro"
 )
@@ -26,6 +29,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C / SIGTERM stops the suite loop between files rather than
+	// leaving a half-written directory (same discipline as cmd/quest).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	switch {
 	case *all:
 		if *outDir == "" {
@@ -37,6 +45,10 @@ func main() {
 			os.Exit(1)
 		}
 		for _, name := range quest.Benchmarks() {
+			if err := ctx.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "questgen: interrupted:", err)
+				os.Exit(1)
+			}
 			c, err := quest.GenerateBenchmark(name, *qubits)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "questgen:", err)

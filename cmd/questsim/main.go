@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	quest "repro"
 	"repro/internal/qasm"
@@ -36,6 +39,12 @@ func main() {
 		top      = flag.Int("top", 8, "how many basis states to print")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the trajectory sweep instead of killing
+	// the process mid-run; a second signal falls through to the default
+	// handler (same discipline as cmd/quest).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	c, err := loadCircuit(*inFile, *algo, *qubits)
 	if err != nil {
@@ -64,7 +73,7 @@ func main() {
 	var out []float64
 	switch {
 	case *device == "manila":
-		out, err = quest.RunOnDeviceOpts(quest.Manila(), c, simOpts)
+		out, err = quest.RunOnDeviceCtx(ctx, quest.Manila(), c, simOpts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "questsim:", err)
 			os.Exit(1)
@@ -73,7 +82,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "questsim: unknown device %q\n", *device)
 		os.Exit(1)
 	case *noiseLvl > 0:
-		out = quest.SimulateNoisyOpts(c, quest.UniformNoise(*noiseLvl), simOpts)
+		out, err = quest.SimulateNoisyCtx(ctx, c, quest.UniformNoise(*noiseLvl), simOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "questsim:", err)
+			os.Exit(1)
+		}
 	default:
 		out = ref
 	}

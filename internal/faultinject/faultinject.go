@@ -16,12 +16,31 @@
 //			return err
 //		}
 //	}
+//
+// # Site naming
+//
+// Sites are named "<area>.<component>.<event>" (or "<area>.<event>" when
+// the area has a single component), all lower-case, with any per-item
+// index appended as a final ".<n>" segment. The production sites:
+//
+//	core.block.<i>        one block-synthesis attempt in the pipeline
+//	jobs.enqueue          a job admission into the questd queue
+//	jobs.journal.append   one job-journal record write
+//	jobs.worker.pickup    a worker claiming a queued job
+//	jobs.worker.run       the pipeline run of a claimed job
+//	jobs.artifact.write   a content-addressed artifact store write
+//	serve.submit          an HTTP job submission before admission
+//
+// Chaos tests assert hook cleanup with Sites(): after every deferred
+// restore has run, Sites() must be empty again.
 package faultinject
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Hook decides what happens at the call-th firing of a site (call counts
@@ -110,6 +129,38 @@ func PanicOnCall(n int, v any) Hook {
 		}
 		return nil
 	}
+}
+
+// Stall returns a hook that blocks every firing for d before letting the
+// call proceed — a stalled worker, a slow disk, a wedged lock. Compose
+// with the other helpers for stall-then-fail shapes:
+//
+//	faultinject.Set("jobs.worker.run", func(call int) error {
+//		if err := faultinject.Stall(50 * time.Millisecond)(call); err != nil {
+//			return err
+//		}
+//		return faultinject.FailOnCall(1, someErr)(call)
+//	})
+func Stall(d time.Duration) Hook {
+	return func(int) error {
+		time.Sleep(d)
+		return nil
+	}
+}
+
+// Sites returns the names of all currently installed hooks in sorted
+// order. Chaos tests use it to assert cleanup: after their deferred
+// restores have run, Sites() must be empty, so a leaked hook cannot
+// silently poison later tests in the same process.
+func Sites() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(sites))
+	for name := range sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Error builds a labeled injection error, so test assertions can

@@ -2,8 +2,10 @@ package faultinject
 
 import (
 	"errors"
+	"reflect"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestFireWithoutHooksIsNil(t *testing.T) {
@@ -58,6 +60,38 @@ func TestPanicOnCall(t *testing.T) {
 	}()
 	_ = Fire("test.panic")
 	t.Fatal("Fire did not panic")
+}
+
+func TestStallBlocksThenProceeds(t *testing.T) {
+	const d = 20 * time.Millisecond
+	restore := Set("test.stall", Stall(d))
+	defer restore()
+	start := time.Now()
+	if err := Fire("test.stall"); err != nil {
+		t.Fatalf("Stall injected an error: %v", err)
+	}
+	if got := time.Since(start); got < d {
+		t.Fatalf("Fire returned after %v, want at least %v", got, d)
+	}
+}
+
+func TestSitesListsInstalledHooksSorted(t *testing.T) {
+	if got := Sites(); len(got) != 0 {
+		t.Fatalf("Sites() with no hooks = %v, want empty", got)
+	}
+	r1 := Set("test.sites.b", FailAlways(Error("b")))
+	r2 := Set("test.sites.a", FailAlways(Error("a")))
+	if got, want := Sites(), []string{"test.sites.a", "test.sites.b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sites() = %v, want %v", got, want)
+	}
+	r1()
+	if got, want := Sites(), []string{"test.sites.a"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sites() after one restore = %v, want %v", got, want)
+	}
+	r2()
+	if got := Sites(); len(got) != 0 {
+		t.Fatalf("Sites() after cleanup = %v, want empty", got)
+	}
 }
 
 func TestConcurrentFiresHitEachCallOnce(t *testing.T) {

@@ -1,0 +1,45 @@
+package jobs
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// backoffDelay returns how long to hold a job back before retry attempt
+// n (n counts the attempts already consumed, so the first retry passes
+// n=1): base·2^(n-1) capped at max, plus a deterministic jitter in
+// [0, base) derived from (id, n). The jitter decorrelates a thundering
+// herd of jobs that failed together (a crash recovery re-enqueues every
+// running job at once) without sacrificing reproducibility — a restart
+// recomputes the identical schedule, so recovery tests and incident
+// forensics see the same timeline the crashed process would have.
+func backoffDelay(base, max time.Duration, id string, attempt int) time.Duration {
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		if d >= max/2 {
+			d = max
+			break
+		}
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	var b [2]byte
+	b[0] = byte(attempt)
+	b[1] = byte(attempt >> 8)
+	h.Write(b[:])
+	jitter := time.Duration(h.Sum64() % uint64(base))
+	return d + jitter
+}

@@ -1,0 +1,66 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministic(t *testing.T) {
+	// A restart recomputes the identical schedule: same (id, attempt) →
+	// same delay, every time.
+	for attempt := 1; attempt <= 5; attempt++ {
+		a := backoffDelay(250*time.Millisecond, 30*time.Second, "j-00000007", attempt)
+		b := backoffDelay(250*time.Millisecond, 30*time.Second, "j-00000007", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: %v != %v", attempt, a, b)
+		}
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := backoffDelay(base, max, "j-00000001", attempt)
+		if d < base {
+			t.Fatalf("attempt %d: delay %v below base", attempt, d)
+		}
+		if d > max+base {
+			// Cap plus at most one base of jitter.
+			t.Fatalf("attempt %d: delay %v exceeds max+jitter bound", attempt, d)
+		}
+		floor := base << (attempt - 1)
+		if floor > max {
+			floor = max
+		}
+		if d < floor {
+			t.Fatalf("attempt %d: delay %v below exponential floor %v", attempt, d, floor)
+		}
+		if attempt <= 3 && d <= prev {
+			t.Fatalf("attempt %d: delay %v did not grow past %v", attempt, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestBackoffJitterDecorrelates(t *testing.T) {
+	// Two jobs failing at the same attempt should not retry in lockstep.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 16; i++ {
+		id := string(rune('a' + i))
+		seen[backoffDelay(250*time.Millisecond, 30*time.Second, id, 1)] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d distinct delays across 16 ids; jitter too weak", len(seen))
+	}
+}
+
+func TestBackoffDefendsDegenerateInputs(t *testing.T) {
+	if d := backoffDelay(0, 0, "x", 0); d <= 0 {
+		t.Fatalf("degenerate inputs produced %v", d)
+	}
+	// A huge attempt count must not overflow past the cap.
+	if d := backoffDelay(time.Second, time.Minute, "x", 500); d > time.Minute+time.Second {
+		t.Fatalf("attempt 500: %v exceeds cap", d)
+	}
+}

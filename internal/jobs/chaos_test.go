@@ -1,0 +1,387 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// The chaos suite exercises the crash-safety contract end to end: every
+// test constructs (or inherits) a journal in some damaged intermediate
+// state and asserts the next Open converges to the right outcome. Run
+// it under -race; the whole manager is concurrent.
+
+// countRuns installs a counting hook on the worker-run site.
+func countRuns(t *testing.T) *atomic.Int32 {
+	t.Helper()
+	var n atomic.Int32
+	restore := faultinject.Set("jobs.worker.run", func(int) error {
+		n.Add(1)
+		return nil
+	})
+	t.Cleanup(restore)
+	return &n
+}
+
+func TestCrashMidRunRecoversAndCompletes(t *testing.T) {
+	opts := testOpts(t)
+	src := testQASM(t)
+
+	// Phase 1: a process admits the job and starts running it, then
+	// dies. Simulated exactly as the journal would record it: submit +
+	// start, never a terminal record. (Workers: -1 keeps the job from
+	// actually running before the "crash".)
+	setup := opts
+	setup.Workers = -1
+	m1, err := Open(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m1.Submit(Request{QASM: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.journal.append(record{Op: "start", ID: j.ID, Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: restart. The job replays as Running → crashed: one
+	// attempt consumed, re-enqueued with backoff, runs to completion.
+	runs := countRuns(t)
+	m2 := openManager(t, opts)
+	if got := m2.Stats().Counters.Recovered; got != 1 {
+		t.Fatalf("recovered counter = %d, want 1", got)
+	}
+	done := waitState(t, m2, j.ID, Done)
+	if done.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (crash consumed one)", done.Attempts)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("run site fired %d times, want 1", runs.Load())
+	}
+	p, err := m2.Result(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SHA != done.ResultSHA {
+		t.Fatalf("payload SHA %s != journaled %s", p.SHA, done.ResultSHA)
+	}
+}
+
+func TestCrashLoopExhaustsRetryBudget(t *testing.T) {
+	opts := testOpts(t)
+	opts.MaxRetries = -1 // one attempt total
+	src := testQASM(t)
+
+	setup := opts
+	setup.Workers = -1
+	m1, err := Open(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m1.Submit(Request{QASM: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.journal.append(record{Op: "start", ID: j.ID, Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	runs := countRuns(t)
+	m2 := openManager(t, opts)
+	got, ok := m2.Get(j.ID)
+	if !ok {
+		t.Fatal("job lost")
+	}
+	if got.State != Failed || !strings.Contains(got.Error, "retry budget exhausted") {
+		t.Fatalf("job after crash-loop recovery = %s (%q), want failed/exhausted", got.State, got.Error)
+	}
+	if runs.Load() != 0 {
+		t.Fatalf("exhausted job ran %d times, want 0", runs.Load())
+	}
+}
+
+func TestRestartDoesNotReExecuteDoneJobs(t *testing.T) {
+	opts := testOpts(t)
+	src := testQASM(t)
+
+	m1, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m1.Submit(Request{QASM: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m1, j.ID, Done)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the done job must replay as done — no re-execution, and
+	// its result must recompute from the artifact store bit-for-bit
+	// (verified against the journaled SHA inside Result).
+	runs := countRuns(t)
+	m2 := openManager(t, opts)
+	got, ok := m2.Get(j.ID)
+	if !ok || got.State != Done || got.ResultSHA != done.ResultSHA {
+		t.Fatalf("done job after restart = %+v", got)
+	}
+	p, err := m2.Result(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SHA != done.ResultSHA {
+		t.Fatalf("recomputed SHA %s != journaled %s", p.SHA, done.ResultSHA)
+	}
+	if runs.Load() != 0 {
+		t.Fatalf("done job re-executed %d times after restart", runs.Load())
+	}
+	if hits := m2.Stats().Counters.ArtifactHits; hits != 1 {
+		t.Fatalf("artifact hits = %d, want 1 (result recompute)", hits)
+	}
+}
+
+func TestTornJournalTailLosesOnlyTheTornRecord(t *testing.T) {
+	opts := testOpts(t)
+	src := testQASM(t)
+
+	setup := opts
+	setup.Workers = -1
+	m1, err := Open(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := m1.Submit(Request{QASM: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := m1.Submit(Request{QASM: src, Params: Params{Epsilon: 0.03}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final record (j2's submit) mid-line, as a crash during
+	// the write would.
+	tearJournalTail(t, opts.Dir, 9)
+
+	m2 := openManager(t, opts)
+	if _, ok := m2.Get(j1.ID); !ok {
+		t.Fatal("intact record lost with the torn tail")
+	}
+	if _, ok := m2.Get(j2.ID); ok {
+		t.Fatal("torn record replayed")
+	}
+	// The surviving job still runs to completion.
+	waitState(t, m2, j1.ID, Done)
+}
+
+func TestStalledWorkerHitsJobDeadline(t *testing.T) {
+	opts := testOpts(t)
+	restore := faultinject.Set("jobs.worker.run", faultinject.Stall(120*time.Millisecond))
+	t.Cleanup(restore)
+	m := openManager(t, opts)
+	j, err := m.Submit(Request{QASM: testQASM(t), Params: Params{Timeout: 30 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		got, _ := m.Get(j.ID)
+		if got.State == Failed {
+			if !strings.Contains(got.Error, "deadline") {
+				t.Fatalf("failure error = %q, want deadline", got.Error)
+			}
+			if got.Attempts != 1 {
+				t.Fatalf("deadline failure retried (%d attempts); a rerun hits the same wall", got.Attempts)
+			}
+			return
+		}
+		if got.State == Done {
+			t.Fatal("stalled job completed inside a 30ms deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("job never failed")
+}
+
+func TestTransientFaultRetriesWithBackoffThenSucceeds(t *testing.T) {
+	opts := testOpts(t)
+	// First two run attempts fail; the third proceeds.
+	var calls atomic.Int32
+	restore := faultinject.Set("jobs.worker.run", func(int) error {
+		if calls.Add(1) <= 2 {
+			return errors.New("injected transient fault")
+		}
+		return nil
+	})
+	t.Cleanup(restore)
+	m := openManager(t, opts)
+	j, err := m.Submit(Request{QASM: testQASM(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, j.ID, Done)
+	if done.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", done.Attempts)
+	}
+	if got := m.Stats().Counters.Retried; got != 2 {
+		t.Fatalf("retried counter = %d, want 2", got)
+	}
+}
+
+func TestPersistentFaultFailsAfterRetryBudget(t *testing.T) {
+	opts := testOpts(t)
+	opts.MaxRetries = 2 // 3 attempts total
+	restore := faultinject.Set("jobs.worker.run", faultinject.FailAlways(errors.New("injected persistent fault")))
+	t.Cleanup(restore)
+	m := openManager(t, opts)
+	j, err := m.Submit(Request{QASM: testQASM(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		got, _ := m.Get(j.ID)
+		if got.State == Failed {
+			if got.Attempts != 3 {
+				t.Fatalf("attempts = %d, want 3", got.Attempts)
+			}
+			if !strings.Contains(got.Error, "attempt 3/3") {
+				t.Fatalf("failure error = %q", got.Error)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("job never exhausted its retries")
+}
+
+func TestDrainDeadlineRequeuesInFlightJob(t *testing.T) {
+	opts := testOpts(t)
+	src := testQASM(t)
+	restore := faultinject.Set("jobs.worker.run", faultinject.Stall(150*time.Millisecond))
+	m1, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m1.Submit(Request{QASM: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m1, j.ID, Running)
+	// Drain with a deadline far shorter than the stall: the in-flight
+	// job is cut loose and journaled as retryable.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := m1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m1.Get(j.ID)
+	if got.State != Queued || !strings.Contains(got.Error, "drained") {
+		t.Fatalf("in-flight job after drain = %s (%q), want queued/drained", got.State, got.Error)
+	}
+	restore()
+
+	// The next process picks the job back up and completes it.
+	m2 := openManager(t, opts)
+	done := waitState(t, m2, j.ID, Done)
+	if done.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", done.Attempts)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	opts := testOpts(t)
+	restore := faultinject.Set("jobs.worker.run", faultinject.Stall(100*time.Millisecond))
+	t.Cleanup(restore)
+	m := openManager(t, opts)
+	j, err := m.Submit(Request{QASM: testQASM(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, Running)
+	if err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, j.ID, Cancelled)
+	if got.State != Cancelled {
+		t.Fatalf("state = %s", got.State)
+	}
+	if c := m.Stats().Counters.Cancelled; c != 1 {
+		t.Fatalf("cancelled counter = %d", c)
+	}
+}
+
+func TestJournalFailureTurnsUnhealthyAndRefusesSubmits(t *testing.T) {
+	opts := testOpts(t)
+	opts.Workers = -1
+	m, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Close(ctx) // unhealthy journal: Close reports the latched error
+	}()
+	restore := faultinject.Set("jobs.journal.append", faultinject.FailAlways(errors.New("disk gone")))
+	defer restore()
+
+	_, err = m.Submit(Request{QASM: testQASM(t)})
+	if err == nil || !strings.Contains(err.Error(), "disk gone") {
+		t.Fatalf("submit with dead journal = %v", err)
+	}
+	if m.Health() == nil {
+		t.Fatal("journal failure did not latch unhealthy")
+	}
+	st := m.Stats()
+	if st.JournalOK || st.JournalError == "" {
+		t.Fatalf("stats hide the journal failure: %+v", st)
+	}
+	// The failed submission must not occupy a queue slot.
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth = %d after failed journal append", st.QueueDepth)
+	}
+}
+
+// tearJournalTail truncates n bytes off the journal to simulate a crash
+// mid-append.
+func tearJournalTail(t *testing.T, dir string, n int) {
+	t.Helper()
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) <= n {
+		t.Fatalf("journal too short to tear (%d bytes)", len(data))
+	}
+	if err := os.WriteFile(path, data[:len(data)-n], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

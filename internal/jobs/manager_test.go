@@ -1,0 +1,392 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/pipeline"
+	"repro/internal/qasm"
+)
+
+// testQASM is a small circuit that synthesizes quickly under testPipe.
+func testQASM(t *testing.T) string {
+	t.Helper()
+	return qasm.Write(algos.GHZ(3))
+}
+
+func testPipe() pipeline.Config {
+	return pipeline.Config{
+		BlockSize:        3,
+		Epsilon:          0.05,
+		MaxSamples:       6,
+		AnnealIterations: 150,
+		SynthBeam:        2,
+		Seed:             1,
+	}
+}
+
+func testOpts(t *testing.T) Options {
+	t.Helper()
+	return Options{
+		Dir:         t.TempDir(),
+		Workers:     2,
+		Pipeline:    testPipe(),
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	}
+}
+
+func openManager(t *testing.T, opts Options) *Manager {
+	t.Helper()
+	m, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	})
+	return m
+}
+
+// waitState polls until the job reaches want, failing fast if it lands
+// on a different terminal state.
+func waitState(t *testing.T, m *Manager, id string, want State) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if j.State == want {
+			return j
+		}
+		if j.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, j.State, j.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := m.Get(id)
+	t.Fatalf("job %s stuck in %s, want %s", id, j.State, want)
+	return Job{}
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	m := openManager(t, testOpts(t))
+	j, err := m.Submit(Request{QASM: testQASM(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Queued || j.ID == "" || j.ArtifactKey == "" {
+		t.Fatalf("submitted job = %+v", j)
+	}
+	// Params must come back fully resolved.
+	if j.Params.Epsilon <= 0 || j.Params.BlockSize == 0 || j.Params.Timeout <= 0 {
+		t.Fatalf("params not resolved: %+v", j.Params)
+	}
+
+	done := waitState(t, m, j.ID, Done)
+	if done.ResultSHA == "" || done.Attempts != 1 || done.Error != "" {
+		t.Fatalf("done job = %+v", done)
+	}
+	ctx := context.Background()
+	p, err := m.Result(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SHA != done.ResultSHA {
+		t.Fatalf("payload SHA %s != journaled %s", p.SHA, done.ResultSHA)
+	}
+	if p.BestCNOTs > p.OriginalCNOTs || len(p.Selected) == 0 {
+		t.Fatalf("payload = %+v", p)
+	}
+	st := m.Stats()
+	if st.Counters.Submitted != 1 || st.Counters.Done != 1 {
+		t.Fatalf("counters = %+v", st.Counters)
+	}
+}
+
+func TestResubmissionHitsArtifactStore(t *testing.T) {
+	m := openManager(t, testOpts(t))
+	src := testQASM(t)
+	j1, err := m.Submit(Request{QASM: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := waitState(t, m, j1.ID, Done)
+	missesAfterFirst := m.Stats().Counters.ArtifactMisses
+
+	j2, err := m.Submit(Request{QASM: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := waitState(t, m, j2.ID, Done)
+	st := m.Stats()
+	if d1.ArtifactKey != d2.ArtifactKey {
+		t.Fatalf("identical submissions got different artifact keys %s / %s", d1.ArtifactKey, d2.ArtifactKey)
+	}
+	if st.Counters.ArtifactMisses != missesAfterFirst {
+		t.Fatalf("resubmission re-synthesized (misses %d → %d)", missesAfterFirst, st.Counters.ArtifactMisses)
+	}
+	if st.Counters.ArtifactHits == 0 {
+		t.Fatal("resubmission did not hit the artifact store")
+	}
+	// Same circuit, same settings → same approximations (IDs differ, so
+	// the sealed SHAs differ; the content must not).
+	ctx := context.Background()
+	p1, err := m.Result(ctx, j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.Result(ctx, j2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.BestCNOTs != p2.BestCNOTs || len(p1.Selected) != len(p2.Selected) {
+		t.Fatalf("resubmission diverged: %+v vs %+v", p1, p2)
+	}
+	for i := range p1.Selected {
+		if p1.Selected[i] != p2.Selected[i] {
+			t.Fatalf("selected[%d] diverged", i)
+		}
+	}
+}
+
+func TestFromSweepReselectsParentArtifact(t *testing.T) {
+	m := openManager(t, testOpts(t))
+	src := testQASM(t)
+	parent, err := m.Submit(Request{QASM: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := waitState(t, m, parent.ID, Done)
+	misses := m.Stats().Counters.ArtifactMisses
+
+	// Re-sweep the parent's pool under a tighter ε.
+	child, err := m.Submit(Request{QASM: src, From: parent.ID, Params: Params{Epsilon: 0.02}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.ArtifactKey != pd.ArtifactKey || child.ArtifactEpsilon != pd.ArtifactEpsilon {
+		t.Fatalf("child did not inherit parent artifact: %+v vs %+v", child, pd)
+	}
+	cd := waitState(t, m, child.ID, Done)
+	if got := m.Stats().Counters.ArtifactMisses; got != misses {
+		t.Fatalf("sweep re-synthesized (misses %d → %d)", misses, got)
+	}
+	ctx := context.Background()
+	cp, err := m.Result(ctx, cd.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Threshold != 0.02 {
+		t.Fatalf("child threshold = %g, want 0.02", cp.Threshold)
+	}
+}
+
+func TestFromValidation(t *testing.T) {
+	m := openManager(t, testOpts(t))
+	src := testQASM(t)
+	if _, err := m.Submit(Request{QASM: src, From: "j-99999999"}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("unknown From = %v, want ErrInvalid", err)
+	}
+	parent, err := m.Submit(Request{QASM: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, parent.ID, Done)
+	other := qasm.Write(algos.QFT(3))
+	if _, err := m.Submit(Request{QASM: other, From: parent.ID}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("From with different circuit = %v, want ErrInvalid", err)
+	}
+	if _, err := m.Submit(Request{QASM: src, From: parent.ID, Params: Params{BlockSize: 2}}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("From with different block size = %v, want ErrInvalid", err)
+	}
+}
+
+func TestSubmitRejectsBadQASM(t *testing.T) {
+	m := openManager(t, testOpts(t))
+	_, err := m.Submit(Request{QASM: "this is not qasm"})
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("bad qasm = %v, want ErrInvalid", err)
+	}
+	if got := m.Stats().Counters.Submitted; got != 0 {
+		t.Fatalf("rejected submission counted: %d", got)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	opts := testOpts(t)
+	opts.Workers = -1 // no workers: jobs stay queued
+	m := openManager(t, opts)
+	j, err := m.Submit(Request{QASM: testQASM(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Get(j.ID)
+	if got.State != Cancelled {
+		t.Fatalf("state = %s, want cancelled", got.State)
+	}
+	if err := m.Cancel(j.ID); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("second cancel = %v, want ErrTerminal", err)
+	}
+	if _, err := m.Result(context.Background(), j.ID); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("result of cancelled job = %v, want ErrNotDone", err)
+	}
+	if err := m.Cancel("j-404"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("cancel unknown = %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestQueueFullStormSheds(t *testing.T) {
+	opts := testOpts(t)
+	opts.Workers = -1
+	opts.QueueCap = 4
+	opts.TenantCap = 2
+	m := openManager(t, opts)
+	src := testQASM(t)
+
+	// Tenant cap: a single tenant cannot take the whole queue.
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(Request{QASM: src, Tenant: "greedy"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Submit(Request{QASM: src, Tenant: "greedy"}); !errors.Is(err, ErrTenantFull) {
+		t.Fatalf("tenant storm = %v, want ErrTenantFull", err)
+	}
+	// Other tenants still fit until the global bound.
+	if _, err := m.Submit(Request{QASM: src, Tenant: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(Request{QASM: src, Tenant: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(Request{QASM: src, Tenant: "d"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow = %v, want ErrQueueFull", err)
+	}
+	if shed := m.Stats().Counters.Shed; shed != 2 {
+		t.Fatalf("shed counter = %d, want 2", shed)
+	}
+}
+
+func TestConcurrentStormAdmitsExactlyCapacity(t *testing.T) {
+	opts := testOpts(t)
+	opts.Workers = -1
+	opts.QueueCap = 5
+	m := openManager(t, opts)
+	src := testQASM(t)
+
+	const attempts = 24
+	var wg sync.WaitGroup
+	errs := make([]error, attempts)
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = m.Submit(Request{QASM: src, Tenant: string(rune('a' + i))})
+		}(i)
+	}
+	wg.Wait()
+	admitted, shed := 0, 0
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, ErrQueueFull):
+			shed++
+		default:
+			t.Fatalf("unexpected submit error: %v", err)
+		}
+	}
+	if admitted != 5 || shed != attempts-5 {
+		t.Fatalf("admitted %d shed %d, want 5/%d — the reserve/journal/push protocol raced", admitted, shed, attempts-5)
+	}
+	if st := m.Stats(); st.QueueDepth != 5 || st.Counters.Shed != uint64(shed) {
+		t.Fatalf("stats after storm: %+v", st)
+	}
+}
+
+func TestSubmitWhileDrainingRejected(t *testing.T) {
+	opts := testOpts(t)
+	opts.Workers = -1
+	m := openManager(t, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(Request{QASM: testQASM(t)}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after close = %v, want ErrDraining", err)
+	}
+}
+
+func TestResultErrorsBeforeDone(t *testing.T) {
+	opts := testOpts(t)
+	opts.Workers = -1
+	m := openManager(t, opts)
+	j, err := m.Submit(Request{QASM: testQASM(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Result(context.Background(), j.ID); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("result of queued job = %v, want ErrNotDone", err)
+	}
+	if _, err := m.Result(context.Background(), "j-404"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("result of unknown job = %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestBackendStatsInResult(t *testing.T) {
+	m := openManager(t, testOpts(t))
+	j, err := m.Submit(Request{QASM: testQASM(t), Params: Params{Backend: "ideal"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, Done)
+	p, err := m.Result(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats == nil || p.Stats.Backend == "" {
+		t.Fatalf("expected backend stats, got %+v", p.Stats)
+	}
+	if p.Stats.TVD < 0 || p.Stats.TVD > 1 {
+		t.Fatalf("TVD = %g out of range", p.Stats.TVD)
+	}
+}
+
+func TestUnknownBackendFailsJob(t *testing.T) {
+	opts := testOpts(t)
+	opts.MaxRetries = -1 // a bad backend never heals: fail fast
+	m := openManager(t, opts)
+	j, err := m.Submit(Request{QASM: testQASM(t), Params: Params{Backend: "no-such-backend"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		got, _ := m.Get(j.ID)
+		if got.State == Failed {
+			if !strings.Contains(got.Error, "no-such-backend") {
+				t.Fatalf("failure error = %q", got.Error)
+			}
+			return
+		}
+		if got.State == Done {
+			t.Fatal("job with unknown backend completed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("job never failed")
+}

@@ -1,0 +1,229 @@
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"time"
+
+	"sync"
+
+	"repro/internal/budget"
+)
+
+// queue is the bounded, priority-ordered admission queue. Two heaps:
+// ready (by priority desc, then submission order) feeds workers;
+// delayed (by notBefore) holds backed-off retries until they mature.
+// Admission enforces the global and per-tenant bounds; recovery and
+// retry pushes bypass them (a journaled job is never shed).
+type queue struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	capacity  int
+	tenantCap int
+	byTenant  map[string]int
+	reserved  int            // admission slots held between reserve and push
+	resTenant map[string]int // per-tenant share of reserved
+	ready     readyHeap
+	delayed   delayHeap
+	closed    bool
+	now       func() time.Time
+}
+
+func newQueue(capacity, tenantCap int, now func() time.Time) *queue {
+	q := &queue{
+		capacity:  capacity,
+		tenantCap: tenantCap,
+		byTenant:  map[string]int{},
+		resTenant: map[string]int{},
+		now:       now,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// reserve claims an admission slot for a tenant before the submission
+// is journaled, so the bound check and the eventual push are atomic
+// with respect to concurrent submitters. Call push (or release) with
+// the same tenant afterwards.
+func (q *queue) reserve(tenant string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.depthLocked()+q.reserved >= q.capacity {
+		return ErrQueueFull
+	}
+	if q.byTenant[tenant]+q.resTenant[tenant] >= q.tenantCap {
+		return ErrTenantFull
+	}
+	q.reserved++
+	q.resTenant[tenant]++
+	return nil
+}
+
+// release returns a reserved slot without pushing (journal append
+// failed).
+func (q *queue) release(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.unreserveLocked(tenant)
+}
+
+func (q *queue) unreserveLocked(tenant string) {
+	if q.reserved > 0 {
+		q.reserved--
+	}
+	if q.resTenant[tenant] > 0 {
+		q.resTenant[tenant]--
+		if q.resTenant[tenant] == 0 {
+			delete(q.resTenant, tenant)
+		}
+	}
+}
+
+// push enqueues a job, consuming the caller's reservation when reserved
+// is true. Unreserved pushes (recovery replays, retry re-entries) are
+// admitted unconditionally: they re-enter work the journal already
+// promised.
+func (q *queue) push(j *Job, consumeReservation bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if consumeReservation {
+		q.unreserveLocked(j.Tenant)
+	}
+	q.byTenant[j.Tenant]++
+	if j.notBefore.After(q.now()) {
+		heap.Push(&q.delayed, j)
+	} else {
+		heap.Push(&q.ready, j)
+	}
+	q.cond.Broadcast()
+}
+
+// pop blocks until a job is ready (maturing delayed retries as their
+// backoff expires), the queue closes (ErrQueueClosed via close), or ctx
+// ends (typed budget error). Closing wins over remaining items: a
+// draining manager must stop picking up new work.
+func (q *queue) pop(ctx context.Context) (*Job, error) {
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer stop()
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil, errQueueClosed
+		}
+		if err := budget.Check(ctx); err != nil {
+			return nil, err
+		}
+		now := q.now()
+		for q.delayed.Len() > 0 && !q.delayed[0].notBefore.After(now) {
+			heap.Push(&q.ready, heap.Pop(&q.delayed).(*Job))
+		}
+		if q.ready.Len() > 0 {
+			j := heap.Pop(&q.ready).(*Job)
+			q.decTenantLocked(j.Tenant)
+			return j, nil
+		}
+		var timer *time.Timer
+		if q.delayed.Len() > 0 {
+			d := q.delayed[0].notBefore.Sub(now)
+			timer = time.AfterFunc(d, func() {
+				q.mu.Lock()
+				q.cond.Broadcast()
+				q.mu.Unlock()
+			})
+		}
+		q.cond.Wait()
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// remove deletes a queued job by ID (the cancel path) and reports
+// whether it was found.
+func (q *queue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.ready {
+		if j.ID == id {
+			heap.Remove(&q.ready, i)
+			q.decTenantLocked(j.Tenant)
+			return true
+		}
+	}
+	for i, j := range q.delayed {
+		if j.ID == id {
+			heap.Remove(&q.delayed, i)
+			q.decTenantLocked(j.Tenant)
+			return true
+		}
+	}
+	return false
+}
+
+func (q *queue) decTenantLocked(tenant string) {
+	if q.byTenant[tenant] > 1 {
+		q.byTenant[tenant]--
+	} else {
+		delete(q.byTenant, tenant)
+	}
+}
+
+// depth returns the number of queued jobs (ready + delayed).
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depthLocked()
+}
+
+func (q *queue) depthLocked() int { return q.ready.Len() + q.delayed.Len() }
+
+// close wakes every pop with errQueueClosed; queued jobs stay journaled
+// and are recovered by the next Open.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// errQueueClosed is internal: workers treat it as "stop".
+var errQueueClosed = errQueueClosedType{}
+
+type errQueueClosedType struct{}
+
+func (errQueueClosedType) Error() string { return "job queue closed" }
+
+// readyHeap orders runnable jobs by priority (higher first), then
+// submission sequence (FIFO within a priority).
+type readyHeap []*Job
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, k int) bool {
+	if h[i].Priority != h[k].Priority {
+		return h[i].Priority > h[k].Priority
+	}
+	return h[i].seq < h[k].seq
+}
+func (h readyHeap) Swap(i, k int) { h[i], h[k] = h[k], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *readyHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// delayHeap orders backed-off jobs by maturity time.
+type delayHeap []*Job
+
+func (h delayHeap) Len() int { return len(h) }
+func (h delayHeap) Less(i, k int) bool {
+	if !h[i].notBefore.Equal(h[k].notBefore) {
+		return h[i].notBefore.Before(h[k].notBefore)
+	}
+	return h[i].seq < h[k].seq
+}
+func (h delayHeap) Swap(i, k int) { h[i], h[k] = h[k], h[i] }
+func (h *delayHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *delayHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

@@ -1,0 +1,169 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+)
+
+func testQueue(capacity, tenantCap int) *queue {
+	return newQueue(capacity, tenantCap, time.Now)
+}
+
+func TestQueuePriorityThenFIFO(t *testing.T) {
+	q := testQueue(10, 10)
+	push := func(id string, prio int, seq uint64) {
+		q.push(&Job{ID: id, Priority: prio, seq: seq}, false)
+	}
+	push("low-1", 0, 1)
+	push("high", 5, 2)
+	push("low-2", 0, 3)
+
+	ctx := context.Background()
+	var got []string
+	for i := 0; i < 3; i++ {
+		j, err := q.pop(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, j.ID)
+	}
+	want := []string{"high", "low-1", "low-2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueReserveEnforcesBounds(t *testing.T) {
+	q := testQueue(3, 2)
+	if err := q.reserve("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.reserve("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.reserve("a"); !errors.Is(err, ErrTenantFull) {
+		t.Fatalf("third reserve for tenant a = %v, want ErrTenantFull", err)
+	}
+	if err := q.reserve("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.reserve("c"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("reserve past capacity = %v, want ErrQueueFull", err)
+	}
+	// A released reservation frees the slot.
+	q.release("b")
+	if err := q.reserve("c"); err != nil {
+		t.Fatalf("reserve after release = %v", err)
+	}
+	// Consuming a reservation via push keeps the accounting balanced.
+	q.push(&Job{ID: "j1", Tenant: "a", seq: 1}, true)
+	q.push(&Job{ID: "j2", Tenant: "a", seq: 2}, true)
+	if q.depth() != 2 {
+		t.Fatalf("depth = %d, want 2", q.depth())
+	}
+	q.release("c") // free the global slot so the tenant bound decides
+	if err := q.reserve("a"); !errors.Is(err, ErrTenantFull) {
+		t.Fatalf("tenant a must still be at cap after push: %v", err)
+	}
+}
+
+func TestQueueUnreservedPushBypassesCaps(t *testing.T) {
+	q := testQueue(1, 1)
+	// Recovery and retry re-entries re-enqueue journaled work even when
+	// the queue is nominally full.
+	q.push(&Job{ID: "j1", Tenant: "a", seq: 1}, false)
+	q.push(&Job{ID: "j2", Tenant: "a", seq: 2}, false)
+	if q.depth() != 2 {
+		t.Fatalf("depth = %d, want 2", q.depth())
+	}
+}
+
+func TestQueueDelayedMaturity(t *testing.T) {
+	q := testQueue(10, 10)
+	j := &Job{ID: "j1", seq: 1, notBefore: time.Now().Add(30 * time.Millisecond)}
+	q.push(j, false)
+	start := time.Now()
+	got, err := q.pop(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "j1" {
+		t.Fatalf("popped %s", got.ID)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("pop returned after %v; backoff not honoured", waited)
+	}
+}
+
+func TestQueuePopContextCancel(t *testing.T) {
+	q := testQueue(10, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.pop(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, budget.ErrCancelled) {
+			t.Fatalf("pop after cancel = %v, want ErrCancelled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not observe context cancellation")
+	}
+}
+
+func TestQueueCloseUnblocksPop(t *testing.T) {
+	q := testQueue(10, 10)
+	q.push(&Job{ID: "j1", seq: 1}, false)
+	done := make(chan error, 1)
+	go func() {
+		// First pop drains the item; second blocks until close.
+		if _, err := q.pop(context.Background()); err != nil {
+			done <- err
+			return
+		}
+		_, err := q.pop(context.Background())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errQueueClosed) {
+			t.Fatalf("pop after close = %v, want errQueueClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not observe close")
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := testQueue(10, 10)
+	q.push(&Job{ID: "ready", Tenant: "a", seq: 1}, false)
+	q.push(&Job{ID: "delayed", Tenant: "a", seq: 2, notBefore: time.Now().Add(time.Hour)}, false)
+	if !q.remove("ready") || !q.remove("delayed") {
+		t.Fatal("remove failed to find queued jobs")
+	}
+	if q.remove("ready") {
+		t.Fatal("remove found an already-removed job")
+	}
+	if q.depth() != 0 {
+		t.Fatalf("depth = %d after removals", q.depth())
+	}
+	// Tenant accounting must be back to zero: the tenant can reserve its
+	// full quota again.
+	for i := 0; i < 2; i++ {
+		if err := q.reserve("a"); err != nil {
+			t.Fatalf("reserve %d after removals: %v", i, err)
+		}
+	}
+}

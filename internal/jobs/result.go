@@ -1,0 +1,114 @@
+package jobs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/circuit"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/qasm"
+	"repro/internal/sim"
+)
+
+// maxStatsQubits bounds the dense simulation behind the optional
+// backend TVD/JSD stats; larger circuits skip the report.
+const maxStatsQubits = 12
+
+// SelectedApprox is one selected approximation in a result payload.
+type SelectedApprox struct {
+	QASM       string  `json:"qasm"`
+	CNOTs      int     `json:"cnots"`
+	EpsilonSum float64 `json:"epsilon_sum"`
+}
+
+// BackendStats is the optional ensemble-fidelity report computed on the
+// job's requested backend.
+type BackendStats struct {
+	Backend string  `json:"backend"`
+	Shots   int     `json:"shots"`
+	TVD     float64 `json:"tvd"`
+	JSD     float64 `json:"jsd"`
+}
+
+// ResultPayload is the deterministic, servable output of a completed
+// job. Every field is a pure function of (canonical QASM, Params), so
+// the payload's SHA — journaled at completion — re-verifies a payload
+// recomputed from the artifact store after a restart bit-for-bit.
+// Wall-clock timings deliberately live on the job status, not here.
+type ResultPayload struct {
+	ID            string           `json:"id"`
+	OriginalCNOTs int              `json:"original_cnots"`
+	BestCNOTs     int              `json:"best_cnots"`
+	Threshold     float64          `json:"threshold"`
+	Blocks        int              `json:"blocks"`
+	Degradations  int              `json:"degradations"`
+	Selected      []SelectedApprox `json:"selected"`
+	Stats         *BackendStats    `json:"stats,omitempty"`
+	SHA           string           `json:"sha"`
+}
+
+// renderResult flattens a pipeline result into the servable payload and
+// seals it with its content hash (computed over the payload with SHA
+// blanked, so verification re-hashes the same bytes).
+func renderResult(ctx context.Context, id string, orig *circuit.Circuit, res *pipeline.Result, p Params) (*ResultPayload, error) {
+	out := &ResultPayload{
+		ID:            id,
+		OriginalCNOTs: orig.CNOTCount(),
+		BestCNOTs:     res.BestCNOTs(),
+		Threshold:     res.Threshold,
+		Blocks:        len(res.Blocks),
+		Degradations:  len(res.Degradations),
+		Selected:      make([]SelectedApprox, len(res.Selected)),
+	}
+	for i, a := range res.Selected {
+		out.Selected[i] = SelectedApprox{
+			QASM:       qasm.Write(a.Circuit),
+			CNOTs:      a.CNOTs,
+			EpsilonSum: a.EpsilonSum,
+		}
+	}
+	if p.Backend != "" && orig.NumQubits <= maxStatsQubits {
+		be, err := backend.Get(p.Backend)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: backend %q: %w", p.Backend, err)
+		}
+		if max := be.Capabilities().MaxQubits; max > 0 && orig.NumQubits > max {
+			return nil, fmt.Errorf("jobs: backend %q supports at most %d qubits, circuit has %d",
+				p.Backend, max, orig.NumQubits)
+		}
+		truth := sim.Probabilities(orig)
+		ens, err := res.EnsembleProbabilitiesCtx(ctx, backend.AsRunnerCtx(be, p.Shots, p.Seed), 0)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: ensemble on %q: %w", p.Backend, err)
+		}
+		out.Stats = &BackendStats{
+			Backend: be.Name(),
+			Shots:   p.Shots,
+			TVD:     metrics.TVD(truth, ens),
+			JSD:     metrics.JSD(truth, ens),
+		}
+	}
+	sha, err := out.contentSHA()
+	if err != nil {
+		return nil, err
+	}
+	out.SHA = sha
+	return out, nil
+}
+
+// contentSHA hashes the payload's canonical JSON with SHA blanked.
+func (r *ResultPayload) contentSHA() (string, error) {
+	shadow := *r
+	shadow.SHA = ""
+	data, err := json.Marshal(&shadow)
+	if err != nil {
+		return "", fmt.Errorf("jobs: encode result: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

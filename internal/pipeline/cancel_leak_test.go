@@ -1,0 +1,67 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/budget"
+	"repro/internal/faultinject"
+)
+
+// TestCancelMidSynthesisNoGoroutineLeak cancels the context while the
+// synthesis stage is verifiably mid-flight (a fault-injection stall
+// holds block 0 open) and asserts two things the serving layer depends
+// on: the error is budget.ErrCancelled under errors.Is even though the
+// cancel races worker completion, and every stage worker goroutine
+// exits — a questd worker pool would otherwise accumulate leaked
+// goroutines on every cancelled or drained job.
+func TestCancelMidSynthesisNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	c := algos.TFIM(4, 3, 0.1, 1, 1)
+	cfg := testConfig()
+	cfg.Parallelism = 2
+
+	// Hold block 0's first synthesis attempt open long enough that the
+	// cancellation below is guaranteed to land mid-stage.
+	restore := faultinject.Set("core.block.0", faultinject.Stall(150*time.Millisecond))
+	defer restore()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Synthesize(ctx, c, cfg)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, budget.ErrCancelled) {
+			t.Fatalf("err = %v, want budget.ErrCancelled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Synthesize did not return after cancellation")
+	}
+
+	// Workers unwind asynchronously after the stage error: poll until
+	// the goroutine count settles back to the baseline (with slack for
+	// runtime housekeeping goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge finalizer/timer goroutines to finish
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancelled synthesis: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

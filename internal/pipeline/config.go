@@ -130,6 +130,16 @@ func (c *Config) defaults() {
 	}
 }
 
+// Resolved returns the Config with every default filled in, exactly as
+// the pipeline stages resolve it before running. External fingerprints
+// of a run's configuration (the questd artifact store's content keys)
+// must hash the resolved Config, not the sparse input — two sparse
+// Configs that resolve identically must address the same artifact.
+func (c Config) Resolved() Config {
+	c.defaults()
+	return c
+}
+
 // Artifact-invalidation contract (see DESIGN.md "Pipeline architecture"):
 // each stage's output is valid for exactly the Config fields in its key.
 // A sweep may reuse an upstream artifact whenever the fields it varies

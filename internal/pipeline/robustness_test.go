@@ -20,10 +20,12 @@ func TestRunCtxDeadlineReturnsTypedErrorQuickly(t *testing.T) {
 	// A Table-1 style benchmark under a deadline far below its synthesis
 	// cost must fail with an ErrDeadline-wrapped error, promptly: every
 	// inner loop checks the budget, so the only slack is finishing the
-	// current optimizer iteration.
+	// current optimizer iteration. The deadline must be unwinnable on
+	// any hardware — a fast machine finishes this whole run in tens of
+	// milliseconds, so anything close to that races the synthesis.
 	c := algos.TFIM(4, 3, 0.1, 1, 1)
 	cfg := testConfig()
-	cfg.Timeout = 50 * time.Millisecond
+	cfg.Timeout = time.Millisecond
 
 	start := time.Now()
 	res, err := RunCtx(context.Background(), c, cfg)
@@ -35,11 +37,11 @@ func TestRunCtxDeadlineReturnsTypedErrorQuickly(t *testing.T) {
 	if res != nil {
 		t.Error("result should be nil on a hard deadline failure")
 	}
-	// The acceptance bound is 2x the deadline; allow extra slack so CI
-	// scheduling jitter cannot flake the test (a full run takes seconds,
-	// so even the loose bound proves the deadline cut the run short).
+	// Allow generous slack over the deadline so CI scheduling jitter
+	// cannot flake the test; even the loose bound proves the deadline
+	// cut the run short rather than letting it finish.
 	if elapsed > 500*time.Millisecond {
-		t.Errorf("run took %v after a 50ms deadline", elapsed)
+		t.Errorf("run took %v after a 1ms deadline", elapsed)
 	}
 }
 

@@ -1,0 +1,198 @@
+// Package serve exposes a jobs.Manager as questd's HTTP API.
+//
+// Routes (all JSON):
+//
+//	POST   /v1/jobs             submit {qasm, tenant?, priority?, from?, params?} → 202 + job
+//	GET    /v1/jobs/{id}        job status → 200
+//	GET    /v1/jobs/{id}/result completed result payload → 200
+//	DELETE /v1/jobs/{id}        cancel → 202 (200 once terminal)
+//	GET    /healthz             operational stats → 200 (500 when the journal is unhealthy)
+//	GET    /readyz              readiness → 200 ("ok") / 503 while draining
+//
+// Error mapping is explicit, because overload must be distinguishable
+// from failure: a shed submission (queue or tenant bound) is 429 with a
+// Retry-After header, a draining server is 503 with Retry-After, a
+// malformed submission is 400, an unknown job 404, a result requested
+// before completion 409. Anything else is 500.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/faultinject"
+	"repro/internal/jobs"
+)
+
+// maxBodyBytes bounds a submission body (QASM sources are small; a
+// multi-megabyte body is a client bug or an attack).
+const maxBodyBytes = 4 << 20
+
+// retryAfterShed is the Retry-After hint (seconds) on a 429: roughly
+// one synthesis-job service time, so a polite client's next attempt
+// lands after a queue slot has likely freed.
+const retryAfterShed = 1
+
+// retryAfterDrain is the Retry-After hint (seconds) on a 503: the
+// client should find the replacement process after a restart window.
+const retryAfterDrain = 5
+
+// Server adapts a jobs.Manager to HTTP. Create with New, mount
+// Handler().
+type Server struct {
+	m *jobs.Manager
+}
+
+// New wraps a manager.
+func New(m *jobs.Manager) *Server { return &Server{m: m} }
+
+// Handler returns the API routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	return mux
+}
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	// QASM is the OpenQASM 2.0 circuit source.
+	QASM string `json:"qasm"`
+	// Tenant attributes the job to a per-tenant queue quota.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders the queue (higher first).
+	Priority int `json:"priority,omitempty"`
+	// From names a completed job whose synthesis artifact this job
+	// reselects under its own params (the ε/M sweep path).
+	From string `json:"from,omitempty"`
+	// Params override the server's pipeline defaults per job.
+	Params jobs.Params `json:"params"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// mapSubmitError turns the manager's typed admission errors into status
+// codes; the shedding pair and draining carry Retry-After.
+func mapSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrInvalid):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrTenantFull):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterShed))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, jobs.ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDrain))
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Fire("serve.submit"); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("serve: submit: %w", err))
+		return
+	}
+	var req SubmitRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	j, err := s.m.Submit(jobs.Request{
+		QASM:     req.QASM,
+		Tenant:   req.Tenant,
+		Priority: req.Priority,
+		From:     req.From,
+		Params:   req.Params,
+	})
+	if err != nil {
+		mapSubmitError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, jobs.ErrUnknownJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	p, err := s.m.Result(r.Context(), r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, p)
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, jobs.ErrNotDone):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	err := s.m.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "cancelling"})
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, jobs.ErrTerminal):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// handleHealth serves liveness plus the operational snapshot: 200 while
+// every acknowledged transition is durable, 500 once the journal has
+// latched a persistence failure (the process keeps serving what it has,
+// but an operator must know acknowledgements stopped being crash-safe).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.m.Stats()
+	status := http.StatusOK
+	if !st.JournalOK {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, st)
+}
+
+// handleReady serves readiness: 503 as soon as draining starts, so a
+// load balancer stops routing before the listener closes.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.m.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDrain))
+		writeError(w, http.StatusServiceUnavailable, jobs.ErrDraining)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

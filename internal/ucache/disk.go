@@ -54,6 +54,15 @@ import (
 // change to the header or record schema.
 const diskVersion = 1
 
+// syncFile is the fsync seam: the durability points below (journal on
+// Close, compaction image before its rename) go through it so tests can
+// assert the sync calls actually happen. Appends are NOT synced — an
+// entry is a cache optimization, losing the tail of a journal to power
+// loss only costs re-synthesis — but an image we just told the OS to
+// rename over the journal, and a journal we are about to report as
+// cleanly closed, must both be on stable storage first.
+var syncFile = func(f *os.File) error { return f.Sync() }
+
 // journalName is the journal's file name inside the cache directory.
 const journalName = "synth.journal"
 
@@ -161,6 +170,9 @@ func (c *Cache) Close() error {
 	ds := c.disk
 	c.disk = nil
 	if ds.f != nil {
+		if err := syncFile(ds.f); ds.err == nil && err != nil {
+			ds.err = fmt.Errorf("ucache: sync journal: %w", err)
+		}
 		if err := ds.f.Close(); ds.err == nil && err != nil {
 			ds.err = fmt.Errorf("ucache: close journal: %w", err)
 		}
@@ -285,9 +297,27 @@ func (ds *diskStore) rewrite(c *Cache) error {
 		buf.Write(formatLine(payload))
 		n++
 	}
+	// The image is synced before the rename: without the fsync the rename
+	// can become durable ahead of the data it points at, and a power loss
+	// would leave a journal of committed entries reading back empty.
 	tmp := ds.path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
 		return fmt.Errorf("ucache: write journal: %w", err)
+	}
+	if _, err := tf.Write(buf.Bytes()); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ucache: write journal: %w", err)
+	}
+	if err := syncFile(tf); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ucache: sync journal: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ucache: close journal: %w", err)
 	}
 	if err := os.Rename(tmp, ds.path); err != nil {
 		os.Remove(tmp)
