@@ -5,13 +5,13 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify verify-full bench bench-smoke bench-pipeline cache-smoke serve-smoke bench-serve fmt-check lint lint-ignores
+.PHONY: build vet test test-race verify verify-full bench bench-smoke bench-pipeline cache-smoke serve-smoke corpus-smoke bench-corpus bench-serve fmt-check lint lint-ignores
 
 # Packages holding the hot-path benchmarks recorded in BENCH_synth.json:
 # objective/gradient evaluation and synthesis (synth), gate-apply kernels
-# (linalg), cached-vs-cold synthesis (ucache), plus the simulator and
-# noise engines.
-BENCH_PKGS = ./internal/synth ./internal/linalg ./internal/ucache ./internal/noise ./internal/sim
+# (linalg), cached-vs-cold synthesis (ucache), the simulator and noise
+# engines, plus the streaming partitioner scan.
+BENCH_PKGS = ./internal/synth ./internal/linalg ./internal/ucache ./internal/noise ./internal/sim ./internal/partition
 
 build:
 	$(GO) build ./...
@@ -107,6 +107,36 @@ serve-smoke:
 	cmp "$$dir/ref.json" "$$dir/crash.json" || \
 		{ echo "serve-smoke: recovered result differs from the clean reference run"; exit 1; }; \
 	echo "serve-smoke: kill -9 mid-job recovered to a byte-identical result"
+
+# `make corpus-smoke` compiles the committed big-circuit corpus
+# (examples/circuits/corpus) twice through the overlapped batch driver:
+# pass 1 must finish with zero degradations, pass 2 must be served
+# entirely from the warm shared synthesis cache (hits > 0, misses = 0).
+# -samples 4 keeps it CI-cheap; the full numbers come from bench-corpus.
+corpus-smoke:
+	@out=$$($(GO) run ./cmd/quest -corpus examples/circuits/corpus -passes 2 -samples 4) || exit 1; \
+	echo "$$out" | grep '^corpus-total'; \
+	echo "$$out" | grep '^corpus-total' | grep 'pass=1 ' | grep -q 'degradations=0 ' || \
+		{ echo "corpus-smoke: pass 1 had degradations"; exit 1; }; \
+	echo "$$out" | grep '^corpus-total' | grep 'pass=2 ' | \
+		grep -q 'degradations=0 cache_hits=[1-9][0-9]* cache_misses=0 ' || \
+		{ echo "corpus-smoke: pass 2 was not served entirely from the warm shared cache"; exit 1; }
+
+# `make bench-corpus` records the cross-circuit scheduling comparison in
+# BENCH_corpus.json: "staged-serial" models the pre-batch driver (one
+# quest invocation per file — serial, staged pipeline, cold private
+# cache per compilation), "overlap" is the batch driver (streaming
+# partition+synthesis, shared scheduler + one shared synthesis cache).
+# The workload is two passes over the corpus (the iterative
+# compile-inspect-recompile loop the driver exists for): within a pass
+# the shared cache deduplicates blocks across circuits, and across
+# passes it keeps serving warm — the per-invocation driver starts cold
+# every time, which is exactly the architecture gap being measured.
+bench-corpus:
+	$(GO) run ./cmd/quest -corpus examples/circuits/corpus -corpus-mode staged-serial -passes 2 | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -corpus -out BENCH_corpus.json -section staged-serial
+	$(GO) run ./cmd/quest -corpus examples/circuits/corpus -corpus-mode overlap -passes 2 | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -corpus -out BENCH_corpus.json -section overlap
 
 # `make bench-serve` records questd's serving behaviour under load into
 # BENCH_serve.json: latency percentiles/histogram plus shed and retry

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// corpusDocument is the BENCH_corpus.json layout: named sections (one per
+// corpus driver mode, e.g. "staged-serial" and "overlap") of per-circuit
+// compilation records plus the corpus-total batch line.
+type corpusDocument struct {
+	GOOS     string                    `json:"goos"`
+	GOARCH   string                    `json:"goarch"`
+	Sections map[string][]corpusResult `json:"sections"`
+}
+
+// corpusResult is one `corpus <name> k=v ...` (or `corpus-total k=v ...`)
+// line from the corpus driver. Values parse as numbers where possible
+// (wall_ns, cnots, ...) and stay strings otherwise (mode).
+type corpusResult struct {
+	Name   string         `json:"name"`
+	Values map[string]any `json:"values"`
+}
+
+// parseCorpus extracts corpus records from `quest -corpus` output,
+// ignoring every other line (tables, logs). The total line is recorded
+// under the name "total".
+func parseCorpus(sc *bufio.Scanner) ([]corpusResult, error) {
+	var out []corpusResult
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			continue
+		}
+		var name string
+		switch fields[0] {
+		case "corpus":
+			name = fields[1]
+			fields = fields[2:]
+		case "corpus-total":
+			name = "total"
+			fields = fields[1:]
+		default:
+			continue
+		}
+		values := make(map[string]any, len(fields))
+		ok := true
+		for _, f := range fields {
+			k, v, found := strings.Cut(f, "=")
+			if !found || k == "" {
+				ok = false
+				break
+			}
+			if n, err := strconv.ParseFloat(v, 64); err == nil {
+				values[k] = n
+			} else {
+				values[k] = v
+			}
+		}
+		if !ok || len(values) == 0 {
+			continue
+		}
+		out = append(out, corpusResult{Name: name, Values: values})
+	}
+	return out, sc.Err()
+}
+
+// writeCorpusSection merges one section of corpus results into the JSON
+// file at path, mirroring the bench-section merge semantics: other
+// sections survive, the named one is replaced.
+func writeCorpusSection(path, section string, results []corpusResult) error {
+	doc := corpusDocument{Sections: map[string][]corpusResult{}}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("existing %s is not valid: %w", path, err)
+		}
+		if doc.Sections == nil {
+			doc.Sections = map[string][]corpusResult{}
+		}
+	}
+	doc.GOOS, doc.GOARCH = runtime.GOOS, runtime.GOARCH
+	doc.Sections[section] = results
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}

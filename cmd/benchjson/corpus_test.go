@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const corpusOutput = `
+input adder_8: 8 qubits, 23 ops, 49 CNOTs, depth 19
+
+corpus pass 1 (overlap, workers=1, jobs=4)
+circuit           qubits  blocks    cnots   approx  reduction    deg      M         wall
+qft_8                  8      17       68       55      19.1%      0      4        231ms
+corpus qft_8 pass=1 qubits=8 ops=40 blocks=17 cnots=68 approx_cnots=55 reduction_pct=19.12 samples=4 degradations=0 wall_ns=230516375
+corpus tfim_16 pass=1 qubits=16 ops=124 blocks=32 cnots=120 approx_cnots=120 reduction_pct=0.00 samples=1 degradations=0 wall_ns=130459055
+corpus-total mode=overlap pass=1 workers=1 jobs=4 circuits=12 degradations=0 cache_hits=190 cache_misses=127 wall_ns=20918444071
+PASS
+`
+
+func TestParseCorpus(t *testing.T) {
+	results, err := parseCorpus(bufio.NewScanner(strings.NewReader(corpusOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d records, want 3: %+v", len(results), results)
+	}
+	if results[0].Name != "qft_8" || results[1].Name != "tfim_16" || results[2].Name != "total" {
+		t.Fatalf("names = %s/%s/%s", results[0].Name, results[1].Name, results[2].Name)
+	}
+	if got := results[0].Values["cnots"]; got != float64(68) {
+		t.Errorf("qft_8 cnots = %v (%T)", got, got)
+	}
+	if got := results[0].Values["reduction_pct"]; got != 19.12 {
+		t.Errorf("qft_8 reduction_pct = %v", got)
+	}
+	if got := results[2].Values["mode"]; got != "overlap" {
+		t.Errorf("total mode = %v (%T), want string", got, got)
+	}
+	if got := results[2].Values["wall_ns"]; got != float64(20918444071) {
+		t.Errorf("total wall_ns = %v", got)
+	}
+}
+
+func TestWriteCorpusSectionMerges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_corpus.json")
+	first := []corpusResult{{Name: "qft_8", Values: map[string]any{"wall_ns": 1.0}}}
+	if err := writeCorpusSection(path, "staged-serial", first); err != nil {
+		t.Fatal(err)
+	}
+	second := []corpusResult{{Name: "qft_8", Values: map[string]any{"wall_ns": 2.0}}}
+	if err := writeCorpusSection(path, "overlap", second); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc corpusDocument
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Sections) != 2 {
+		t.Fatalf("sections = %v, want both staged-serial and overlap", doc.Sections)
+	}
+	if doc.Sections["staged-serial"][0].Values["wall_ns"] != 1.0 ||
+		doc.Sections["overlap"][0].Values["wall_ns"] != 2.0 {
+		t.Fatalf("section contents wrong: %+v", doc.Sections)
+	}
+}
+
+func TestParseCorpusRejectsGarbage(t *testing.T) {
+	results, err := parseCorpus(bufio.NewScanner(strings.NewReader("corpus broken no-equals-here\ncorpus\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("garbage parsed as %+v", results)
+	}
+}

@@ -5,8 +5,17 @@
 //
 //	quest -in circuit.qasm [-out dir] [flags]
 //	quest -algo tfim -n 4 [-out dir] [flags]
+//	quest -corpus examples/circuits/corpus [-corpus-mode overlap] [flags]
 //
 // With -out unset, a summary table is printed and no files are written.
+//
+// -corpus compiles every .qasm file in a directory as one batch: each
+// circuit runs the streaming (overlapped) pipeline and all of them share
+// one cross-circuit synthesis scheduler and one synthesis cache, so the
+// machine stays exactly -parallelism blocks busy regardless of how the
+// work is spread across circuits. -corpus-mode staged-serial keeps the
+// historical one-circuit-at-a-time staged driver as a benchmark baseline
+// (identical results, more wall time).
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 
 	quest "repro"
 	"repro/internal/artifact"
+	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/qasm"
 	"repro/internal/sim"
@@ -52,6 +62,12 @@ func main() {
 		cacheSize = flag.Int("synth-cache", 1024, "synthesis cache entries; repeated block unitaries (Trotter steps, mirrored subcircuits) synthesize once (0 = disabled)")
 		cacheTol  = flag.Float64("synth-cache-tol", 0, "cache match tolerance; 0 = strict (bit-reproducible), >0 reuses near-identical blocks with inflated distance bounds")
 		cacheDir  = flag.String("synth-cache-dir", "", "persist the synthesis cache in this directory so warm hits survive across runs (empty = in-memory only)")
+
+		corpusDir   = flag.String("corpus", "", "compile every .qasm file in this directory as one scheduled batch")
+		corpusMode  = flag.String("corpus-mode", experiments.ModeOverlapped, "corpus driver: overlap (streaming pipeline, shared scheduler) or staged-serial (baseline)")
+		jobs        = flag.Int("jobs", 0, "concurrent circuit compilations in corpus overlap mode (0 = min(4, circuits))")
+		parallelism = flag.Int("parallelism", 0, "machine-wide synthesis worker slots (0 = NumCPU)")
+		passes      = flag.Int("passes", 1, "corpus compilation passes against the shared cache (2 measures warm-cache serving)")
 	)
 	flag.Parse()
 
@@ -59,6 +75,28 @@ func main() {
 	// mid-write; a second signal falls through to the default handler.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *corpusDir != "" {
+		_, err := experiments.RunCorpus(ctx, experiments.CorpusOptions{
+			Dir:        *corpusDir,
+			Mode:       *corpusMode,
+			Jobs:       *jobs,
+			Workers:    *parallelism,
+			Passes:     *passes,
+			BlockSize:  *blockSize,
+			Epsilon:    *epsilon,
+			MaxSamples: *samples,
+			Seed:       *seed,
+			CacheSize:  *cacheSize,
+			Timeout:    *timeout,
+			Out:        os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quest:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	c, name, err := loadCircuit(*inFile, *algo, *qubits)
 	if err != nil {

@@ -6,18 +6,28 @@
 //
 //	questgen -algo qft -n 5            # one circuit to stdout
 //	questgen -all -out input_qasm_files
+//	questgen -corpus -out examples/circuits/corpus
+//
+// -corpus regenerates the committed benchmark corpus (the 8-20 qubit
+// QASMBench-style workload set defined in internal/algos.CorpusSpecs)
+// plus a manifest.json with per-circuit stats; the output is
+// deterministic, so a regeneration of an unchanged definition is a
+// byte-identical no-op.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"syscall"
 
 	quest "repro"
+	"repro/internal/algos"
 )
 
 func main() {
@@ -25,7 +35,8 @@ func main() {
 		algo   = flag.String("algo", "", "benchmark name")
 		qubits = flag.Int("n", 4, "approximate qubit count")
 		all    = flag.Bool("all", false, "emit every benchmark")
-		outDir = flag.String("out", "", "output directory (required with -all)")
+		corpus = flag.Bool("corpus", false, "emit the committed benchmark corpus (with manifest.json)")
+		outDir = flag.String("out", "", "output directory (required with -all / -corpus)")
 	)
 	flag.Parse()
 
@@ -35,6 +46,15 @@ func main() {
 	defer stop()
 
 	switch {
+	case *corpus:
+		if *outDir == "" {
+			fmt.Fprintln(os.Stderr, "questgen: -corpus requires -out")
+			os.Exit(1)
+		}
+		if err := writeCorpus(ctx, *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "questgen:", err)
+			os.Exit(1)
+		}
 	case *all:
 		if *outDir == "" {
 			fmt.Fprintln(os.Stderr, "questgen: -all requires -out")
@@ -69,7 +89,67 @@ func main() {
 		}
 		fmt.Print(quest.WriteQASM(c))
 	default:
-		fmt.Fprintf(os.Stderr, "questgen: need -algo or -all (benchmarks: %v)\n", quest.Benchmarks())
+		fmt.Fprintf(os.Stderr, "questgen: need -algo, -all or -corpus (benchmarks: %v)\n", quest.Benchmarks())
 		os.Exit(1)
 	}
+}
+
+// manifestEntry is one circuit's row in the corpus manifest.json.
+type manifestEntry struct {
+	File   string `json:"file"`
+	Algo   string `json:"algo"`
+	Qubits int    `json:"qubits"`
+	Ops    int    `json:"ops"`
+	CNOTs  int    `json:"cnots"`
+	Depth  int    `json:"depth"`
+}
+
+// writeCorpus emits the committed benchmark corpus: every CorpusSpecs
+// circuit as OpenQASM plus a manifest.json describing the set. Both the
+// circuits and the manifest are deterministic.
+func writeCorpus(ctx context.Context, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	byFile := map[string]string{} // file -> algo name
+	for _, spec := range algos.CorpusSpecs() {
+		c, err := algos.Generate(spec.Name, spec.Qubits)
+		if err != nil {
+			return err
+		}
+		byFile[fmt.Sprintf("%s_%d.qasm", spec.Name, c.NumQubits)] = spec.Name
+	}
+	circuits, err := algos.GenerateCorpus()
+	if err != nil {
+		return err
+	}
+	files := make([]string, 0, len(circuits))
+	for f := range circuits {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	manifest := make([]manifestEntry, 0, len(files))
+	for _, f := range files {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted: %w", err)
+		}
+		c := circuits[f]
+		if err := os.WriteFile(filepath.Join(dir, f), []byte(quest.WriteQASM(c)), 0o644); err != nil {
+			return err
+		}
+		manifest = append(manifest, manifestEntry{
+			File:   f,
+			Algo:   byFile[f],
+			Qubits: c.NumQubits,
+			Ops:    c.Size(),
+			CNOTs:  c.CNOTCount(),
+			Depth:  c.Depth(),
+		})
+		fmt.Printf("wrote %s (%d qubits, %d ops, %d CNOTs)\n", filepath.Join(dir, f), c.NumQubits, c.Size(), c.CNOTCount())
+	}
+	enc, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), append(enc, '\n'), 0o644)
 }

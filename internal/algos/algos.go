@@ -322,7 +322,7 @@ func VQE(n, layers int, seed int64) *circuit.Circuit {
 
 // Names lists the Table-1 benchmark names accepted by Generate.
 func Names() []string {
-	return []string{"adder", "heisenberg", "hlf", "qft", "qaoa", "multiplier", "tfim", "vqe", "xy"}
+	return []string{"adder", "cliffordt", "heisenberg", "hlf", "qft", "qaoa", "multiplier", "tfim", "vqe", "xy"}
 }
 
 // Generate builds a named Table-1 benchmark on (approximately) n qubits
@@ -348,6 +348,8 @@ func Generate(name string, n int) (*circuit.Circuit, error) {
 			bits = 1
 		}
 		return Adder(bits, 0b101&((1<<bits)-1), 0b011&((1<<bits)-1)), nil
+	case "cliffordt":
+		return CliffordT(n, 8, seed), nil
 	case "heisenberg":
 		return Heisenberg(n, steps, dt, 1, 1), nil
 	case "hlf":

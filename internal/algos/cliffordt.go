@@ -1,0 +1,57 @@
+package algos
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// cliffordTSingles are the single-qubit gates the random Clifford+T
+// benchmark draws from: the Clifford generators plus T/T† for universality
+// (the QASMBench "square random" recipe).
+var cliffordTSingles = []func(c *circuit.Circuit, q int){
+	(*circuit.Circuit).H,
+	(*circuit.Circuit).S,
+	(*circuit.Circuit).Sdg,
+	(*circuit.Circuit).T,
+	(*circuit.Circuit).Tdg,
+	(*circuit.Circuit).X,
+	(*circuit.Circuit).Z,
+}
+
+// CliffordT returns a random n-qubit Clifford+T circuit of the given
+// layer depth, deterministic in seed. Each layer pairs the qubits by a
+// random permutation; a pair becomes a CX (random direction) with
+// probability ~0.4 and independent random single-qubit gates otherwise,
+// so entanglement spreads across the whole register without any
+// nearest-neighbor structure the scan partitioner could exploit — the
+// adversarial counterpart to the Trotterized chains.
+func CliffordT(n, layers int, seed int64) *circuit.Circuit {
+	if n < 2 {
+		panic("algos: CliffordT needs at least 2 qubits")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	single := func(q int) {
+		cliffordTSingles[rng.Intn(len(cliffordTSingles))](c, q)
+	}
+	for l := 0; l < layers; l++ {
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			a, b := perm[i], perm[i+1]
+			if rng.Float64() < 0.4 {
+				if rng.Intn(2) == 1 {
+					a, b = b, a
+				}
+				c.CX(a, b)
+			} else {
+				single(a)
+				single(b)
+			}
+		}
+		if n%2 == 1 {
+			single(perm[n-1])
+		}
+	}
+	return c
+}

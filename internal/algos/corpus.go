@@ -1,0 +1,64 @@
+package algos
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// CorpusSpec names one entry of the committed benchmark corpus
+// (examples/circuits/corpus): a Generate benchmark at a specific size.
+// The corpus is the QASMBench-style multi-circuit workload the corpus
+// driver (cmd/quest -corpus) compiles and benchmarks end to end — big
+// enough (8-20 qubits) that partitioning, synthesis scheduling, and
+// cross-circuit cache reuse all matter, unlike the 4-qubit figure
+// workloads.
+type CorpusSpec struct {
+	// Name is the Generate benchmark name.
+	Name string
+	// Qubits is the requested size; the generated circuit's NumQubits
+	// may differ for the arithmetic circuits (see Generate).
+	Qubits int
+}
+
+// CorpusSpecs returns the committed corpus definition, sorted by
+// (Name, Qubits). Arithmetic (adder), structured (qft), Trotterized
+// chains (heisenberg, tfim, xy), variational ansatz (qaoa, vqe) and
+// unstructured random Clifford+T circuits each appear at a small and a
+// large size, so the corpus spans both block-structure regimes the scan
+// partitioner sees.
+func CorpusSpecs() []CorpusSpec {
+	return []CorpusSpec{
+		{Name: "adder", Qubits: 8},
+		{Name: "adder", Qubits: 18},
+		{Name: "cliffordt", Qubits: 12},
+		{Name: "cliffordt", Qubits: 20},
+		{Name: "heisenberg", Qubits: 12},
+		{Name: "qaoa", Qubits: 14},
+		{Name: "qft", Qubits: 8},
+		{Name: "qft", Qubits: 16},
+		{Name: "tfim", Qubits: 16},
+		{Name: "vqe", Qubits: 10},
+		{Name: "vqe", Qubits: 16},
+		{Name: "xy", Qubits: 20},
+	}
+}
+
+// GenerateCorpus materializes every corpus entry. The returned file names
+// (<name>_<actual qubits>.qasm) are the committed layout questgen -corpus
+// writes and the corpus driver reads.
+func GenerateCorpus() (map[string]*circuit.Circuit, error) {
+	out := make(map[string]*circuit.Circuit, len(CorpusSpecs()))
+	for _, spec := range CorpusSpecs() {
+		c, err := Generate(spec.Name, spec.Qubits)
+		if err != nil {
+			return nil, fmt.Errorf("algos: corpus %s-%d: %w", spec.Name, spec.Qubits, err)
+		}
+		file := fmt.Sprintf("%s_%d.qasm", spec.Name, c.NumQubits)
+		if prev, dup := out[file]; dup && prev.String() != c.String() {
+			return nil, fmt.Errorf("algos: corpus file %s generated twice with different contents", file)
+		}
+		out[file] = c
+	}
+	return out, nil
+}

@@ -100,15 +100,18 @@ func (c *Circuit) Append(name string, qubits []int, params []float64) error {
 	if len(params) != s.Params {
 		return fmt.Errorf("circuit: gate %s expects %d params, got %d", name, s.Params, len(params))
 	}
-	seen := map[int]bool{}
-	for _, q := range qubits {
+	// Operand counts are tiny (≤3 for every registered gate), so the
+	// duplicate check is a quadratic scan instead of a map: Append is on
+	// the partitioner's per-gate path and must not allocate per op.
+	for i, q := range qubits {
 		if q < 0 || q >= c.NumQubits {
 			return fmt.Errorf("circuit: qubit %d out of range [0,%d)", q, c.NumQubits)
 		}
-		if seen[q] {
-			return fmt.Errorf("circuit: duplicate qubit %d in %s", q, name)
+		for _, p := range qubits[:i] {
+			if p == q {
+				return fmt.Errorf("circuit: duplicate qubit %d in %s", q, name)
+			}
 		}
-		seen[q] = true
 	}
 	c.Ops = append(c.Ops, Op{
 		Name:   name,

@@ -13,6 +13,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/circuit"
 	"repro/internal/faultinject"
+	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/qasm"
 )
@@ -48,7 +49,11 @@ type Options struct {
 	KeepTerminal int
 	// Pipeline is the base pipeline Config; per-job Params override its
 	// Epsilon/MaxSamples/BlockSize/Seed. Its SynthCache (if any) is
-	// shared across every tenant's jobs.
+	// shared across every tenant's jobs. When its Scheduler is nil and
+	// Workers > 0, the manager installs one shared par.Pool (sized by
+	// Pipeline.Parallelism, 0 = NumCPU) and enables the streaming
+	// Overlap path, so all workers' jobs draw synthesis slots from one
+	// machine-wide budget.
 	Pipeline pipeline.Config
 	// Clock is the time source (default time.Now; tests inject).
 	Clock func() time.Time
@@ -88,10 +93,23 @@ func (o *Options) defaults() {
 	if o.Clock == nil {
 		o.Clock = time.Now
 	}
+	if o.Pipeline.Scheduler == nil && o.Workers > 0 {
+		// One machine-wide synthesis slot budget shared by every worker's
+		// pipeline run, replacing the old static NumCPU/Workers split: a
+		// lone job can saturate the machine, and W busy jobs draw slots
+		// FIFO from the same pool instead of oversubscribing it W-fold.
+		// Streaming (Overlap) lets each job's blocks reach the shared
+		// pool as the partition scan closes them. Pool size follows
+		// Pipeline.Parallelism (0 = NumCPU). Neither field enters
+		// artifact keys, so results and keys are unchanged.
+		o.Pipeline.Scheduler = par.NewPool(o.Pipeline.Parallelism)
+		o.Pipeline.Overlap = true
+	}
 	if o.Pipeline.Parallelism == 0 {
-		// Jobs already run concurrently across workers; keep each job's
-		// intra-pipeline parallelism proportional so W jobs don't
-		// oversubscribe the machine W-fold.
+		// No-scheduler managers (Workers < 0 inspection tooling, or an
+		// explicit Scheduler with Parallelism unset) keep the old
+		// proportional split so W jobs don't oversubscribe the machine
+		// W-fold on the staged path.
 		per := runtime.NumCPU()
 		if o.Workers > 0 {
 			per = per / o.Workers

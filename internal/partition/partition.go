@@ -3,12 +3,26 @@
 // front-to-back scan, the scalable "scan partitioner" the paper adopts
 // from BQSKit. Blocks are emitted in topological order: executing the
 // blocks sequentially reproduces the original circuit's unitary.
+//
+// Three entry points share one scan core:
+//
+//   - Scan materializes the whole partition at once (the historical API);
+//   - Stream emits each block as soon as the scan PROVES no later op can
+//     join it, which is what lets synthesis start on block 0 while the
+//     scanner is still walking the tail of a multi-thousand-gate circuit;
+//   - Count computes only the number of blocks, without materializing
+//     any ops — the cheap pre-pass the overlapped pipeline uses to fix
+//     the full-circuit threshold before the first block arrives.
+//
+// Stream is proven block-for-block identical to Scan by randomized tests:
+// same blocks, same order, same qubit sets, same op sequences.
 package partition
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/circuit"
 )
 
@@ -24,20 +38,190 @@ type Block struct {
 // CNOTCount returns the block's CNOT-equivalent gate count.
 func (b Block) CNOTCount() int { return b.Circuit.CNOTCount() }
 
-// openBlock accumulates global-qubit ops during the scan.
+// openBlock accumulates op indices during the scan. Its qubit set is a
+// sorted slice, not a map: blocks hold at most maxSize (≤ a handful of)
+// qubits, so membership is a short linear scan and inserting stays
+// allocation-free after the initial maxSize-capacity grab. This is the
+// partitioner's per-gate hot path — see BenchmarkPartitionScan.
 type openBlock struct {
-	qubits map[int]bool
-	ops    []circuit.Op
+	qubits []int // sorted ascending
+	ops    []int // indices into the scanned circuit's Ops
 }
 
+// has reports whether q is in the block's qubit set.
+func (b *openBlock) has(q int) bool {
+	for _, p := range b.qubits {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// fits reports whether adding the op's qubits keeps the block within
+// maxSize.
 func (b *openBlock) fits(qs []int, maxSize int) bool {
 	extra := 0
 	for _, q := range qs {
-		if !b.qubits[q] {
+		if !b.has(q) {
 			extra++
 		}
 	}
 	return len(b.qubits)+extra <= maxSize
+}
+
+// add inserts q into the sorted qubit set if absent.
+func (b *openBlock) add(q int) {
+	i := 0
+	for i < len(b.qubits) && b.qubits[i] < q {
+		i++
+	}
+	if i < len(b.qubits) && b.qubits[i] == q {
+		return
+	}
+	b.qubits = append(b.qubits, 0)
+	copy(b.qubits[i+1:], b.qubits[i:])
+	b.qubits[i] = q
+}
+
+// scanner runs the placement loop shared by Scan, Stream and Count.
+type scanner struct {
+	c         *circuit.Circuit
+	maxSize   int
+	blocks    []*openBlock // emitted entries are nil'd to release memory
+	lastTouch []int        // lastTouch[q] = index of the last block touching q
+	remaining []int        // remaining[q] = ops after the cursor touching q
+	emitted   int          // blocks [0, emitted) have been handed out
+	storeOps  bool         // Count runs with ops elided
+}
+
+func newScanner(c *circuit.Circuit, maxSize int, storeOps bool) (*scanner, error) {
+	if maxSize < 1 {
+		return nil, fmt.Errorf("partition: maxSize %d < 1", maxSize)
+	}
+	s := &scanner{
+		c:         c,
+		maxSize:   maxSize,
+		lastTouch: make([]int, c.NumQubits),
+		remaining: make([]int, c.NumQubits),
+		storeOps:  storeOps,
+	}
+	for i := range s.lastTouch {
+		s.lastTouch[i] = -1
+	}
+	for _, op := range c.Ops {
+		if len(op.Qubits) > maxSize {
+			return nil, fmt.Errorf("partition: op %s spans %d qubits > block size %d",
+				op.Name, len(op.Qubits), maxSize)
+		}
+		for _, q := range op.Qubits {
+			s.remaining[q]++
+		}
+	}
+	return s, nil
+}
+
+// place assigns op index i to a block: the latest open block that can
+// hold it and is not ordered before another block touching the op's
+// qubits; a new block is opened when none fits. This preserves all
+// per-qubit gate orderings, so sequential reassembly is exact.
+func (s *scanner) place(i int) {
+	op := s.c.Ops[i]
+	last := -1
+	for _, q := range op.Qubits {
+		if s.lastTouch[q] > last {
+			last = s.lastTouch[q]
+		}
+	}
+	placed := -1
+	for b := len(s.blocks) - 1; b >= last && b >= 0; b-- {
+		if s.blocks[b].fits(op.Qubits, s.maxSize) {
+			placed = b
+			break
+		}
+	}
+	if placed == -1 {
+		s.blocks = append(s.blocks, &openBlock{qubits: make([]int, 0, s.maxSize)})
+		placed = len(s.blocks) - 1
+	}
+	blk := s.blocks[placed]
+	for _, q := range op.Qubits {
+		blk.add(q)
+		s.lastTouch[q] = placed
+		s.remaining[q]--
+	}
+	if s.storeOps {
+		blk.ops = append(blk.ops, i)
+	}
+}
+
+// closedBefore returns the exclusive upper bound on the prefix of blocks
+// the min-last-touch rule proves closed: a future op's placement index is
+// at least the maximum last-touch over its own qubits, which is at least
+// the minimum last-touch over every qubit that still has ops ahead of the
+// cursor — so every block below that minimum can never receive another
+// op. Qubits with no remaining ops (including qubits the circuit never
+// uses) cannot appear in a future op and do not hold blocks open.
+func (s *scanner) closedBefore() int {
+	m := len(s.blocks)
+	for q, rem := range s.remaining {
+		if rem > 0 && s.lastTouch[q] < m {
+			m = s.lastTouch[q]
+		}
+	}
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// blockClosed proves closure for one saturated block directly: a block
+// already holding maxSize qubits can only receive a future op whose
+// qubits ALL lie inside its qubit set, and such an op cannot reach index
+// b when each member qubit either has no ops left or was last touched by
+// a later block (placement never descends below the op's max last-touch).
+// This closes the common fully-packed blocks long before the global
+// min-last-touch passes them — e.g. a finished 4-qubit block at the head
+// of a 60-qubit circuit.
+func (s *scanner) blockClosed(b int) bool {
+	blk := s.blocks[b]
+	if len(blk.qubits) < s.maxSize {
+		return false
+	}
+	for _, q := range blk.qubits {
+		if s.remaining[q] > 0 && s.lastTouch[q] <= b {
+			return false
+		}
+	}
+	return true
+}
+
+// localize converts open block b into its emitted Block form, remapping
+// global qubits to local indices 0..len(qubits)-1 (ascending order).
+func (s *scanner) localize(b int) (Block, error) {
+	blk := s.blocks[b]
+	qs := append([]int(nil), blk.qubits...)
+	bc := circuit.New(len(qs))
+	var lq [4]int // registered gates touch ≤3 qubits; stack buffer covers them
+	for _, oi := range blk.ops {
+		op := s.c.Ops[oi]
+		local := lq[:0]
+		if len(op.Qubits) > len(lq) {
+			local = make([]int, 0, len(op.Qubits))
+		}
+		for _, q := range op.Qubits {
+			for i, g := range qs {
+				if g == q {
+					local = append(local, i)
+					break
+				}
+			}
+		}
+		if err := bc.Append(op.Name, local, op.Params); err != nil {
+			return Block{}, fmt.Errorf("partition: localize op %s: %w", op.Name, err)
+		}
+	}
+	return Block{Qubits: qs, Circuit: bc}, nil
 }
 
 // Scan partitions the circuit into blocks of at most maxSize qubits.
@@ -46,73 +230,83 @@ func (b *openBlock) fits(qs []int, maxSize int) bool {
 // block is opened when none fits. This preserves all per-qubit gate
 // orderings, so sequential reassembly is exact.
 func Scan(c *circuit.Circuit, maxSize int) ([]Block, error) {
-	if maxSize < 1 {
-		return nil, fmt.Errorf("partition: maxSize %d < 1", maxSize)
+	s, err := newScanner(c, maxSize, true)
+	if err != nil {
+		return nil, err
 	}
-	for _, op := range c.Ops {
-		if len(op.Qubits) > maxSize {
-			return nil, fmt.Errorf("partition: op %s spans %d qubits > block size %d",
-				op.Name, len(op.Qubits), maxSize)
-		}
+	for i := range c.Ops {
+		s.place(i)
 	}
-
-	var blocks []*openBlock
-	// lastTouch[q] = index of the last block that touched qubit q.
-	lastTouch := make([]int, c.NumQubits)
-	for i := range lastTouch {
-		lastTouch[i] = -1
-	}
-
-	for _, op := range c.Ops {
-		last := -1
-		for _, q := range op.Qubits {
-			if lastTouch[q] > last {
-				last = lastTouch[q]
-			}
+	out := make([]Block, 0, len(s.blocks))
+	for b := range s.blocks {
+		blk, err := s.localize(b)
+		if err != nil {
+			return nil, err
 		}
-		placed := -1
-		for b := len(blocks) - 1; b >= last && b >= 0; b-- {
-			if blocks[b].fits(op.Qubits, maxSize) {
-				placed = b
-				break
-			}
-		}
-		if placed == -1 {
-			blocks = append(blocks, &openBlock{qubits: map[int]bool{}})
-			placed = len(blocks) - 1
-		}
-		blk := blocks[placed]
-		for _, q := range op.Qubits {
-			blk.qubits[q] = true
-			lastTouch[q] = placed
-		}
-		blk.ops = append(blk.ops, op.Clone())
-	}
-
-	out := make([]Block, 0, len(blocks))
-	for _, b := range blocks {
-		qs := make([]int, 0, len(b.qubits))
-		for q := range b.qubits {
-			qs = append(qs, q)
-		}
-		sort.Ints(qs)
-		local := map[int]int{}
-		for i, q := range qs {
-			local[q] = i
-		}
-		bc := circuit.New(len(qs))
-		for _, op := range b.ops {
-			lq := make([]int, len(op.Qubits))
-			for i, q := range op.Qubits {
-				lq[i] = local[q]
-			}
-			if err := bc.Append(op.Name, lq, op.Params); err != nil {
-				return nil, fmt.Errorf("partition: localize op %s: %w", op.Name, err)
-			}
-		}
-		out = append(out, Block{Qubits: qs, Circuit: bc})
+		out = append(out, blk)
 	}
 	return out, nil
+}
+
+// Count returns the number of blocks Scan would produce, without
+// materializing any block circuit. It is the overlapped pipeline's
+// pre-pass: the full-circuit threshold is ε × Count before the first
+// streamed block reaches synthesis.
+func Count(c *circuit.Circuit, maxSize int) (int, error) {
+	s, err := newScanner(c, maxSize, false)
+	if err != nil {
+		return 0, err
+	}
+	for i := range c.Ops {
+		s.place(i)
+	}
+	return len(s.blocks), nil
+}
+
+// Stream partitions the circuit incrementally: emit is called once per
+// block, in Scan's block order, as soon as the scan proves the block can
+// receive no further op (see scanner.closedBefore) — block 0 is typically
+// emitted while the scanner is still walking the circuit's tail. The
+// blocks passed to emit are exactly Scan's blocks.
+//
+// Stream stops at the first emit error (returned verbatim) and checks ctx
+// between ops, returning the typed budget error on expiry. It runs
+// entirely on the caller's goroutine: cancellation cannot leak anything.
+func Stream(ctx context.Context, c *circuit.Circuit, maxSize int, emit func(Block) error) error {
+	s, err := newScanner(c, maxSize, true)
+	if err != nil {
+		return err
+	}
+	// emitClosed hands out the longest emittable prefix: blocks below the
+	// global min-last-touch bound, plus saturated blocks blockClosed
+	// proves directly. Emission stays strictly in index order (Scan's
+	// order); a closed block behind an open one waits its turn.
+	emitClosed := func(final bool) error {
+		m := s.closedBefore()
+		for s.emitted < len(s.blocks) &&
+			(final || s.emitted < m || s.blockClosed(s.emitted)) {
+			blk, err := s.localize(s.emitted)
+			if err != nil {
+				return err
+			}
+			s.blocks[s.emitted].ops = nil // handed out; keep qubits (fits scans past)
+			s.emitted++
+			if err := emit(blk); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range c.Ops {
+		if err := budget.Check(ctx); err != nil {
+			return err
+		}
+		s.place(i)
+		if err := emitClosed(false); err != nil {
+			return err
+		}
+	}
+	return emitClosed(true)
 }
 
 // Reassemble rebuilds a full circuit on n qubits from blocks in order,

@@ -1,0 +1,393 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/circuit"
+)
+
+// scanReference is the pre-streaming map-based Scan, kept verbatim as the
+// correctness oracle for the rewritten scan core and as the "before" side
+// of BenchmarkPartitionScan.
+func scanReference(c *circuit.Circuit, maxSize int) ([]Block, error) {
+	type refBlock struct {
+		qubits map[int]bool
+		ops    []circuit.Op
+	}
+	fits := func(b *refBlock, qs []int) bool {
+		extra := 0
+		for _, q := range qs {
+			if !b.qubits[q] {
+				extra++
+			}
+		}
+		return len(b.qubits)+extra <= maxSize
+	}
+	if maxSize < 1 {
+		return nil, fmt.Errorf("partition: maxSize %d < 1", maxSize)
+	}
+	for _, op := range c.Ops {
+		if len(op.Qubits) > maxSize {
+			return nil, fmt.Errorf("partition: op %s spans %d qubits > block size %d",
+				op.Name, len(op.Qubits), maxSize)
+		}
+	}
+	var blocks []*refBlock
+	lastTouch := make([]int, c.NumQubits)
+	for i := range lastTouch {
+		lastTouch[i] = -1
+	}
+	for _, op := range c.Ops {
+		last := -1
+		for _, q := range op.Qubits {
+			if lastTouch[q] > last {
+				last = lastTouch[q]
+			}
+		}
+		placed := -1
+		for b := len(blocks) - 1; b >= last && b >= 0; b-- {
+			if fits(blocks[b], op.Qubits) {
+				placed = b
+				break
+			}
+		}
+		if placed == -1 {
+			blocks = append(blocks, &refBlock{qubits: map[int]bool{}})
+			placed = len(blocks) - 1
+		}
+		blk := blocks[placed]
+		for _, q := range op.Qubits {
+			blk.qubits[q] = true
+			lastTouch[q] = placed
+		}
+		blk.ops = append(blk.ops, op.Clone())
+	}
+	out := make([]Block, 0, len(blocks))
+	for _, b := range blocks {
+		qs := make([]int, 0, len(b.qubits))
+		for q := range b.qubits {
+			qs = append(qs, q)
+		}
+		sort.Ints(qs)
+		local := map[int]int{}
+		for i, q := range qs {
+			local[q] = i
+		}
+		bc := circuit.New(len(qs))
+		for _, op := range b.ops {
+			lq := make([]int, len(op.Qubits))
+			for i, q := range op.Qubits {
+				lq[i] = local[q]
+			}
+			if err := bc.Append(op.Name, lq, op.Params); err != nil {
+				return nil, fmt.Errorf("partition: localize op %s: %w", op.Name, err)
+			}
+		}
+		out = append(out, Block{Qubits: qs, Circuit: bc})
+	}
+	return out, nil
+}
+
+// sparseRandomCircuit exercises the closure logic's corner cases: idle
+// qubits (never touched), qubits that go quiet early, and qubits that
+// first appear late in the circuit.
+func sparseRandomCircuit(n, ops int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	active := 2 + rng.Intn(n-1)
+	if active > n {
+		active = n
+	}
+	for i := 0; i < ops; i++ {
+		// Occasionally widen the active window so fresh qubits appear
+		// mid-circuit; qubits beyond the final window stay idle forever.
+		if active < n && rng.Intn(8) == 0 {
+			active++
+		}
+		switch rng.Intn(5) {
+		case 0:
+			c.H(rng.Intn(active))
+		case 1:
+			c.RZ(rng.Intn(active), rng.Float64()*2*math.Pi)
+		case 2:
+			c.T(rng.Intn(active))
+		default:
+			if active < 2 {
+				c.H(0)
+				continue
+			}
+			a, b := rng.Intn(active), rng.Intn(active)
+			for b == a {
+				b = rng.Intn(active)
+			}
+			c.CX(a, b)
+		}
+	}
+	return c
+}
+
+func blocksEqual(t *testing.T, tag string, got, want []Block) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d blocks, want %d", tag, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if len(g.Qubits) != len(w.Qubits) {
+			t.Fatalf("%s: block %d qubits %v, want %v", tag, i, g.Qubits, w.Qubits)
+		}
+		for j := range g.Qubits {
+			if g.Qubits[j] != w.Qubits[j] {
+				t.Fatalf("%s: block %d qubits %v, want %v", tag, i, g.Qubits, w.Qubits)
+			}
+		}
+		if g.Circuit.String() != w.Circuit.String() {
+			t.Fatalf("%s: block %d circuit:\n%s\nwant:\n%s", tag, i, g.Circuit, w.Circuit)
+		}
+	}
+}
+
+// TestScanMatchesReference pins the rewritten scan core (sorted-slice
+// qubit sets, op-index storage) block-for-block to the historical
+// map-based implementation.
+func TestScanMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(8)
+		ops := 1 + rng.Intn(120)
+		maxSize := 2 + rng.Intn(3)
+		c := sparseRandomCircuit(n, ops, rng)
+		want, err := scanReference(c, maxSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Scan(c, maxSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocksEqual(t, fmt.Sprintf("trial %d (n=%d ops=%d bs=%d)", trial, n, ops, maxSize), got, want)
+	}
+}
+
+// TestStreamEqualsScan is the streaming partitioner's central contract:
+// same blocks, same order, same qubit sets as Scan, over randomized
+// circuits including idle and late-appearing qubits.
+func TestStreamEqualsScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(8)
+		ops := 1 + rng.Intn(120)
+		maxSize := 2 + rng.Intn(3)
+		c := sparseRandomCircuit(n, ops, rng)
+		want, err := Scan(c, maxSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Block
+		if err := Stream(context.Background(), c, maxSize, func(b Block) error {
+			got = append(got, b)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		blocksEqual(t, fmt.Sprintf("trial %d (n=%d ops=%d bs=%d)", trial, n, ops, maxSize), got, want)
+	}
+}
+
+func TestCountMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(8)
+		c := sparseRandomCircuit(n, 1+rng.Intn(100), rng)
+		maxSize := 2 + rng.Intn(3)
+		blocks, err := Scan(c, maxSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, err := Count(c, maxSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != len(blocks) {
+			t.Fatalf("trial %d: Count = %d, Scan produced %d blocks", trial, count, len(blocks))
+		}
+	}
+}
+
+// TestStreamEmitsBeforeScanEnd proves actual overlap: a saturated block
+// whose qubits go quiet must be emitted while the scanner is still
+// walking later gates — observed by cancelling the context from inside
+// emit, which can only interrupt the remaining scan if the emit happened
+// mid-scan.
+func TestStreamEmitsBeforeScanEnd(t *testing.T) {
+	c := circuit.New(4)
+	c.CX(0, 1) // block 0: saturates {0,1}, then goes quiet
+	for i := 0; i < 50; i++ {
+		c.CX(2, 3)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emits := 0
+	err := Stream(ctx, c, 2, func(b Block) error {
+		emits++
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, budget.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled (emission must happen mid-scan)", err)
+	}
+	if emits != 1 {
+		t.Fatalf("emitted %d blocks before cancellation, want exactly the closed head block", emits)
+	}
+}
+
+// TestStreamSaturatedHeadClosesEarly whiteboxes the closure rules: after
+// the head block saturates and its qubits run out of ops, blockClosed
+// must prove it closed even though idle qubits pin the global
+// min-last-touch bound at zero.
+func TestStreamSaturatedHeadClosesEarly(t *testing.T) {
+	c := circuit.New(5) // qubit 4 stays idle: closedBefore alone never fires
+	c.CX(0, 1)
+	for i := 0; i < 10; i++ {
+		c.CX(2, 3)
+	}
+	s, err := newScanner(c, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.place(0)
+	// Qubits 0 and 1 have no ops left, so the saturated head block is
+	// provably closed the moment its last op lands — no future op can be
+	// a subset of {0,1}.
+	if !s.blockClosed(0) {
+		t.Fatal("saturated head block with exhausted qubits not proven closed")
+	}
+	if got := s.closedBefore(); got != 0 {
+		t.Fatalf("closedBefore = %d; the idle qubit must pin the global bound at 0", got)
+	}
+	s.place(1) // first cx(2,3): opens block 1, still receiving ops
+	if s.blockClosed(1) {
+		t.Fatal("block 1 reported closed with ops on {2,3} still ahead")
+	}
+}
+
+func TestStreamEmitErrorAborts(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	c := randomCircuit(5, 60, rng)
+	sentinel := errors.New("stop")
+	calls := 0
+	err := Stream(context.Background(), c, 2, func(Block) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times after returning an error", calls)
+	}
+}
+
+func TestStreamCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := circuit.New(2)
+	c.CX(0, 1)
+	err := Stream(ctx, c, 2, func(Block) error {
+		t.Fatal("emit called under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, budget.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+}
+
+func TestStreamRejectsBadInput(t *testing.T) {
+	c := circuit.New(3)
+	c.CCX(0, 1, 2)
+	if err := Stream(context.Background(), c, 2, func(Block) error { return nil }); err == nil {
+		t.Error("3-qubit op accepted into 2-qubit blocks")
+	}
+	if _, err := Count(c, 2); err == nil {
+		t.Error("Count accepted a too-wide op")
+	}
+	if _, err := Count(c, 0); err == nil {
+		t.Error("Count accepted maxSize 0")
+	}
+}
+
+// benchCircuit is a deep many-qubit workload: the shape the streaming
+// partitioner exists for.
+func benchCircuit(n, ops int) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(99))
+	c := circuit.New(n)
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.RZ(rng.Intn(n), rng.Float64()*2*math.Pi)
+		default:
+			a, b := rng.Intn(n), rng.Intn(n)
+			for b == a {
+				b = rng.Intn(n)
+			}
+			c.CX(a, b)
+		}
+	}
+	return c
+}
+
+func BenchmarkPartitionScan(b *testing.B) {
+	c := benchCircuit(24, 8000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Scan(c, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionScanReference is the pre-PR map-based partitioner on
+// the same workload: the "before" row of the scan hot-path fix.
+func BenchmarkPartitionScanReference(b *testing.B) {
+	c := benchCircuit(24, 8000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scanReference(c, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionStream(b *testing.B) {
+	c := benchCircuit(24, 8000)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := Stream(ctx, c, 3, func(Block) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionCount(b *testing.B) {
+	c := benchCircuit(24, 8000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Count(c, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

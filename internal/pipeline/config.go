@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/par"
 	"repro/internal/ucache"
 )
 
@@ -85,6 +86,24 @@ type Config struct {
 	// Nil disables caching, so every block synthesis actually runs; the
 	// timeout/retry/degradation machinery assumes that in its tests.
 	SynthCache *ucache.Cache
+	// Scheduler, when non-nil, is a shared cross-run worker pool: block
+	// synthesis draws per-block slots from it instead of spawning
+	// Parallelism private workers, so N concurrent compilations (a
+	// corpus run, questd's worker fleet) keep exactly Scheduler.Size()
+	// blocks in flight machine-wide — small circuits stop
+	// undersubscribing and concurrent runs stop oversubscribing. Results
+	// are bit-identical with or without it, for any pool size (the
+	// slot-write determinism rule; asserted by tests). Nil keeps the
+	// historical per-run pool. Scheduler never enters artifact keys.
+	Scheduler *par.Pool
+	// Overlap selects the streaming partition path: blocks are emitted
+	// by partition.Stream as the scan proves them closed and synthesis
+	// consumes them immediately, so block 0 synthesizes while the
+	// scanner is still walking the circuit's tail. Artifacts are
+	// bit-identical to the staged path (golden-tested); only wall-clock
+	// and the Elapsed telemetry differ. Zero value keeps the staged
+	// path.
+	Overlap bool
 }
 
 func (c *Config) defaults() {

@@ -1,0 +1,266 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/budget"
+	"repro/internal/circuit"
+	"repro/internal/faultinject"
+	"repro/internal/par"
+)
+
+// assertArtifactsEqual is the golden comparison for the overlapped path's
+// bit-identity claim: every field of the SynthesisArtifact chain except
+// wall-clock telemetry must match the staged artifact exactly — blocks,
+// thresholds, candidates (circuits, distances, CNOT counts), the raw
+// harvest, pairwise distances, degradations, and keys.
+func assertArtifactsEqual(t *testing.T, staged, overlapped *SynthesisArtifact) {
+	t.Helper()
+	sp, op := staged.Partition, overlapped.Partition
+	if !reflect.DeepEqual(sp.Blocks, op.Blocks) {
+		t.Fatal("partition blocks differ between staged and overlapped paths")
+	}
+	if sp.Threshold != op.Threshold || sp.Key != op.Key {
+		t.Fatalf("partition threshold/key differ: %g/%q vs %g/%q",
+			sp.Threshold, sp.Key, op.Threshold, op.Key)
+	}
+	if !reflect.DeepEqual(staged.Blocks, overlapped.Blocks) {
+		t.Fatal("synthesized blocks differ between staged and overlapped paths")
+	}
+	if !reflect.DeepEqual(staged.Degradations, overlapped.Degradations) {
+		t.Fatalf("degradations differ: %v vs %v", staged.Degradations, overlapped.Degradations)
+	}
+	if staged.Key != overlapped.Key {
+		t.Fatalf("synthesis keys differ: %q vs %q", staged.Key, overlapped.Key)
+	}
+	if staged.CacheStats != overlapped.CacheStats {
+		t.Fatalf("cache stats differ: %+v vs %+v", staged.CacheStats, overlapped.CacheStats)
+	}
+}
+
+// TestOverlapMatchesStagedGolden is the tentpole's acceptance test: the
+// streaming partition+synthesis fusion must produce bit-identical
+// artifacts to the staged composition — through selection — on circuits
+// with different block structures.
+func TestOverlapMatchesStagedGolden(t *testing.T) {
+	cases := map[string]*circuit.Circuit{
+		"tfim":       algos.TFIM(4, 3, 0.1, 1, 1),
+		"heisenberg": algos.Heisenberg(4, 2, 0.1, 1, 1),
+		"xy5":        algos.XY(5, 2, 0.1, 1),
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig()
+			staged, err := Synthesize(context.Background(), c, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Overlap = true
+			overlapped, err := Synthesize(context.Background(), c, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertArtifactsEqual(t, staged, overlapped)
+
+			// And through selection: the full composed pipelines agree.
+			selStaged, err := SelectionStage(cfg).Run(context.Background(), staged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			selOverlap, err := SelectionStage(cfg).Run(context.Background(), overlapped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(selStaged.Selected, selOverlap.Selected) {
+				t.Fatal("selected approximations differ between staged and overlapped paths")
+			}
+		})
+	}
+}
+
+// TestOverlapQualityDegradationGolden forces block 1 to fail every
+// synthesis attempt and asserts both paths degrade it identically (same
+// block, same attempt count, same reason, exact-only candidate set).
+func TestOverlapQualityDegradationGolden(t *testing.T) {
+	restore := faultinject.Set("core.block.1", faultinject.FailAlways(errors.New("injected synth failure")))
+	defer restore()
+
+	c := algos.TFIM(4, 3, 0.1, 1, 1)
+	cfg := testConfig()
+	staged, err := Synthesize(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Overlap = true
+	overlapped, err := Synthesize(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(staged.Degradations) == 0 {
+		t.Fatal("fault injection produced no degradation")
+	}
+	assertArtifactsEqual(t, staged, overlapped)
+}
+
+// TestOverlapRunCtx exercises the public entry point with Overlap set:
+// RunCtx must route through the fused stage and produce the same Result
+// as the staged default.
+func TestOverlapRunCtx(t *testing.T) {
+	c := algos.TFIM(4, 2, 0.1, 1, 1)
+	cfg := testConfig()
+	rs, err := RunCtx(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Overlap = true
+	ro, err := RunCtx(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs.Selected, ro.Selected) {
+		t.Fatal("RunCtx results differ between staged and overlapped paths")
+	}
+	if ro.Timing.Partition <= 0 || ro.Timing.Synthesis <= 0 {
+		t.Errorf("overlapped timing not recorded: %+v", ro.Timing)
+	}
+}
+
+// TestOverlapSharedSchedulerGolden runs several overlapped compilations
+// concurrently against ONE shared scheduler pool and asserts each result
+// is bit-identical to its solo staged run — the cross-circuit scheduler
+// must never change outputs, only wall-clock.
+func TestOverlapSharedSchedulerGolden(t *testing.T) {
+	circuits := []*circuit.Circuit{
+		algos.TFIM(4, 2, 0.1, 1, 1),
+		algos.Heisenberg(4, 2, 0.1, 1, 1),
+		algos.XY(4, 2, 0.1, 1),
+	}
+	base := testConfig()
+	want := make([]*SynthesisArtifact, len(circuits))
+	for i, c := range circuits {
+		art, err := Synthesize(context.Background(), c, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = art
+	}
+
+	pool := par.NewPool(3)
+	got := make([]*SynthesisArtifact, len(circuits))
+	errs := make([]error, len(circuits))
+	done := make(chan int, len(circuits))
+	for i, c := range circuits {
+		go func(i int, c *circuit.Circuit) {
+			cfg := base
+			cfg.Overlap = true
+			cfg.Scheduler = pool
+			got[i], errs[i] = Synthesize(context.Background(), c, cfg)
+			done <- i
+		}(i, c)
+	}
+	for range circuits {
+		<-done
+	}
+	for i := range circuits {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		assertArtifactsEqual(t, want[i], got[i])
+	}
+}
+
+// TestOverlapCancelNoGoroutineLeak is the overlapped twin of
+// TestCancelMidSynthesisNoGoroutineLeak: cancelling mid-flight must
+// surface budget.ErrCancelled and unwind the producer goroutine and
+// every consumer.
+func TestOverlapCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	c := algos.TFIM(4, 3, 0.1, 1, 1)
+	cfg := testConfig()
+	cfg.Parallelism = 2
+	cfg.Overlap = true
+
+	restore := faultinject.Set("core.block.0", faultinject.Stall(150*time.Millisecond))
+	defer restore()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Synthesize(ctx, c, cfg)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, budget.ErrCancelled) {
+			t.Fatalf("err = %v, want budget.ErrCancelled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("overlapped Synthesize did not return after cancellation")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancelled overlapped synthesis: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestOverlapBudgetDegraded expires the run budget mid-synthesis with
+// AllowDegraded set: the overlapped path must still return a valid,
+// fully-populated result — every block present with at least its exact
+// candidate — exactly like the staged path's degradation contract.
+func TestOverlapBudgetDegraded(t *testing.T) {
+	restore := faultinject.Set("core.block.0", faultinject.Stall(100*time.Millisecond))
+	defer restore()
+
+	c := algos.TFIM(4, 3, 0.1, 1, 1)
+	cfg := testConfig()
+	cfg.Overlap = true
+	cfg.AllowDegraded = true
+	cfg.Timeout = 50 * time.Millisecond
+
+	res, err := RunCtx(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatalf("AllowDegraded run failed: %v", err)
+	}
+	if len(res.Degradations) == 0 {
+		t.Fatal("expired budget produced no degradations")
+	}
+	for i, ba := range res.Blocks {
+		if len(ba.Candidates) == 0 {
+			t.Fatalf("block %d has no candidates in degraded result", i)
+		}
+	}
+	if len(res.Selected) == 0 {
+		t.Fatal("degraded result selected nothing")
+	}
+}
+
+// TestOverlapRejectsBadCircuit: structural partition errors must surface
+// from the pre-pass, before any goroutine spawns.
+func TestOverlapRejectsBadCircuit(t *testing.T) {
+	c := algos.TFIM(4, 2, 0.1, 1, 1)
+	cfg := testConfig()
+	cfg.Overlap = true
+	cfg.BlockSize = 1 // 2-qubit gates cannot fit
+	if _, err := Synthesize(context.Background(), c, cfg); err == nil {
+		t.Fatal("oversized ops accepted")
+	}
+}

@@ -296,8 +296,20 @@ func RunCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Result, error
 }
 
 // Stages returns the full pipeline as one composed stage. The Config is
-// resolved once so every stage sees identical defaults.
+// resolved once so every stage sees identical defaults. With
+// Config.Overlap the partition+synthesis half is the streaming fusion
+// (OverlappedSynthesisStage) instead of the staged pair; the artifacts
+// are bit-identical either way.
 func Stages(cfg Config) Stage[*circuit.Circuit, *SelectionArtifact] {
 	cfg.defaults()
-	return Then(Then(PartitionStage(cfg), SynthesisStage(cfg)), SelectionStage(cfg))
+	return Then(synthesisFront(cfg), SelectionStage(cfg))
+}
+
+// synthesisFront is the circuit → SynthesisArtifact half of the pipeline
+// under cfg: staged by default, streaming when Config.Overlap is set.
+func synthesisFront(cfg Config) Stage[*circuit.Circuit, *SynthesisArtifact] {
+	if cfg.Overlap {
+		return OverlappedSynthesisStage(cfg)
+	}
+	return Then(PartitionStage(cfg), SynthesisStage(cfg))
 }

@@ -63,7 +63,7 @@ func SynthesisStage(cfg Config) Stage[*PartitionArtifact, *SynthesisArtifact] {
 			Key:       cfg.synthKey(),
 		}
 		degs := make([]*Degradation, len(pa.Blocks))
-		synthErr := par.ForEachErr(ctx, cfg.Parallelism, len(pa.Blocks), func(bctx context.Context, i int) error {
+		synthErr := forEachBlock(ctx, cfg, len(pa.Blocks), func(bctx context.Context, i int) error {
 			ba, deg, err := synthesizeBlock(bctx, i, pa.Blocks[i], cfg, pa.Threshold)
 			if err != nil {
 				return fmt.Errorf("synthesize block %d: %w", i, err)
@@ -120,6 +120,18 @@ func SelectionStage(cfg Config) Stage[*SynthesisArtifact, *SelectionArtifact] {
 		}
 		return art, nil
 	})
+}
+
+// forEachBlock fans the per-block synthesis loop out: over the shared
+// cross-run scheduler when Config.Scheduler is set (one machine-wide
+// slot budget across every concurrent compilation), otherwise over a
+// private Parallelism-sized pool. Both sides follow the slot-write rule,
+// so the choice never changes results.
+func forEachBlock(ctx context.Context, cfg Config, n int, fn func(ctx context.Context, i int) error) error {
+	if cfg.Scheduler != nil {
+		return cfg.Scheduler.ForEachErr(ctx, n, fn)
+	}
+	return par.ForEachErr(ctx, cfg.Parallelism, n, fn)
 }
 
 // exactOnlyBlock builds the degraded approximation set for a block: its

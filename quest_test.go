@@ -47,9 +47,11 @@ func TestPublicQASMRoundTrip(t *testing.T) {
 }
 
 func TestPublicBenchmarksList(t *testing.T) {
+	// The nine Table-1 generators plus the random Clifford+T corpus
+	// workload.
 	names := Benchmarks()
-	if len(names) != 9 {
-		t.Fatalf("expected 9 Table-1 benchmarks, got %d", len(names))
+	if len(names) != 10 {
+		t.Fatalf("expected 10 benchmark generators, got %d", len(names))
 	}
 	for _, n := range names {
 		if _, err := GenerateBenchmark(n, 4); err != nil {
