@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify verify-full bench bench-smoke bench-pipeline cache-smoke serve-smoke corpus-smoke bench-corpus bench-serve fmt-check lint lint-ignores
+.PHONY: build vet test test-race verify verify-full bench bench-smoke bench-pipeline bench-fidelity cache-smoke serve-smoke corpus-smoke fidelity-smoke bench-corpus bench-serve fmt-check lint lint-ignores
 
 # Packages holding the hot-path benchmarks recorded in BENCH_synth.json:
 # objective/gradient evaluation and synthesis (synth), gate-apply kernels
@@ -150,6 +150,28 @@ bench-serve:
 	for i in $$(seq 50); do [ -s "$$dir/addr" ] && break; sleep 0.1; done; \
 	[ -s "$$dir/addr" ] || { echo "bench-serve: questd never listened"; cat "$$dir/questd.log"; exit 1; }; \
 	"$$dir/questload" -addr @"$$dir/addr" -n 32 -c 16 -algo qft -qubits 5 -out BENCH_serve.json
+
+# `make fidelity-smoke` pins the objective refactor's compatibility
+# contract across a real CLI run: with -objective cnot the quest output
+# (timing lines stripped) must be byte-identical to the golden captured
+# before objectives became pluggable, and the noise-aware
+# fidelity:manila objective must compile the same circuit end-to-end.
+fidelity-smoke:
+	@out=$$($(GO) run ./cmd/quest -algo tfim -n 4 -objective cnot | grep -v '^timing:') || exit 1; \
+	echo "$$out" | diff -u examples/golden/fidelity-smoke-cnot.golden - || \
+		{ echo "fidelity-smoke: -objective cnot diverged from the pre-objective golden"; exit 1; }; \
+	$(GO) run ./cmd/quest -algo tfim -n 4 -objective fidelity:manila >/dev/null || \
+		{ echo "fidelity-smoke: fidelity:manila run failed"; exit 1; }; \
+	echo "fidelity-smoke: cnot output bit-identical to the pre-objective golden; fidelity:manila ran clean"
+
+# `make bench-fidelity` records the noise-aware objective's cost into the
+# "fidelity" section of BENCH_synth.json: the ESP estimator in exact and
+# log-domain form, and a full selection-stage Reselect under the cnot vs
+# fidelity objectives (the marginal price of noise-aware selection).
+bench-fidelity:
+	$(GO) test -bench='^(BenchmarkEstimate|BenchmarkLogEstimate|BenchmarkSelectionCNOT|BenchmarkSelectionFidelity)$$' \
+		-benchmem -run=^$$ ./internal/fidelity ./internal/pipeline | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -out BENCH_synth.json -section fidelity
 
 # `make bench-pipeline` records the ε-sweep artifact-reuse speedup in
 # BENCH_pipeline.json: "full-rerun" re-runs the whole pipeline per sweep

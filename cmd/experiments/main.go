@@ -21,12 +21,13 @@ import (
 
 func main() {
 	var (
-		fig      = flag.Int("fig", 0, "figure number to regenerate")
-		all      = flag.Bool("all", false, "regenerate every figure")
-		ablation = flag.String("ablation", "", "run an ablation study instead (or 'all')")
-		quick    = flag.Bool("quick", false, "reduced workload sizes and search budgets")
-		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("parallelism", 0, "worker goroutines for the pipeline and the noisy simulator (0 = all CPUs; results are identical for any value)")
+		fig       = flag.Int("fig", 0, "figure number to regenerate")
+		all       = flag.Bool("all", false, "regenerate every figure")
+		ablation  = flag.String("ablation", "", "run an ablation study instead (or 'all')")
+		quick     = flag.Bool("quick", false, "reduced workload sizes and search budgets")
+		objective = flag.String("objective", "", "selection objective: cnot, fidelity[:<backend>] or hybrid:<w>[:<backend>] (empty = cnot)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("parallelism", 0, "worker goroutines for the pipeline and the noisy simulator (0 = all CPUs; results are identical for any value)")
 
 		timeout      = flag.Duration("timeout", 0, "per-run pipeline deadline; timed-out blocks degrade to exact sub-circuits (0 = none)")
 		blockTimeout = flag.Duration("block-timeout", 0, "per-attempt block synthesis deadline (0 = none)")
@@ -58,6 +59,7 @@ func main() {
 	}
 	cfg := experiments.Config{
 		Quick:        *quick,
+		Objective:    *objective,
 		Seed:         *seed,
 		Parallelism:  *workers,
 		Timeout:      *timeout,

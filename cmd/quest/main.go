@@ -50,6 +50,7 @@ func main() {
 		epsilon   = flag.Float64("eps", 0.05, "per-block process-distance budget")
 		samples   = flag.Int("samples", 16, "maximum number of dissimilar approximations (M)")
 		cxWeight  = flag.Float64("cx-weight", 0.5, "selection objective weight: α·CNOTs + (1-α)·dissimilarity (0 = pure dissimilarity)")
+		objective = flag.String("objective", "cnot", "selection objective: cnot, fidelity[:<backend>] or hybrid:<w>[:<backend>]")
 		seed      = flag.Int64("seed", 1, "random seed")
 		bspec     = flag.String("backend", "ideal", "execution backend for the ensemble report: one of "+strings.Join(quest.Backends(), ", ")+" (name[:arg], e.g. noisy:0.005; empty disables the report)")
 		shots     = flag.Int("shots", 0, "measurement shots for the ensemble report (0 = exact probabilities)")
@@ -104,6 +105,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	obj, err := quest.SelectionObjective(*objective)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quest:", err)
+		os.Exit(1)
+	}
+
 	fmt.Printf("input %s: %d qubits, %d ops, %d CNOTs, depth %d\n",
 		name, c.NumQubits, c.Size(), c.CNOTCount(), c.Depth())
 
@@ -132,6 +139,7 @@ func main() {
 		MaxSamples:    *samples,
 		CXWeight:      *cxWeight,
 		CXWeightSet:   true,
+		Objective:     obj,
 		Seed:          *seed,
 		Timeout:       *timeout,
 		BlockTimeout:  *blockTimeout,

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/pipeline"
@@ -52,6 +53,7 @@ func main() {
 		blockSize = flag.Int("blocksize", 3, "default maximum partition block size")
 		epsilon   = flag.Float64("eps", 0.05, "default per-block process-distance budget")
 		samples   = flag.Int("samples", 16, "default maximum number of dissimilar approximations (M)")
+		objective = flag.String("objective", "cnot", "default selection objective: cnot, fidelity[:<backend>] or hybrid:<w>[:<backend>] (submissions may override per job)")
 		seed      = flag.Int64("seed", 1, "default random seed")
 		cacheSize = flag.Int("synth-cache", 1024, "per-block synthesis cache entries, shared across jobs (0 = disabled)")
 
@@ -67,10 +69,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	obj, err := backend.Objective(*objective)
+	if err != nil {
+		log.Fatalf("questd: %v", err)
+	}
 	cfg := pipeline.Config{
 		BlockSize:  *blockSize,
 		Epsilon:    *epsilon,
 		MaxSamples: *samples,
+		Objective:  obj,
 		Seed:       *seed,
 	}
 	if *cacheSize > 0 {

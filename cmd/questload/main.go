@@ -37,12 +37,13 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8177", "questd address (host:port or a file written by questd -addr-file, prefixed with @)")
-		algo    = flag.String("algo", "ghz", "benchmark circuit family: ghz or qft")
-		qubits  = flag.Int("qubits", 3, "benchmark circuit size")
-		epsilon = flag.Float64("eps", 0, "per-job ε override (0 = server default)")
-		samples = flag.Int("samples", 0, "per-job M override (0 = server default)")
-		tenant  = flag.String("tenant", "", "tenant attribution for submissions")
+		addr      = flag.String("addr", "127.0.0.1:8177", "questd address (host:port or a file written by questd -addr-file, prefixed with @)")
+		algo      = flag.String("algo", "ghz", "benchmark circuit family: ghz or qft")
+		qubits    = flag.Int("qubits", 3, "benchmark circuit size")
+		epsilon   = flag.Float64("eps", 0, "per-job ε override (0 = server default)")
+		samples   = flag.Int("samples", 0, "per-job M override (0 = server default)")
+		objective = flag.String("objective", "", "per-job selection objective (cnot, fidelity[:<backend>], hybrid:<w>[:<backend>]; empty = server default)")
+		tenant    = flag.String("tenant", "", "tenant attribution for submissions")
 
 		submit = flag.Bool("submit", false, "client mode: submit one job and print its id")
 		wait   = flag.String("wait", "", "client mode: poll this job id until terminal (exit 0 only on done)")
@@ -63,7 +64,7 @@ func main() {
 	req := serve.SubmitRequest{
 		QASM:   src,
 		Tenant: *tenant,
-		Params: jobs.Params{Epsilon: *epsilon, MaxSamples: *samples},
+		Params: jobs.Params{Epsilon: *epsilon, MaxSamples: *samples, Objective: *objective},
 	}
 
 	switch {

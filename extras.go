@@ -8,6 +8,7 @@ import (
 	"repro/internal/kak"
 	"repro/internal/linalg"
 	"repro/internal/mitigation"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,16 @@ func BackendRunner(b Backend, shots int, seed int64) Runner {
 func BackendRunnerCtx(b Backend, shots int, seed int64) RunnerCtx {
 	return backend.AsRunnerCtx(b, shots, seed)
 }
+
+// Objective is a pluggable selection objective scored by the dual
+// annealing engine; see Config.Objective.
+type Objective = pipeline.Objective
+
+// SelectionObjective resolves a selection-objective spec: "cnot" (the
+// paper's normalized CNOT count, the default), "fidelity[:<backend>]"
+// (predicted device fidelity under the named backend's noise profile,
+// default "manila"), or "hybrid:<w>[:<backend>]".
+func SelectionObjective(spec string) (Objective, error) { return backend.Objective(spec) }
 
 // Hamiltonian is a sum of weighted Pauli strings; build spin models with
 // NewTFIMHamiltonian and friends or assemble terms directly.

@@ -48,3 +48,28 @@ type hidden struct {
 	// Knob of 0 is a legitimate setting (unexported struct: skipped).
 	Knob float64
 }
+
+// Capabilities-suffixed descriptors joined the convention with the
+// noise-aware selection work: a zero capability profile can be a real
+// declaration (an error-free device), not an absent one.
+type DeviceCapabilities struct {
+	// ErrorRate's zero value is a meaningful declaration (an error-free
+	// gate class), so it needs its sentinel.
+	ErrorRate float64 // want `ErrorRate documents a meaningful zero value but has no ErrorRateSet bool sentinel`
+
+	// Routed reports coupling-map routing; 0/false is just "not routed",
+	// no sentinel required.
+	Routed bool
+}
+
+// NoiseProfile-suffixed structs are likewise covered.
+type NoiseProfile struct {
+	// Readout of zero is a legitimate setting (perfect measurement),
+	// raised via ReadoutSet.
+	Readout float64
+	// ReadoutSet marks Readout as explicitly declared.
+	ReadoutSet bool
+
+	// SPAM of zero is a meaningful setting (no preparation error).
+	SPAM float64 // want `SPAM documents a meaningful zero value but has no SPAMSet bool sentinel`
+}

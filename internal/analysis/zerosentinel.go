@@ -20,8 +20,8 @@ import (
 // docs (with the words "legitimate" or "meaningful").
 var ZeroSentinel = &Analyzer{
 	Name: "zerosentinel",
-	Doc: "an exported Config/Options field documented with a legitimate/meaningful " +
-		"zero value must have a matching <Field>Set bool sentinel",
+	Doc: "an exported Config/Options/Capabilities/Profile field documented with a " +
+		"legitimate/meaningful zero value must have a matching <Field>Set bool sentinel",
 	Run: runZeroSentinel,
 }
 
@@ -51,9 +51,15 @@ func runZeroSentinel(pass *Pass) error {
 	return nil
 }
 
+// configLikeName selects the struct families the convention covers:
+// the historical Config/Options pair, plus the capability/profile
+// descriptors the noise-aware-selection work added (backend.Capabilities
+// carries a NoiseProfile whose zero value is a real setting — an
+// error-free device — exactly the ambiguity the sentinel resolves).
 func configLikeName(name string) bool {
 	return name == "Config" || name == "Options" ||
-		strings.HasSuffix(name, "Config") || strings.HasSuffix(name, "Options")
+		strings.HasSuffix(name, "Config") || strings.HasSuffix(name, "Options") ||
+		strings.HasSuffix(name, "Capabilities") || strings.HasSuffix(name, "Profile")
 }
 
 func checkConfigStruct(pass *Pass, st *ast.StructType) {

@@ -1,0 +1,76 @@
+package anneal
+
+import (
+	"context"
+	"math"
+)
+
+// IntObjective is an objective over an integer lattice point. The slice
+// passed to the callback is reused between evaluations and must not be
+// retained.
+type IntObjective func(choice []int) float64
+
+// IntResult is the outcome of MinimizeIntsCtx.
+type IntResult struct {
+	// X is the best lattice point found (X[k] in [0, sizes[k])).
+	X []int
+	// F is the objective value at X.
+	F float64
+	// Iterations and Evaluations mirror opt.Result.
+	Iterations  int
+	Evaluations int
+	// Converged reports whether the search ran to completion (false when
+	// the context budget expired mid-search).
+	Converged bool
+}
+
+// MinimizeIntsCtx searches for the minimum of f over the integer lattice
+// {0..sizes[0]-1} × ... × {0..sizes[d-1]-1} by relaxing each dimension to
+// the continuous interval [0, sizes[k]) and flooring — the discrete
+// search QUEST's Algorithm 1 runs over per-block candidate indices. The
+// continuous engine underneath is MinimizeCtx, unchanged: for a fixed
+// (f, sizes, Options) the visited float points, RNG stream and therefore
+// the returned lattice point are bit-identical to driving MinimizeCtx by
+// hand with the same floor/clamp mapping.
+func MinimizeIntsCtx(ctx context.Context, f IntObjective, sizes []int, o Options) (IntResult, error) {
+	d := len(sizes)
+	lower := make([]float64, d)
+	upper := make([]float64, d)
+	for k, n := range sizes {
+		if n <= 0 {
+			panic("anneal: empty lattice dimension")
+		}
+		upper[k] = float64(n)
+	}
+	choice := make([]int, d)
+	wrapped := func(x []float64) float64 {
+		floorClamp(x, sizes, choice)
+		return f(choice)
+	}
+	res, err := MinimizeCtx(ctx, wrapped, lower, upper, o)
+	out := IntResult{
+		X:           make([]int, d),
+		F:           res.F,
+		Iterations:  res.Iterations,
+		Evaluations: res.Evaluations,
+		Converged:   res.Converged,
+	}
+	floorClamp(res.X, sizes, out.X)
+	return out, err
+}
+
+// floorClamp maps a continuous point into the lattice: floor each
+// coordinate and clamp into [0, sizes[k]-1] (the upper bound itself is
+// reachable because the box is closed at sizes[k]).
+func floorClamp(x []float64, sizes []int, dst []int) {
+	for k, v := range x {
+		i := int(math.Floor(v))
+		if i >= sizes[k] {
+			i = sizes[k] - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		dst[k] = i
+	}
+}

@@ -1,0 +1,106 @@
+package anneal
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestMinimizeIntsMatchesFloatMapping pins the refactor contract: for the
+// same seed and budget, MinimizeIntsCtx must visit exactly the points the
+// historical caller pattern visited (MinimizeCtx over [0,n) boxes with a
+// floor/clamp mapping applied to every evaluation and to the result).
+func TestMinimizeIntsMatchesFloatMapping(t *testing.T) {
+	sizes := []int{5, 3, 7, 2}
+	score := func(choice []int) float64 {
+		s := 0.0
+		for k, v := range choice {
+			d := float64(v) - float64(sizes[k]-1)/2
+			s += d * d * float64(k+1)
+		}
+		return math.Sin(s) + s/10
+	}
+	opts := Options{MaxIterations: 300, Seed: 42}
+
+	gotInt, err := MinimizeIntsCtx(context.Background(), score, sizes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lower := make([]float64, len(sizes))
+	upper := make([]float64, len(sizes))
+	for k, n := range sizes {
+		upper[k] = float64(n)
+	}
+	toChoice := func(x []float64) []int {
+		choice := make([]int, len(x))
+		floorClamp(x, sizes, choice)
+		return choice
+	}
+	var wantEvals int
+	ref, err := MinimizeCtx(context.Background(), func(x []float64) float64 {
+		wantEvals++
+		return score(toChoice(x))
+	}, lower, upper, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantX := toChoice(ref.X)
+	for k := range wantX {
+		if gotInt.X[k] != wantX[k] {
+			t.Fatalf("X = %v, want %v", gotInt.X, wantX)
+		}
+	}
+	if gotInt.F != ref.F {
+		t.Errorf("F = %v, want %v (must be bit-identical)", gotInt.F, ref.F)
+	}
+	if gotInt.Evaluations != wantEvals {
+		t.Errorf("Evaluations = %d, want %d", gotInt.Evaluations, wantEvals)
+	}
+	if !gotInt.Converged {
+		t.Error("Converged = false, want true")
+	}
+}
+
+func TestMinimizeIntsFindsLatticeMinimum(t *testing.T) {
+	// Separable convex bowl with the minimum at a known lattice point.
+	target := []int{3, 0, 6}
+	sizes := []int{5, 4, 8}
+	f := func(choice []int) float64 {
+		s := 0.0
+		for k, v := range choice {
+			d := float64(v - target[k])
+			s += d * d
+		}
+		return s
+	}
+	res, err := MinimizeIntsCtx(context.Background(), f, sizes, Options{MaxIterations: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F != 0 {
+		t.Fatalf("F = %v at %v, want exact minimum at %v", res.F, res.X, target)
+	}
+}
+
+func TestMinimizeIntsHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := MinimizeIntsCtx(ctx, func(choice []int) float64 { return float64(choice[0]) }, []int{4}, Options{MaxIterations: 100, Seed: 1, NoLocalSearch: true})
+	if err == nil {
+		t.Fatal("want budget error from cancelled context")
+	}
+	if res.Converged {
+		t.Error("Converged = true under cancellation")
+	}
+}
+
+func TestMinimizeIntsRejectsEmptyDimension(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on empty lattice dimension")
+		}
+	}()
+	_, _ = MinimizeIntsCtx(context.Background(), func([]int) float64 { return 0 }, []int{3, 0}, Options{})
+}

@@ -16,15 +16,25 @@ import (
 	"sync"
 
 	"repro/internal/circuit"
+	"repro/internal/fidelity"
 	"repro/internal/noise"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
 
+// SimMaxQubits is the qubit cap declared by the non-routed simulator
+// backends (ideal, noisy): a 2^26-amplitude statevector is ~1 GiB, the
+// practical ceiling of the dense engines. Device-model backends declare
+// their coupling map's size instead. Every built-in backend therefore
+// reports a non-zero MaxQubits, so capability checks never have to
+// special-case "unbounded".
+const SimMaxQubits = 26
+
 // Capabilities describes what a backend can execute and how.
 type Capabilities struct {
 	// MaxQubits is the largest circuit the backend accepts; 0 means
-	// bounded only by simulator memory.
+	// bounded only by simulator memory (no built-in backend reports 0,
+	// see SimMaxQubits).
 	MaxQubits int
 	// Noisy reports whether outputs include stochastic gate/readout
 	// errors.
@@ -32,6 +42,15 @@ type Capabilities struct {
 	// Routed reports whether circuits are routed onto a coupling map
 	// (i.e. the backend models hardware connectivity, not all-to-all).
 	Routed bool
+	// NoiseProfile is the backend's per-gate-class error model, the
+	// input to the predicted-fidelity selection objective. The zero
+	// profile is a meaningful value (an error-free device), so it is
+	// paired with the NoiseProfileSet sentinel: consult the profile only
+	// when NoiseProfileSet is true.
+	NoiseProfile fidelity.Profile
+	// NoiseProfileSet marks NoiseProfile as populated. Every built-in
+	// backend sets it; third-party Backend implementations may not.
+	NoiseProfileSet bool
 }
 
 // Backend executes circuits and returns output probability distributions.
@@ -66,7 +85,7 @@ func (b *funcBackend) RunCtx(ctx context.Context, c *circuit.Circuit, shots int,
 func Ideal() Backend {
 	return &funcBackend{
 		name: "ideal",
-		caps: Capabilities{},
+		caps: Capabilities{MaxQubits: SimMaxQubits, NoiseProfileSet: true},
 		run: func(ctx context.Context, c *circuit.Circuit, _ int, _ int64) ([]float64, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -86,7 +105,12 @@ func Noisy(p float64) Backend {
 func FromModel(name string, m noise.Model) Backend {
 	return &funcBackend{
 		name: name,
-		caps: Capabilities{Noisy: !m.IsZero()},
+		caps: Capabilities{
+			MaxQubits:       SimMaxQubits,
+			Noisy:           !m.IsZero(),
+			NoiseProfile:    fidelity.FromNoiseModel(m),
+			NoiseProfileSet: true,
+		},
 		run: func(ctx context.Context, c *circuit.Circuit, shots int, seed int64) ([]float64, error) {
 			return m.RunCtx(ctx, c, noise.Options{Shots: shots, Seed: seed})
 		},
@@ -97,7 +121,13 @@ func FromModel(name string, m noise.Model) Backend {
 // backend; circuits are routed onto the device before execution and the
 // output is reported in logical qubit order.
 func FromDevice(d *noise.Device) Backend {
-	caps := Capabilities{Noisy: !d.Model.IsZero(), Routed: true}
+	caps := Capabilities{
+		Noisy:           !d.Model.IsZero(),
+		Routed:          true,
+		NoiseProfile:    fidelity.FromNoiseModel(d.Model),
+		NoiseProfileSet: true,
+	}
+	caps.MaxQubits = SimMaxQubits
 	if d.Coupling != nil {
 		caps.MaxQubits = d.Coupling.NumQubits
 	}

@@ -1,0 +1,82 @@
+package backend
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/fidelity"
+	"repro/internal/pipeline"
+)
+
+// DefaultFidelityBackend is the device profile the bare "fidelity" and
+// "hybrid:<w>" objective specs resolve against: the synthetic Manila
+// device, the repository's hardware stand-in.
+const DefaultFidelityBackend = "manila"
+
+// Objective resolves a selection-objective spec to the pipeline objective
+// it names. Accepted forms:
+//
+//	"" | "cnot"              the paper's normalized-CNOT-count objective
+//	"fidelity[:<backend>]"   predicted device fidelity under the named
+//	                         backend's noise profile (default "manila");
+//	                         <backend> is any registry spec, so
+//	                         "fidelity:noisy:0.02" works
+//	"hybrid:<w>[:<backend>]" w·cnot + (1−w)·fidelity with w in [0,1]
+//
+// The returned objective's Spec() is canonicalized (default backend and
+// weight made explicit), so two specs naming the same objective
+// fingerprint selection artifacts identically.
+func Objective(spec string) (pipeline.Objective, error) {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	switch name {
+	case "", "cnot":
+		if arg != "" {
+			return nil, fmt.Errorf("backend: objective %q: cnot takes no parameter", spec)
+		}
+		return pipeline.CNOTObjective(), nil
+	case "fidelity":
+		if arg == "" {
+			arg = DefaultFidelityBackend
+		}
+		profile, err := noiseProfile(arg)
+		if err != nil {
+			return nil, fmt.Errorf("backend: objective %q: %w", spec, err)
+		}
+		return pipeline.FidelityObjective("fidelity:"+arg, profile)
+	case "hybrid":
+		wStr, backendSpec := arg, DefaultFidelityBackend
+		if i := strings.IndexByte(arg, ':'); i >= 0 {
+			wStr, backendSpec = arg[:i], arg[i+1:]
+		}
+		w, err := strconv.ParseFloat(wStr, 64)
+		if err != nil || w < 0 || w > 1 {
+			return nil, fmt.Errorf("backend: objective %q: bad weight %q (want a float in [0,1])", spec, wStr)
+		}
+		profile, err := noiseProfile(backendSpec)
+		if err != nil {
+			return nil, fmt.Errorf("backend: objective %q: %w", spec, err)
+		}
+		canonical := fmt.Sprintf("hybrid:%g:%s", w, backendSpec)
+		return pipeline.HybridObjective(canonical, w, profile)
+	default:
+		return nil, fmt.Errorf("backend: unknown objective %q (want cnot, fidelity[:<backend>] or hybrid:<w>[:<backend>])", spec)
+	}
+}
+
+// noiseProfile resolves a backend spec and returns its declared noise
+// profile, rejecting backends that do not publish one.
+func noiseProfile(spec string) (fidelity.Profile, error) {
+	b, err := Get(spec)
+	if err != nil {
+		return fidelity.Profile{}, err
+	}
+	caps := b.Capabilities()
+	if !caps.NoiseProfileSet {
+		return fidelity.Profile{}, fmt.Errorf("backend %q declares no noise profile", spec)
+	}
+	return caps.NoiseProfile, nil
+}

@@ -1,0 +1,144 @@
+package backend
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fidelity"
+	"repro/internal/noise"
+	"repro/internal/pipeline"
+)
+
+// TestBuiltinCapabilitiesAreComplete: every registered built-in backend
+// must declare a non-zero MaxQubits and a populated noise profile — the
+// Capabilities gaps this refactor closed.
+func TestBuiltinCapabilitiesAreComplete(t *testing.T) {
+	for _, name := range Names() {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		caps := b.Capabilities()
+		if caps.MaxQubits <= 0 {
+			t.Errorf("%s: MaxQubits = %d, want > 0", name, caps.MaxQubits)
+		}
+		if !caps.NoiseProfileSet {
+			t.Errorf("%s: NoiseProfileSet = false", name)
+		}
+		if caps.Noisy == caps.NoiseProfile.IsZero() {
+			t.Errorf("%s: Noisy = %v but profile IsZero = %v", name, caps.Noisy, caps.NoiseProfile.IsZero())
+		}
+	}
+}
+
+func TestCapabilityProfileValues(t *testing.T) {
+	ideal, _ := Get("ideal")
+	if caps := ideal.Capabilities(); !caps.NoiseProfile.IsZero() || caps.MaxQubits != SimMaxQubits {
+		t.Errorf("ideal caps = %+v, want zero profile and MaxQubits %d", caps, SimMaxQubits)
+	}
+	manila, _ := Get("manila")
+	want := fidelity.FromNoiseModel(noise.Manila().Model)
+	if got := manila.Capabilities().NoiseProfile; got != want {
+		t.Errorf("manila profile = %+v, want %+v", got, want)
+	}
+	noisy, _ := Get("noisy:0.02")
+	if got := noisy.Capabilities().NoiseProfile; got != fidelity.FromNoiseModel(noise.Uniform(0.02)) {
+		t.Errorf("noisy:0.02 profile = %+v", got)
+	}
+}
+
+// TestUnknownBackendErrorListsNames: a typoed -backend spec must name the
+// registered alternatives.
+func TestUnknownBackendErrorListsNames(t *testing.T) {
+	_, err := Get("maniila")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered backend %q", err, name)
+		}
+	}
+}
+
+func TestObjectiveSpecParsing(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // canonical Spec(), "" when an error is expected
+	}{
+		{"", "cnot"},
+		{"cnot", "cnot"},
+		{"fidelity", "fidelity:manila"},
+		{"fidelity:manila", "fidelity:manila"},
+		{"fidelity:noisy:0.02", "fidelity:noisy:0.02"},
+		{"fidelity:ideal", "fidelity:ideal"},
+		{"hybrid:0.5", "hybrid:0.5:manila"},
+		{"hybrid:0.50", "hybrid:0.5:manila"},
+		{"hybrid:1:noisy", "hybrid:1:noisy"},
+		{"cnot:x", ""},
+		{"fidelity:nope", ""},
+		{"hybrid", ""},
+		{"hybrid:2", ""},
+		{"hybrid:x:manila", ""},
+		{"espresso", ""},
+	}
+	for _, tc := range cases {
+		obj, err := Objective(tc.spec)
+		if tc.want == "" {
+			if err == nil {
+				t.Errorf("Objective(%q) = %q, want error", tc.spec, obj.Spec())
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Objective(%q): %v", tc.spec, err)
+			continue
+		}
+		if obj.Spec() != tc.want {
+			t.Errorf("Objective(%q).Spec() = %q, want %q", tc.spec, obj.Spec(), tc.want)
+		}
+	}
+}
+
+// TestObjectiveCanonicalizationUnifiesKeys: two spellings of the same
+// objective must produce identical Spec() strings, because the spec
+// enters selection-artifact fingerprints.
+func TestObjectiveCanonicalizationUnifiesKeys(t *testing.T) {
+	a, err := Objective("fidelity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Objective("fidelity:manila")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spec() != b.Spec() {
+		t.Errorf("specs %q vs %q", a.Spec(), b.Spec())
+	}
+}
+
+// TestFidelityObjectiveCostMatchesProfile: the resolved objective must
+// score with exactly the backend's declared profile.
+func TestFidelityObjectiveCostMatchesProfile(t *testing.T) {
+	obj, err := Objective("fidelity:manila")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fidelity.FromNoiseModel(noise.Manila().Model)
+	st := pipeline.ChoiceStats{CNOTs: 15, Gates1Q: 30, EpsSum: 0.08}
+	info := pipeline.CircuitInfo{NumQubits: 4, OrigCNOTs: 24}
+	dev := p.Estimate(fidelity.Counts{OneQubit: 30, TwoQubit: 15, Measured: 4})
+	want := 1 - dev*(1-0.08)
+	if got := obj.Cost(st, info); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Cost = %v, want %v", got, want)
+	}
+	// The ideal profile yields pure approximation-error cost.
+	idealObj, err := Objective("fidelity:ideal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idealObj.Cost(st, info); math.Abs(got-0.08) > 1e-12 {
+		t.Errorf("ideal-profile Cost = %v, want 0.08", got)
+	}
+}

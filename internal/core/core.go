@@ -46,6 +46,11 @@ type Timing = pipeline.Timing
 // circuit.
 type Degradation = pipeline.Degradation
 
+// Objective is a pluggable selection objective; see pipeline.Objective
+// for the determinism contract and internal/backend.Objective for the
+// spec-string resolver.
+type Objective = pipeline.Objective
+
 // Runner executes a circuit and returns an output distribution; see
 // pipeline.Runner for the concurrency contract.
 type Runner = pipeline.Runner

@@ -29,6 +29,9 @@ func Ablations() []string {
 // RunAblation runs one named ablation study.
 func RunAblation(which string, cfg Config) error {
 	cfg.defaults()
+	if err := cfg.resolveObjective(); err != nil {
+		return err
+	}
 	switch which {
 	case "selection":
 		return ablateSelection(cfg)

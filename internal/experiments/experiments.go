@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/algos"
+	"repro/internal/backend"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/noise"
@@ -54,9 +55,17 @@ type Config struct {
 	// distinct block once. A strict-mode cache leaves every figure's
 	// numbers bit-identical; it only changes how fast they appear.
 	SynthCache *ucache.Cache
+	// Objective names the selection objective ("cnot",
+	// "fidelity[:<backend>]", "hybrid:<w>[:<backend>]"); empty keeps the
+	// paper's cnot objective. Figures that compare objectives internally
+	// (Fig. 17) ignore it.
+	Objective string
 	// Out receives the result tables; nil means io.Discard. Callers that
 	// want them printed typically set os.Stdout.
 	Out io.Writer
+
+	// objective is the resolved Objective spec (see resolveObjective).
+	objective core.Objective
 }
 
 func (c *Config) defaults() {
@@ -68,6 +77,21 @@ func (c *Config) defaults() {
 	}
 }
 
+// resolveObjective turns the Objective spec into the pipeline objective
+// pipelineConfig installs; the empty spec resolves to the cnot default.
+func (c *Config) resolveObjective() error {
+	if c.Objective == "" {
+		c.objective = nil
+		return nil
+	}
+	obj, err := backend.Objective(c.Objective)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	c.objective = obj
+	return nil
+}
+
 func (c *Config) printf(format string, args ...any) {
 	fmt.Fprintf(c.Out, format, args...)
 }
@@ -77,11 +101,14 @@ func (c *Config) section(title string) {
 }
 
 // Figures lists the figure numbers Run accepts.
-func Figures() []int { return []int{1, 4, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16} }
+func Figures() []int { return []int{1, 4, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17} }
 
 // Run regenerates one figure of the paper.
 func Run(fig int, cfg Config) error {
 	cfg.defaults()
+	if err := cfg.resolveObjective(); err != nil {
+		return err
+	}
 	switch fig {
 	case 1:
 		return Fig01Motivation(cfg)
@@ -107,6 +134,8 @@ func Run(fig int, cfg Config) error {
 		return Fig15CircuitIllustration(cfg)
 	case 16:
 		return Fig16ThresholdSweep(cfg)
+	case 17:
+		return Fig17ObjectiveComparison(cfg)
 	}
 	return fmt.Errorf("experiments: no figure %d (have %v)", fig, Figures())
 }
@@ -171,6 +200,7 @@ func pipelineConfig(cfg Config) core.Config {
 		BlockTimeout:     cfg.BlockTimeout,
 		MaxRestarts:      cfg.MaxRestarts,
 		SynthCache:       cfg.SynthCache,
+		Objective:        cfg.objective,
 		// A figure with a time budget should still complete: degraded
 		// blocks fall back to the exact sub-circuit (= baseline quality).
 		AllowDegraded: cfg.Timeout > 0 || cfg.BlockTimeout > 0,

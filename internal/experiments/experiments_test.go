@@ -27,8 +27,14 @@ func TestRunUnknownFigure(t *testing.T) {
 }
 
 func TestFiguresList(t *testing.T) {
-	if len(Figures()) != 12 {
+	if len(Figures()) != 13 {
 		t.Errorf("Figures() = %v", Figures())
+	}
+}
+
+func TestRunRejectsBadObjective(t *testing.T) {
+	if err := Run(8, Config{Quick: true, Objective: "espresso"}); err == nil {
+		t.Error("bad objective spec accepted")
 	}
 }
 
@@ -150,5 +156,15 @@ func TestFig16(t *testing.T) {
 	out := runFig(t, 16)
 	if !strings.Contains(out, "eps/block") {
 		t.Errorf("Fig 16 output:\n%s", out)
+	}
+}
+
+func TestFig17(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 17 runs 300-trajectory device ensembles under two objectives")
+	}
+	out := runFig(t, 17)
+	if !strings.Contains(out, "fidelity objective changed the selection on") {
+		t.Errorf("Fig 17 output:\n%s", out)
 	}
 }

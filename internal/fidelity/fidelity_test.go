@@ -1,0 +1,170 @@
+package fidelity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/noise"
+)
+
+func TestZeroProfileEstimatesUnity(t *testing.T) {
+	var p Profile
+	if !p.IsZero() {
+		t.Fatal("zero Profile not IsZero")
+	}
+	n := Counts{OneQubit: 1000, TwoQubit: 1000, Measured: 64}
+	if got := p.Estimate(n); got != 1 {
+		t.Errorf("zero profile Estimate = %v, want 1", got)
+	}
+	if got := p.LogEstimate(n); got != 0 {
+		t.Errorf("zero profile LogEstimate = %v, want 0", got)
+	}
+}
+
+// TestEstimateMatchesLogEstimate is the exact-product vs log-domain
+// agreement property: exp(LogEstimate) must match Estimate to float
+// round-off over random profiles and counts, including the rate=1 and
+// count=0 corners.
+func TestEstimateMatchesLogEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		p := Profile{
+			OneQubit: rng.Float64() * 0.05,
+			TwoQubit: rng.Float64() * 0.1,
+			Readout:  rng.Float64() * 0.1,
+			SPAM:     rng.Float64() * 0.01,
+		}
+		n := Counts{
+			OneQubit: rng.Intn(2000),
+			TwoQubit: rng.Intn(1000),
+			Measured: rng.Intn(30),
+		}
+		exact := p.Estimate(n)
+		viaLog := math.Exp(p.LogEstimate(n))
+		if diff := math.Abs(exact - viaLog); diff > 1e-12*math.Max(1, exact) {
+			t.Fatalf("trial %d: Estimate=%v exp(LogEstimate)=%v diff=%v (p=%+v n=%+v)",
+				trial, exact, viaLog, diff, p, n)
+		}
+	}
+	// rate = 1 with a zero count must not poison the other terms
+	// (0·log(0) would be NaN in a naive log-domain sum).
+	p := Profile{OneQubit: 1}
+	n := Counts{TwoQubit: 3}
+	if got := p.Estimate(n); math.IsNaN(got) || got != 1 {
+		t.Errorf("Estimate with unused rate-1 class = %v, want 1", got)
+	}
+	if got := p.LogEstimate(n); math.IsNaN(got) || got != 0 {
+		t.Errorf("LogEstimate with unused rate-1 class = %v, want 0", got)
+	}
+}
+
+// TestEstimateMonotonicity: adding gates can only lower the estimate.
+func TestEstimateMonotonicity(t *testing.T) {
+	p := FromNoiseModel(noise.Manila().Model)
+	prev := p.Estimate(Counts{Measured: 5})
+	for k := 1; k <= 50; k++ {
+		cur := p.Estimate(Counts{OneQubit: 2 * k, TwoQubit: k, Measured: 5})
+		if cur >= prev {
+			t.Fatalf("estimate not strictly decreasing at k=%d: %v >= %v", k, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestFromNoiseModelComposition(t *testing.T) {
+	m := noise.Model{OneQubitError: 0.001, TwoQubitError: 0.01, ReadoutError: 0.02, DampingError: 0.0005}
+	p := FromNoiseModel(m)
+	wantG1 := 1 - (1-0.001)*(1-0.0005)
+	perQ := 1 - (1-0.01)*(1-0.0005)
+	wantG2 := 1 - (1-perQ)*(1-perQ)
+	if math.Abs(p.OneQubit-wantG1) > 1e-15 {
+		t.Errorf("OneQubit = %v, want %v", p.OneQubit, wantG1)
+	}
+	if math.Abs(p.TwoQubit-wantG2) > 1e-15 {
+		t.Errorf("TwoQubit = %v, want %v", p.TwoQubit, wantG2)
+	}
+	if p.Readout != 0.02 {
+		t.Errorf("Readout = %v, want 0.02", p.Readout)
+	}
+	if p.SPAM != 0 {
+		t.Errorf("SPAM = %v, want 0", p.SPAM)
+	}
+	if FromNoiseModel(noise.Model{}).IsZero() != true {
+		t.Error("profile of the zero noise model should be zero")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Profile{{}, {OneQubit: 0.5, TwoQubit: 1, Readout: 0.02, SPAM: 0.01}}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", p, err)
+		}
+	}
+	bad := []Profile{{OneQubit: -0.1}, {TwoQubit: 1.5}, {Readout: math.NaN()}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+}
+
+func TestCountChargesCNOTEquivalents(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0)
+	c.RZ(1, 0.3)
+	c.CX(0, 1)
+	c.Swap(1, 2) // 3 CNOT-equivalents
+	c.CCX(0, 1, 2)
+	n := Count(c)
+	if n.OneQubit != 2 {
+		t.Errorf("OneQubit = %d, want 2", n.OneQubit)
+	}
+	ccxCost := circuit.Op{Name: "ccx", Qubits: []int{0, 1, 2}}.Spec().CNOTCost
+	if want := 1 + 3 + ccxCost; n.TwoQubit != want {
+		t.Errorf("TwoQubit = %d, want %d", n.TwoQubit, want)
+	}
+	if n.Measured != 3 {
+		t.Errorf("Measured = %d, want 3", n.Measured)
+	}
+}
+
+func TestEstimateOnDeviceChargesRouting(t *testing.T) {
+	// A star of CNOTs from one hub qubit cannot be laid out locally on
+	// Manila's 5-qubit line (the hub has at most two neighbors), so
+	// routing must insert swaps and the on-device estimate is strictly
+	// below the unrouted estimate of the same circuit.
+	c := circuit.New(5)
+	for target := 1; target < 5; target++ {
+		c.CX(0, target)
+	}
+	d := noise.Manila()
+	routed, err := EstimateOnDevice(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrouted := FromNoiseModel(d.Model).EstimateCircuit(c)
+	if routed >= unrouted {
+		t.Errorf("routed estimate %v not below unrouted %v", routed, unrouted)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	p := FromNoiseModel(noise.Manila().Model)
+	n := Counts{OneQubit: 480, TwoQubit: 210, Measured: 5}
+	for i := 0; i < b.N; i++ {
+		sinkFloat = p.Estimate(n)
+	}
+}
+
+func BenchmarkLogEstimate(b *testing.B) {
+	p := FromNoiseModel(noise.Manila().Model)
+	n := Counts{OneQubit: 480, TwoQubit: 210, Measured: 5}
+	for i := 0; i < b.N; i++ {
+		sinkFloat = p.LogEstimate(n)
+	}
+}
+
+var sinkFloat float64

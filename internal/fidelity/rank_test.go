@@ -1,0 +1,104 @@
+package fidelity
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/algos"
+	"repro/internal/metrics"
+	"repro/internal/noise"
+	"repro/internal/sim"
+)
+
+// TestEstimateRanksLikeManilaSimulator is the estimator-vs-simulator
+// agreement property: across a spread of small benchmark circuits, the
+// ESP estimate of the routed circuit must *rank* them the same way the
+// Monte-Carlo Manila simulation does when fidelity is measured as
+// 1 - TVD(ideal, noisy). The values themselves are not comparable — ESP
+// is a success probability, TVD a distribution distance — but QUEST's
+// selection only needs the ordering, so rank correlation is the contract.
+func TestEstimateRanksLikeManilaSimulator(t *testing.T) {
+	d := noise.Manila()
+	// QFT-family circuits are deliberately absent: their ideal output on
+	// |0...0> is uniform, which Pauli/readout noise maps to itself, so
+	// 1-TVD stays ≈1 regardless of depth and carries no ranking signal.
+	workloads := []struct {
+		algo string
+		n    int
+	}{
+		{"tfim", 4}, {"tfim", 5}, {"xy", 4}, {"xy", 5},
+		{"qaoa", 4}, {"qaoa", 5}, {"vqe", 4}, {"vqe", 5},
+		{"heisenberg", 4}, {"adder", 4}, {"hlf", 4}, {"multiplier", 4},
+	}
+	predicted := make([]float64, 0, len(workloads))
+	measured := make([]float64, 0, len(workloads))
+	for _, w := range workloads {
+		c, err := algos.Generate(w.algo, w.n)
+		if err != nil {
+			t.Fatalf("generate %s-%d: %v", w.algo, w.n, err)
+		}
+		esp, err := EstimateOnDevice(c, d)
+		if err != nil {
+			t.Fatalf("estimate %s-%d: %v", w.algo, w.n, err)
+		}
+		ideal := sim.Probabilities(c)
+		noisy, err := d.Run(c, noise.Options{Seed: 11, Trajectories: 200})
+		if err != nil {
+			t.Fatalf("run %s-%d: %v", w.algo, w.n, err)
+		}
+		predicted = append(predicted, esp)
+		measured = append(measured, 1-metrics.TVD(ideal, noisy))
+	}
+	rho := spearman(predicted, measured)
+	t.Logf("predicted=%v", predicted)
+	t.Logf("measured =%v", measured)
+	if rho < 0.6 {
+		t.Errorf("Spearman rank correlation %v < 0.6: estimator ordering disagrees with the simulator", rho)
+	}
+}
+
+// spearman returns the Spearman rank correlation of two equal-length
+// samples (average ranks for ties).
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= float64(len(ra))
+	mb /= float64(len(rb))
+	var cov, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func ranks(x []float64) []float64 {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return x[idx[i]] < x[idx[j]] })
+	out := make([]float64, len(x))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && x[idx[j]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j
+	}
+	return out
+}

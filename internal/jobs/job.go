@@ -73,6 +73,12 @@ type Params struct {
 	BlockSize int `json:"block_size,omitempty"`
 	// Seed drives the deterministic pipeline.
 	Seed int64 `json:"seed,omitempty"`
+	// Objective names the selection objective ("cnot",
+	// "fidelity[:<backend>]", "hybrid:<w>[:<backend>]"); empty inherits
+	// the manager's base pipeline objective. Deliberately NOT filled by
+	// resolveParams: journals from before the field existed (and
+	// objective-less submissions today) must replay byte-identically.
+	Objective string `json:"objective,omitempty"`
 	// Timeout is the per-job end-to-end deadline. A job that exceeds it
 	// fails terminally (rerunning would hit the same wall).
 	Timeout time.Duration `json:"timeout_ns,omitempty"`

@@ -40,9 +40,19 @@ import (
 // retained job (tmp file, fsync, atomic rename) once the record count
 // exceeds compactFactor × the live-job count.
 
-// journalVersion pins the record schema; a mismatched journal is moved
-// aside and a fresh one started (jobs are not portable across versions).
-const journalVersion = 1
+// journalVersion pins the record schema; an unknown version is moved
+// aside and a fresh journal started (jobs are not portable across
+// foreign versions). v2 added the optional Params.Objective field; a v1
+// journal is a strict subset (every record decodes with the field
+// empty, which means "inherit the base objective"), so v1 journals
+// replay in place — see journalVersionMin.
+const journalVersion = 2
+
+// journalVersionMin is the oldest header version replayed in place.
+// Versions in [journalVersionMin, journalVersion] are forward-compatible:
+// newer versions only added omitempty record fields whose zero values
+// reproduce the old behavior byte-for-byte.
+const journalVersionMin = 1
 
 // journalName is the journal file name inside the data directory.
 const journalName = "jobs.journal"
@@ -126,8 +136,9 @@ func openJournal(dir string) (*journal, []record, error) {
 }
 
 // parseJournal splits journal bytes into verified records. ok reports
-// whether the header verified and matched this version; body lines that
-// fail their checksum or JSON decode are skipped.
+// whether the header verified and named a replayable version (current
+// or a compatible predecessor); body lines that fail their checksum or
+// JSON decode are skipped.
 func parseJournal(data []byte) ([]record, bool) {
 	lines := bytes.Split(data, []byte{'\n'})
 	if len(lines) == 0 {
@@ -138,7 +149,7 @@ func parseJournal(data []byte) ([]record, bool) {
 		return nil, false
 	}
 	var h journalHeader
-	if json.Unmarshal(payload, &h) != nil || h.V != journalVersion {
+	if json.Unmarshal(payload, &h) != nil || h.V < journalVersionMin || h.V > journalVersion {
 		return nil, false
 	}
 	var recs []record

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/budget"
 	"repro/internal/circuit"
 	"repro/internal/faultinject"
@@ -359,15 +360,26 @@ func (m *Manager) resolveParams(p Params) Params {
 
 // jobConfig builds the pipeline Config for a job: the base Config with
 // the job's Params substituted. The per-job deadline is enforced via
-// the worker's context, not Config.Timeout.
-func (m *Manager) jobConfig(p Params) pipeline.Config {
+// the worker's context, not Config.Timeout. An empty Params.Objective
+// inherits the base Config's objective; a non-empty spec is resolved
+// through the backend registry (Submit validates it at admission, so an
+// error here means a journal written by a different registry — the job
+// fails rather than silently changing objective).
+func (m *Manager) jobConfig(p Params) (pipeline.Config, error) {
 	cfg := m.opts.Pipeline
 	cfg.Epsilon = p.Epsilon
 	cfg.MaxSamples = p.MaxSamples
 	cfg.BlockSize = p.BlockSize
 	cfg.Seed = p.Seed
 	cfg.Timeout = 0
-	return cfg
+	if p.Objective != "" {
+		obj, err := backend.Objective(p.Objective)
+		if err != nil {
+			return pipeline.Config{}, err
+		}
+		cfg.Objective = obj
+	}
+	return cfg, nil
 }
 
 // Submit validates, journals, and enqueues one job. The returned Job is
@@ -383,8 +395,13 @@ func (m *Manager) Submit(req Request) (Job, error) {
 	}
 	canonical := qasm.Write(c)
 	p := m.resolveParams(req.Params)
-	cfg := m.jobConfig(p)
+	cfg, err := m.jobConfig(p)
+	if err != nil {
+		return Job{}, fmt.Errorf("%w: %w", ErrInvalid, err)
+	}
 
+	// The artifact key deliberately ignores the objective: switching
+	// objectives reuses the synthesis harvest and pays only a Reselect.
 	akey := artifactKey(canonical, cfg)
 	aeps := cfg.Resolved().Epsilon
 	if req.From != "" {
@@ -624,7 +641,10 @@ func (m *Manager) execute(ctx context.Context, j *Job) (payload *ResultPayload, 
 	if err != nil {
 		return nil, fmt.Errorf("jobs: reparse canonical qasm: %w", err)
 	}
-	cfg := m.jobConfig(j.Params)
+	cfg, err := m.jobConfig(j.Params)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: resolve objective: %w", err)
+	}
 	art, err := m.obtainArtifact(ctx, j, c, cfg)
 	if err != nil {
 		return nil, err
@@ -754,7 +774,10 @@ func (m *Manager) Result(ctx context.Context, id string) (*ResultPayload, error)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: reparse canonical qasm: %w", err)
 	}
-	cfg := m.jobConfig(snap.Params)
+	cfg, err := m.jobConfig(snap.Params)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: resolve objective: %w", err)
+	}
 	art, err := m.obtainArtifact(ctx, &snap, c, cfg)
 	if err != nil {
 		return nil, err

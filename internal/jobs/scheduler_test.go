@@ -81,7 +81,10 @@ func TestSharedSchedulerMatchesStagedResults(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		cfg := m.jobConfig(done.Params)
+		cfg, err := m.jobConfig(done.Params)
+		if err != nil {
+			t.Fatal(err)
+		}
 		cfg.Scheduler = nil
 		cfg.Overlap = false
 		c, err := qasm.Parse(src)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/algos"
+	"repro/internal/fidelity"
 )
 
 // The ε-sweep benchmark pair quantifies the artifact-reuse win recorded
@@ -40,6 +41,49 @@ func BenchmarkEpsilonSweepFull(b *testing.B) {
 			}
 		}
 	}
+}
+
+// The selection benchmark pair records what a pluggable objective costs
+// in the selection stage itself (BENCH_synth.json section "fidelity"):
+// one Reselect over a fixed synthesis artifact under the paper's CNOT
+// objective vs the device-fidelity objective, whose per-evaluation extra
+// work is the log-domain ESP fold.
+func benchmarkReselect(b *testing.B, obj Objective) {
+	b.Helper()
+	c, err := algos.Generate("tfim", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	cfg := sweepConfig()
+	cfg.Epsilon = 0.1
+	cfg.Objective = obj
+	art, err := Synthesize(ctx, c, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reselect(ctx, art, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectionCNOT(b *testing.B) { benchmarkReselect(b, CNOTObjective()) }
+
+func BenchmarkSelectionFidelity(b *testing.B) {
+	// Representative superconducting-device rates (Manila-scale); the
+	// benchmark cannot resolve the registry's profile without importing
+	// backend, which would cycle.
+	obj, err := FidelityObjective("fidelity:bench", fidelity.Profile{
+		OneQubit: 2e-4, TwoQubit: 8e-3, Readout: 2e-2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkReselect(b, obj)
 }
 
 func BenchmarkEpsilonSweepReselect(b *testing.B) {

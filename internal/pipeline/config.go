@@ -45,6 +45,14 @@ type Config struct {
 	// means "pure dissimilarity" instead of "use the 0.5 default".
 	// Leaving it false preserves the historical zero-value behavior.
 	CXWeightSet bool
+	// Objective scores feasible choice vectors during annealing selection
+	// (lower is better); its Spec() enters selectKey and therefore every
+	// selection-artifact fingerprint. Nil selects CNOTObjective(), the
+	// paper's normalized-CNOT-count objective, whose scoring is pinned
+	// bit-identical to the pre-plugin pipeline by the golden tests. See
+	// FidelityObjective and HybridObjective for the noise-aware
+	// alternatives (resolve spec strings with backend.Objective).
+	Objective Objective
 	// SynthBeam, SynthRestarts and SynthKeepPerDepth tune the per-block
 	// synthesis search (defaults 2, 1, 4).
 	SynthBeam         int
@@ -135,6 +143,9 @@ func (c *Config) defaults() {
 	if c.AnnealIterations == 0 {
 		c.AnnealIterations = 400
 	}
+	if c.Objective == nil {
+		c.Objective = CNOTObjective()
+	}
 	if c.Parallelism == 0 {
 		c.Parallelism = runtime.NumCPU()
 	}
@@ -185,9 +196,24 @@ func (c Config) synthKey() string {
 }
 
 // selectKey fingerprints the Config fields that invalidate a
-// SelectionArtifact beyond its input SynthesisArtifact.
+// SelectionArtifact beyond its input SynthesisArtifact. The objective
+// spec is part of the key — switching objectives must re-run selection —
+// but deliberately not part of synthKey: the candidate harvest is
+// objective-independent, so an objective switch is a cheap Reselect over
+// the same SynthesisArtifact (and the jobs artifact store keys only the
+// synthesis side).
 func (c Config) selectKey() string {
-	return fmt.Sprintf("%s,thr=%x/%x,m=%d,cx=%x,iters=%d",
+	return fmt.Sprintf("%s,thr=%x/%x,m=%d,cx=%x,iters=%d,obj=%s",
 		c.synthKey(), c.Epsilon, c.ThresholdCap, c.MaxSamples, c.CXWeight,
-		c.AnnealIterations)
+		c.AnnealIterations, c.objectiveSpec())
+}
+
+// objectiveSpec returns the canonical spec of the configured objective,
+// tolerating an unresolved (nil) Objective so key derivation never
+// depends on defaults() having run.
+func (c Config) objectiveSpec() string {
+	if c.Objective == nil {
+		return CNOTObjective().Spec()
+	}
+	return c.Objective.Spec()
 }

@@ -48,6 +48,18 @@ func choiceStats(blocks []BlockApproximations, choice []int) (cnots int, epsSum 
 	return cnots, epsSum
 }
 
+// oneQubitGates counts a candidate circuit's one-qubit gates, the third
+// aggregate (besides CNOTs and Σε) the pluggable objectives score.
+func oneQubitGates(c *circuit.Circuit) int {
+	n := 0
+	for _, op := range c.Ops {
+		if len(op.Qubits) == 1 {
+			n++
+		}
+	}
+	return n
+}
+
 // selectApproximations runs the dual annealing engine repeatedly,
 // implementing Algorithm 1 as the objective, until MaxSamples circuits are
 // selected, the engine returns an already-selected circuit, or the ctx
@@ -64,50 +76,57 @@ func selectApproximations(ctx context.Context, sa *SynthesisArtifact, cfg Config
 		origCNOTs = 1 // avoid division by zero for CNOT-free circuits
 	}
 
-	lower := make([]float64, nb)
-	upper := make([]float64, nb)
+	sizes := make([]int, nb)
+	g1 := make([][]int, nb)
 	for k, ba := range blocks {
-		upper[k] = float64(len(ba.Candidates))
-	}
-	toChoice := func(x []float64) []int {
-		choice := make([]int, nb)
-		for k, v := range x {
-			i := int(math.Floor(v))
-			if i >= len(blocks[k].Candidates) {
-				i = len(blocks[k].Candidates) - 1
-			}
-			if i < 0 {
-				i = 0
-			}
-			choice[k] = i
+		sizes[k] = len(ba.Candidates)
+		g1[k] = make([]int, len(ba.Candidates))
+		for i, cand := range ba.Candidates {
+			g1[k][i] = oneQubitGates(cand.Circuit)
 		}
-		return choice
+	}
+
+	obj := cfg.Objective
+	if obj == nil {
+		obj = CNOTObjective()
+	}
+	info := CircuitInfo{NumQubits: original.NumQubits, OrigCNOTs: origCNOTs}
+	stats := func(choice []int) ChoiceStats {
+		var st ChoiceStats
+		for k, ba := range blocks {
+			cand := ba.Candidates[choice[k]]
+			st.CNOTs += cand.CNOTs
+			st.Gates1Q += g1[k][choice[k]]
+			st.EpsSum += cand.Distance
+		}
+		return st
 	}
 
 	var out []Approximation
 	var selected [][]int
-	// Algorithm 1: the objective for the next sample given selected set.
-	// One annealer-friendly refinement over the paper's pseudocode: an
+	// Algorithm 1: the energy for the next sample given the selected set,
+	// with the cost term delegated to the pluggable objective. One
+	// annealer-friendly refinement over the paper's pseudocode: an
 	// infeasible choice scores 1 + (Σε − threshold) instead of a flat
 	// 1.0, so the plateau has a slope toward feasibility. Any value > 1
-	// is still strictly worse than every feasible choice, so the
-	// selection semantics of Algorithm 1 are unchanged.
-	objective := func(x []float64) float64 {
-		choice := toChoice(x)
-		cnots, epsSum := choiceStats(blocks, choice)
-		if epsSum > threshold {
-			return 1.0 + (epsSum - threshold)
+	// is still strictly worse than every feasible choice (objectives
+	// score feasible choices in [0,1]), so the selection semantics of
+	// Algorithm 1 are unchanged.
+	energy := func(choice []int) float64 {
+		st := stats(choice)
+		if st.EpsSum > threshold {
+			return 1.0 + (st.EpsSum - threshold)
 		}
-		cnorm := float64(cnots) / float64(origCNOTs)
+		cost := obj.Cost(st, info)
 		if len(selected) == 0 {
-			return cnorm
+			return cost
 		}
 		m := 0.0
 		for _, s := range selected {
 			m += similarity(blocks, choice, s)
 		}
 		m /= float64(len(selected))
-		return (1-cfg.CXWeight)*m + cfg.CXWeight*cnorm
+		return (1-cfg.CXWeight)*m + cfg.CXWeight*cost
 	}
 
 	sameChoice := func(a, b []int) bool {
@@ -126,7 +145,7 @@ samples:
 		var choice []int
 		ok := false
 		for attempt := 0; attempt <= dupRetries; attempt++ {
-			r, aerr := anneal.MinimizeCtx(ctx, objective, lower, upper, anneal.Options{
+			r, aerr := anneal.MinimizeIntsCtx(ctx, energy, sizes, anneal.Options{
 				MaxIterations: cfg.AnnealIterations,
 				Seed:          cfg.Seed + int64(s)*104729 + int64(attempt)*1299709,
 			})
@@ -134,7 +153,7 @@ samples:
 				stopErr = aerr
 				break samples
 			}
-			choice = toChoice(r.X)
+			choice = r.X
 			if _, epsSum := choiceStats(blocks, choice); epsSum > threshold {
 				continue // nothing feasible found this attempt
 			}
@@ -195,11 +214,7 @@ samples:
 					if dup {
 						continue
 					}
-					x := make([]float64, nb)
-					for k, v := range cand {
-						x[k] = float64(v)
-					}
-					if score := objective(x); score < bestScore {
+					if score := energy(cand); score < bestScore {
 						bestScore = score
 						best = cand
 					}

@@ -300,3 +300,32 @@ func TestHealthAndReadiness(t *testing.T) {
 			resp.StatusCode, resp.Header.Get("Retry-After"))
 	}
 }
+
+// TestSubmitObjectiveRoundTrip: an objective in the params body rides
+// through to the job, and a malformed spec maps to 400.
+func TestSubmitObjectiveRoundTrip(t *testing.T) {
+	ts, _ := testServer(t, 2)
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		submitBody(t, `, "params": {"objective": "fidelity:manila"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	j := decode[jobs.Job](t, resp)
+	if j.Params.Objective != "fidelity:manila" {
+		t.Fatalf("objective not recorded: %+v", j.Params)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json",
+		submitBody(t, `, "params": {"objective": "espresso"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad objective status = %d, want 400", resp.StatusCode)
+	}
+}
