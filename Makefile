@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify verify-full bench bench-smoke bench-pipeline bench-fidelity cache-smoke serve-smoke corpus-smoke fidelity-smoke bench-corpus bench-serve fmt-check lint lint-ignores
+.PHONY: build vet test test-race verify verify-full bench bench-smoke bench-pipeline bench-fidelity cache-smoke serve-smoke corpus-smoke fidelity-smoke bench-corpus bench-serve fmt-check lint lint-ignores lint-smoke
 
 # Packages holding the hot-path benchmarks recorded in BENCH_synth.json:
 # objective/gradient evaluation and synthesis (synth), gate-apply kernels
@@ -27,14 +27,35 @@ test-race:
 
 # `make lint` runs the project's own static-analysis suite
 # (cmd/questlint): determinism, context propagation, budget-error
-# wrapping, zero-value sentinels, float-equality hygiene. Zero findings
-# is the invariant; suppress only with `// lint:ignore <check> <reason>`
-# (see DESIGN.md §4e) and audit the suppressions with `make lint-ignores`.
+# wrapping, zero-value sentinels, float-equality hygiene, plus the
+# flow-sensitive concurrency/durability checks (goroleak, lockflow,
+# fsyncorder, poolnonest). Zero findings is the invariant; suppress only
+# with `// lint:ignore <check> <reason>` (see DESIGN.md §4e) and audit
+# the suppressions with `make lint-ignores` — a directive whose check no
+# longer fires is itself reported as stale. CI sets LINT_FLAGS=-github
+# so findings land as PR annotations.
+LINT_FLAGS ?=
+
 lint:
-	$(GO) run ./cmd/questlint ./...
+	$(GO) run ./cmd/questlint $(LINT_FLAGS) ./...
 
 lint-ignores:
 	$(GO) run ./cmd/questlint -list-ignores
+
+# `make lint-smoke` runs questlint against the seeded-violation module
+# (cmd/questlint/testdata/badmod) and asserts every check fires: a
+# silently-broken analyzer fails this target even though the real tree
+# stays green.
+lint-smoke:
+	@out=$$($(GO) run ./cmd/questlint -root cmd/questlint/testdata/badmod); st=$$?; \
+	[ $$st -eq 1 ] || { echo "lint-smoke: exit $$st, want 1"; echo "$$out"; exit 1; }; \
+	for check in determinism floateq goroleak lockflow fsyncorder poolnonest; do \
+		echo "$$out" | grep -q " $$check: " || \
+			{ echo "lint-smoke: $$check did not fire on the seeded module"; echo "$$out"; exit 1; }; \
+	done; \
+	echo "$$out" | grep -q "stale lint:ignore" || \
+		{ echo "lint-smoke: stale-suppression audit did not fire"; echo "$$out"; exit 1; }; \
+	echo "lint-smoke: all checks fired on the seeded module"
 
 verify: fmt-check vet lint build test-race
 

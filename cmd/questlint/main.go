@@ -20,13 +20,20 @@
 //	-checks a,b     run only the named checks (default: all)
 //	-list-ignores   print every lint:ignore directive (file:line,
 //	                check, reason) instead of linting
+//	-json           print diagnostics as a JSON array of
+//	                {file,line,col,check,message} objects
+//	-github         print diagnostics as GitHub Actions ::error
+//	                annotations (the CI lint step's format)
 //
 // A finding is suppressed with `// lint:ignore <check> <reason>` on the
 // offending line or the line directly above; the reason is mandatory and
-// must name a real check, and -list-ignores is the audit trail.
+// must name a real check, and -list-ignores is the audit trail. A
+// directive whose check runs but reports nothing on its line is itself a
+// finding (stale suppression), so excuses cannot outlive their reason.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checks      = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 		listIgnores = fs.Bool("list-ignores", false, "print every lint:ignore directive and exit")
 		rootFlag    = fs.String("root", "", "module root to lint (default: discovered from the working directory)")
+		jsonOut     = fs.Bool("json", false, "print diagnostics as JSON")
+		githubOut   = fs.Bool("github", false, "print diagnostics as GitHub Actions ::error annotations")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,10 +107,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	diags = append(diags, analysis.ValidateIgnores(pkgs, analysis.KnownCheck)...)
+	// A suppression whose check ran and excused nothing is itself a
+	// finding; -checks subsets leave the other checks' directives alone.
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	diags = append(diags, analysis.StaleIgnores(pkgs, func(name string) bool { return ran[name] })...)
+	if *jsonOut {
+		printJSON(stdout, root, diags)
+		if len(diags) == 0 {
+			return 0
+		}
+		fmt.Fprintf(stderr, "questlint: %d finding(s)\n", len(diags))
+		return 1
+	}
 	if len(diags) == 0 {
 		return 0
 	}
-	printDiagnostics(stdout, root, diags)
+	if *githubOut {
+		printGitHub(stdout, root, diags)
+	} else {
+		printDiagnostics(stdout, root, diags)
+	}
 	fmt.Fprintf(stderr, "questlint: %d finding(s)\n", len(diags))
 	return 1
 }
@@ -201,6 +229,42 @@ func relPath(root, path string) string {
 func printDiagnostics(w io.Writer, root string, diags []analysis.Diagnostic) {
 	for _, d := range diags {
 		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n",
+			relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+}
+
+// printJSON emits the machine-readable form: a JSON array (empty on a
+// clean tree) of {file,line,col,check,message}, one object per finding.
+func printJSON(w io.Writer, root string, diags []analysis.Diagnostic) {
+	type jsonDiag struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:    relPath(root, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An Encoder error here means the pipe is gone; there is no better
+	// place to report it than the write that just failed.
+	_ = enc.Encode(out)
+}
+
+// printGitHub emits GitHub Actions workflow annotations: each finding
+// becomes an ::error command the runner attaches to the PR diff.
+func printGitHub(w io.Writer, root string, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=questlint %s::%s\n",
 			relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 	}
 }

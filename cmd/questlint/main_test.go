@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -91,6 +92,11 @@ func TestSeededViolationsFailTheRun(t *testing.T) {
 		"determinism: time.Now reads the wall clock",
 		"floateq:",
 		`lint: lint:ignore names unknown check "floatqe"`,
+		"goroleak: goroutine is neither joined nor cancellation-bounded",
+		"lockflow: return may leave mu held",
+		"fsyncorder: f written but not synced on this path before returning success",
+		"poolnonest: pool slot callback re-enters the pool",
+		"lint: stale lint:ignore: goroleak reports nothing here anymore",
 	} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("stdout missing %q:\n%s", want, stdout)
@@ -118,7 +124,10 @@ func TestListIgnoresRejectsUnknownCheck(t *testing.T) {
 	if !strings.Contains(stdout, "floatqe: typoed check name") {
 		t.Errorf("typoed directive missing from listing:\n%s", stdout)
 	}
-	if !strings.Contains(stdout, "2 suppression(s)") {
+	if !strings.Contains(stdout, "goroleak: fixture: stale directive") {
+		t.Errorf("stale directive missing from listing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "3 suppression(s)") {
 		t.Errorf("count line wrong:\n%s", stdout)
 	}
 	if !strings.Contains(stderr, `unknown check "floatqe"`) {
@@ -136,6 +145,77 @@ func TestChecksFlagSubsets(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "floateq:") {
 		t.Errorf("-checks floateq reported nothing:\n%s", stdout)
+	}
+	// The stale goroleak directive must NOT be reported when goroleak did
+	// not run: a subset invocation cannot judge other checks' directives.
+	if strings.Contains(stdout, "stale lint:ignore") {
+		t.Errorf("-checks floateq flagged a goroleak directive as stale:\n%s", stdout)
+	}
+}
+
+// TestJSONOutput checks the machine-readable mode: a parseable array
+// whose entries carry root-relative paths and the seeded checks.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runLint(t, "-root", badmodRoot(t), "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout)
+	}
+	byCheck := map[string]int{}
+	for _, d := range diags {
+		byCheck[d.Check]++
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if filepath.IsAbs(d.File) {
+			t.Errorf("diagnostic path %q is absolute; want root-relative", d.File)
+		}
+	}
+	for _, check := range []string{"determinism", "floateq", "goroleak", "lockflow", "fsyncorder", "poolnonest", "lint"} {
+		if byCheck[check] == 0 {
+			t.Errorf("-json output missing check %q: %v", check, byCheck)
+		}
+	}
+}
+
+// TestJSONOutputCleanTreeIsEmptyArray pins the zero-finding shape so
+// consumers can always json.Unmarshal the output.
+func TestJSONOutputCleanTreeIsEmptyArray(t *testing.T) {
+	// A pattern matching nothing selects no packages, hence no findings.
+	code, stdout, _ := runLint(t, "-root", badmodRoot(t), "-json", "./nosuch/...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json output = %q, want []", stdout)
+	}
+}
+
+// TestGitHubAnnotations checks the CI annotation mode: one ::error
+// command per finding, carrying file/line/check.
+func TestGitHubAnnotations(t *testing.T) {
+	code, stdout, _ := runLint(t, "-root", badmodRoot(t), "-github")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=") {
+			t.Errorf("non-annotation line in -github output: %q", line)
+		}
+	}
+	want := "::error file=internal/sim/conc.go,line=16,col=2,title=questlint goroleak::"
+	if !strings.Contains(stdout, want) {
+		t.Errorf("missing annotation %q:\n%s", want, stdout)
 	}
 }
 

@@ -1,0 +1,14 @@
+// Package jobs seeds an fsync-before-ack violation: the record is
+// written but never synced before the success return.
+package jobs
+
+import "os"
+
+// Append acknowledges a journal record that may still be sitting in the
+// page cache.
+func Append(f *os.File, rec []byte) error {
+	if _, err := f.Write(rec); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+// Package par impersonates the repo's bounded slot pool so the badmod
+// end-to-end fixture can seed a no-nesting violation; the pool itself is
+// clean.
+package par
+
+import "context"
+
+type Pool struct {
+	slots chan struct{}
+}
+
+func NewPool(n int) *Pool {
+	p := &Pool{slots: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		p.slots <- struct{}{}
+	}
+	return p
+}
+
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case <-p.slots:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) Release() { p.slots <- struct{}{} }
+
+func (p *Pool) ForEachErr(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := p.Acquire(ctx); err != nil {
+			return err
+		}
+		err := fn(ctx, i)
+		p.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

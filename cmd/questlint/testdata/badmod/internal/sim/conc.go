@@ -1,0 +1,41 @@
+// Seeded concurrency violations for the flow-sensitive checks, plus one
+// stale suppression the driver must report.
+package sim
+
+import (
+	"context"
+	"sync"
+
+	"badmod/internal/par"
+)
+
+func work() {}
+
+// Spawn leaks a goroutine: no ctx, no done channel, no WaitGroup.
+func Spawn() {
+	go func() {
+		work()
+	}()
+}
+
+// Hold returns with the mutex still locked.
+func Hold(mu *sync.Mutex) int {
+	mu.Lock()
+	return 1
+}
+
+func unit(ctx context.Context, i int) error { return nil }
+
+// Nested re-enters the pool from inside a slot callback.
+func Nested(ctx context.Context, p *par.Pool) error {
+	return p.ForEachErr(ctx, 4, func(ctx context.Context, i int) error {
+		return p.ForEachErr(ctx, 2, unit)
+	})
+}
+
+// Stale carries a directive whose check reports nothing on its line; the
+// stale-suppression audit must flag the directive itself.
+func Stale() int {
+	// lint:ignore goroleak fixture: stale directive, excuses nothing
+	return 2
+}

@@ -116,8 +116,14 @@ func sortDiagnostics(ds []Diagnostic) {
 // Registry returns the project analyzers in stable order. cmd/questlint
 // runs exactly this set; the suppression-hygiene test asserts that
 // every suppression directive in the tree names one of these checks.
+// The first five are the syntactic PR 1–4 invariants; the last four are
+// the flow-sensitive PR 6–9 invariants built on the CFG/dataflow engine
+// (cfg.go, dataflow.go, summary.go).
 func Registry() []*Analyzer {
-	return []*Analyzer{Determinism, CtxProp, ErrWrap, ZeroSentinel, FloatEq}
+	return []*Analyzer{
+		Determinism, CtxProp, ErrWrap, ZeroSentinel, FloatEq,
+		Goroleak, LockFlow, FsyncOrder, PoolNoNest,
+	}
 }
 
 // KnownCheck reports whether name is a registered analyzer name.
@@ -145,6 +151,31 @@ func ValidateIgnores(pkgs []*Package, known func(string) bool) []Diagnostic {
 					Message: fmt.Sprintf("lint:ignore names unknown check %q", ig.Check),
 				})
 			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// StaleIgnores returns one "lint" diagnostic per suppression directive
+// that excused nothing during a Run: the analyzer it names ran (per the
+// ran predicate) yet produced no finding on the directive's line, so the
+// suppression has outlived its reason and must be deleted. Call it after
+// Run on the same packages; directives naming checks that did not run
+// this invocation (a -checks subset) are left alone, as are unknown
+// check names (ValidateIgnores already reports those).
+func StaleIgnores(pkgs []*Package, ran func(string) bool) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, ig := range pkg.Ignores {
+			if ig.used || !ran(ig.Check) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Check:   "lint",
+				Pos:     ig.Pos,
+				Message: fmt.Sprintf("stale lint:ignore: %s reports nothing here anymore; remove the directive", ig.Check),
+			})
 		}
 	}
 	sortDiagnostics(out)

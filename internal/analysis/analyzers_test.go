@@ -36,6 +36,25 @@ func TestFloatEq(t *testing.T) {
 		"floatfix", "floatfix/internal/ucache")
 }
 
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Goroleak,
+		"goroleakfix", "goroleakfix/mainprog")
+}
+
+func TestLockFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.LockFlow, "lockflowfix")
+}
+
+func TestFsyncOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.FsyncOrder,
+		"fsyncfix/internal/jobs", "fsyncfix/outofscope")
+}
+
+func TestPoolNoNest(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.PoolNoNest,
+		"poolfix/internal/par", "poolfix/use")
+}
+
 func TestIgnoreDirectivesSuppress(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analysis.FloatEq, "ignorefix")
 }

@@ -1,0 +1,449 @@
+package analysis
+
+// Control-flow graphs over go/ast function bodies: the substrate for the
+// flow-sensitive analyzers (goroleak, lockflow, fsyncorder, poolnonest).
+// The construction is deliberately syntactic — no SSA, no virtual calls —
+// because every invariant the analyzers encode is a "does every path from
+// A reach B" question over one function body, and basic blocks over the
+// AST answer it without any new dependency (the suite stays stdlib-only).
+//
+// Shape of the graph:
+//
+//   - Blocks[0] is the entry block; Exit is a synthetic block every
+//     function exit (return, fall-off-the-end) edges into. Exit holds no
+//     nodes.
+//   - A block's Nodes are "simple" statements (assignments, expression
+//     statements, sends, go/defer, returns, declarations) and the bare
+//     condition/tag expressions of the control statements that end it.
+//     A node never contains statements that live in another block, with
+//     one documented exception: a *ast.RangeStmt appears in its loop-head
+//     block to mark the per-iteration element fetch (a channel receive,
+//     when ranging a channel) — clients must not recurse into its Body.
+//     The flowInspect helper in dataflow.go encodes both rules.
+//   - select statements put each comm clause's send/receive statement at
+//     the head of that case's block, so path-sensitive analyses see the
+//     channel operation only on the path that took the case.
+//   - Calls to panic, os.Exit, log.Fatal* and runtime.Goexit terminate
+//     their block with no successors: paths through them never reach
+//     Exit, so "held at exit" style checks do not fire on crash paths.
+//   - defer statements are ordinary nodes AND collected in Defers, since
+//     their calls run at every exit; analyzers consult the list when
+//     deciding what is released/joined on exit paths.
+//
+// break/continue (with labels), goto, fallthrough, labeled statements,
+// if/else chains, for/range loops, switch/type-switch and select are all
+// modeled. Nested function literals are NOT traversed: each literal gets
+// its own CFG via FuncCFG.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Block is one basic block.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block // Blocks[0] is the entry block
+	Exit   *Block   // synthetic exit; every return edges here
+	Defers []*ast.DeferStmt
+	End    token.Pos // closing brace of the body, for fall-off-end reports
+}
+
+// FuncCFG builds the CFG of a function body. info may be nil; when given,
+// it is used only to recognize terminating calls (panic/os.Exit/...).
+func FuncCFG(info *types.Info, body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{info: info, cfg: &CFG{End: body.End()}}
+	entry := b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = entry
+	b.stmtList(body.List)
+	b.jump(b.cfg.Exit)
+	b.patchGotos()
+	return b.cfg
+}
+
+type loopFrame struct {
+	label            string
+	breakTo, contTo  *Block
+	isSwitchOrSelect bool // break applies, continue does not
+}
+
+type cfgBuilder struct {
+	info   *types.Info
+	cfg    *CFG
+	cur    *Block // nil while the current point is unreachable
+	loops  []loopFrame
+	labels map[string]*Block   // label -> block starting the labeled stmt
+	gotos  map[string][]*Block // pending gotos awaiting a label
+	lstack []string            // labels attached to the next loop/switch
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// add appends a node to the current block (no-op while unreachable).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// jump edges the current block to target and leaves the point unreachable.
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, target)
+		b.cur = nil
+	}
+}
+
+// startBlock opens a new current block reachable from the previous one.
+func (b *cfgBuilder) startBlock() *Block {
+	blk := b.newBlock()
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts its own block so goto/continue can
+		// target it; loops/switches also register the label for their
+		// break/continue frames.
+		blk := b.startBlock()
+		if b.labels == nil {
+			b.labels = map[string]*Block{}
+		}
+		b.labels[s.Label.Name] = blk
+		b.lstack = append(b.lstack, s.Label.Name)
+		b.stmt(s.Stmt)
+		// A non-loop labeled statement consumes the label.
+		if n := len(b.lstack); n > 0 && b.lstack[n-1] == s.Label.Name {
+			b.lstack = b.lstack[:n-1]
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		if cond == nil {
+			return
+		}
+		// then branch
+		b.cur = b.newBlock()
+		cond.Succs = append(cond.Succs, b.cur)
+		b.stmtList(s.Body.List)
+		thenEnd := b.cur
+		// else branch
+		var elseEnd *Block
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			cond.Succs = append(cond.Succs, b.cur)
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		// merge
+		merge := b.newBlock()
+		if s.Else == nil {
+			cond.Succs = append(cond.Succs, merge)
+		}
+		for _, end := range []*Block{thenEnd, elseEnd} {
+			if end != nil {
+				end.Succs = append(end.Succs, merge)
+			}
+		}
+		b.cur = merge
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.startBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		exit := b.newBlock()
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body)
+		if s.Cond != nil {
+			head.Succs = append(head.Succs, exit)
+		}
+		post := b.newBlock()
+		b.pushLoop(exit, post)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.jump(post)
+		b.popLoop()
+		b.cur = post
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		b.jump(head)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.startBlock()
+		// The RangeStmt node marks the per-iteration fetch; clients use
+		// flowInspect, which visits only s.X.
+		b.add(s)
+		exit := b.newBlock()
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body, exit)
+		b.pushLoop(exit, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.jump(head)
+		b.popLoop()
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body, nil)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.GoStmt, *ast.ExprStmt, *ast.SendStmt, *ast.AssignStmt,
+		*ast.IncDecStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+		if b.terminates(s) {
+			b.cur = nil
+		}
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	default:
+		b.add(s)
+	}
+}
+
+// caseClauses lowers a switch/type-switch body: the dispatch block edges
+// to every case (and to the merge when there is no default); each case
+// body ends at the merge, fallthrough edges into the next case's body.
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, _ *types.Info) {
+	dispatch := b.cur
+	merge := b.newBlock()
+	if dispatch == nil {
+		b.cur = merge
+		return
+	}
+	label := b.takeLabel()
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: merge, isSwitchOrSelect: true})
+
+	hasDefault := false
+	var caseBlocks []*Block
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		blk := b.newBlock()
+		dispatch.Succs = append(dispatch.Succs, blk)
+		caseBlocks = append(caseBlocks, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		dispatch.Succs = append(dispatch.Succs, merge)
+	}
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		// fallthrough (always the last statement) edges to the next case.
+		stmts := cc.Body
+		fall := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				stmts, fall = stmts[:n-1], true
+			}
+		}
+		b.stmtList(stmts)
+		if fall && i+1 < len(caseBlocks) {
+			b.jump(caseBlocks[i+1])
+		} else {
+			b.jump(merge)
+		}
+	}
+	b.popLoop()
+	b.cur = merge
+}
+
+// selectStmt lowers a select: the dispatch block edges to each comm
+// clause's block, whose first node is the comm statement itself (the
+// channel operation happens on that path only). A select without a
+// default blocks until a case is ready, which is exactly how the edge
+// structure reads.
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	dispatch := b.cur
+	merge := b.newBlock()
+	if dispatch == nil {
+		b.cur = merge
+		return
+	}
+	label := b.takeLabel()
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: merge, isSwitchOrSelect: true})
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CommClause)
+		blk := b.newBlock()
+		dispatch.Succs = append(dispatch.Succs, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(merge)
+	}
+	b.popLoop()
+	b.cur = merge
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			f := b.loops[i]
+			if s.Label == nil || f.label == s.Label.Name {
+				b.jump(f.breakTo)
+				return
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			f := b.loops[i]
+			if f.isSwitchOrSelect {
+				continue
+			}
+			if s.Label == nil || f.label == s.Label.Name {
+				b.jump(f.contTo)
+				return
+			}
+		}
+		b.cur = nil
+	case token.GOTO:
+		if s.Label != nil {
+			if target, ok := b.labels[s.Label.Name]; ok {
+				b.jump(target)
+				return
+			}
+			// Forward goto: patch once the label is seen.
+			if b.gotos == nil {
+				b.gotos = map[string][]*Block{}
+			}
+			if b.cur != nil {
+				b.gotos[s.Label.Name] = append(b.gotos[s.Label.Name], b.cur)
+				b.cur = nil
+			}
+			return
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled by caseClauses; a stray one ends the block.
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) patchGotos() {
+	for name, srcs := range b.gotos {
+		target, ok := b.labels[name]
+		if !ok {
+			target = b.cfg.Exit // malformed source; be lenient
+		}
+		for _, src := range srcs {
+			src.Succs = append(src.Succs, target)
+		}
+	}
+}
+
+func (b *cfgBuilder) pushLoop(breakTo, contTo *Block) {
+	b.loops = append(b.loops, loopFrame{label: b.takeLabel(), breakTo: breakTo, contTo: contTo})
+}
+
+func (b *cfgBuilder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+// takeLabel consumes the label attached to the statement being lowered.
+func (b *cfgBuilder) takeLabel() string {
+	if n := len(b.lstack); n > 0 {
+		l := b.lstack[n-1]
+		b.lstack = b.lstack[:n-1]
+		return l
+	}
+	return ""
+}
+
+// terminates reports whether a simple statement never returns: a call to
+// panic, os.Exit, log.Fatal*, or runtime.Goexit.
+func (b *cfgBuilder) terminates(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || b.info == nil {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := b.info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+			return true
+		}
+	}
+	fn := calleeFunc(b.info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "log":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseFunc type-checks src (a complete file) and returns the named
+// function's body with the checker's info.
+func parseFunc(t *testing.T, src, name string) (*types.Info, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return info, fd.Body
+		}
+	}
+	t.Fatalf("no function %q in source", name)
+	return nil, nil
+}
+
+func TestCFGReturnsEdgeToExit(t *testing.T) {
+	info, body := parseFunc(t, `package p
+func f(b bool) int {
+	if b {
+		return 1
+	}
+	return 2
+}`, "f")
+	cfg := FuncCFG(info, body)
+	if len(cfg.Exit.Succs) != 0 {
+		t.Errorf("Exit has successors: %v", cfg.Exit.Succs)
+	}
+	returns := 0
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+				if !hasSucc(blk, cfg.Exit) {
+					t.Errorf("block %d holds a return but does not edge to Exit", blk.Index)
+				}
+			}
+		}
+	}
+	if returns != 2 {
+		t.Errorf("found %d returns in the graph, want 2", returns)
+	}
+}
+
+func TestCFGLoopHasBackEdgeAndExit(t *testing.T) {
+	info, body := parseFunc(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+	}
+}`, "f")
+	cfg := FuncCFG(info, body)
+	// The exit block must be reachable (the loop can terminate) and some
+	// block must edge backwards (the loop can repeat).
+	r := &flowResult{cfg: cfg}
+	reach := r.reachable()
+	if !reach[cfg.Exit.Index] {
+		t.Error("Exit unreachable: loop never terminates in the graph")
+	}
+	backEdge := false
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			if s.Index < blk.Index {
+				backEdge = true
+			}
+		}
+	}
+	if !backEdge {
+		t.Error("no back edge: loop body cannot repeat")
+	}
+}
+
+func TestCFGPanicTerminatesBlock(t *testing.T) {
+	info, body := parseFunc(t, `package p
+import "os"
+func f(b bool) {
+	if b {
+		panic("boom")
+	}
+	os.Exit(2)
+}`, "f")
+	cfg := FuncCFG(info, body)
+	terminators := 0
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			var name string
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if name == "panic" || name == "Exit" {
+				terminators++
+				if len(blk.Succs) != 0 {
+					t.Errorf("block %d ends in %s but has successors %v", blk.Index, name, blk.Succs)
+				}
+			}
+		}
+	}
+	if terminators != 2 {
+		t.Errorf("found %d terminating calls, want 2", terminators)
+	}
+}
+
+func TestCFGCollectsDefers(t *testing.T) {
+	info, body := parseFunc(t, `package p
+func g() {}
+func f(b bool) {
+	defer g()
+	if b {
+		defer g()
+	}
+}`, "f")
+	cfg := FuncCFG(info, body)
+	if len(cfg.Defers) != 2 {
+		t.Errorf("Defers = %d, want 2", len(cfg.Defers))
+	}
+}
+
+func TestCFGSelectCommsArePerCase(t *testing.T) {
+	info, body := parseFunc(t, `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+	}
+	return 0
+}`, "f")
+	cfg := FuncCFG(info, body)
+	// Each comm statement must live in its own block (path sensitivity):
+	// no single block may hold both channel receives.
+	for _, blk := range cfg.Blocks {
+		recvs := 0
+		for _, n := range blk.Nodes {
+			flowInspect(n, func(n ast.Node) bool {
+				if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recvs++
+				}
+				return true
+			})
+		}
+		if recvs > 1 {
+			t.Errorf("block %d holds %d channel receives; comms must be per-case", blk.Index, recvs)
+		}
+	}
+}
+
+func TestCFGGotoAndLabels(t *testing.T) {
+	info, body := parseFunc(t, `package p
+func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`, "f")
+	cfg := FuncCFG(info, body)
+	r := &flowResult{cfg: cfg}
+	reach := r.reachable()
+	if !reach[cfg.Exit.Index] {
+		t.Error("Exit unreachable through the goto loop")
+	}
+}
+
+func TestFlowInspectSkipsFuncLitAndDefer(t *testing.T) {
+	info, body := parseFunc(t, `package p
+func g(func()) {}
+func f() {
+	g(func() { _ = 1 + 2 })
+	defer g(nil)
+}`, "f")
+	_ = info
+	seenBinary, seenDefer := false, false
+	for _, stmt := range body.List {
+		flowInspect(stmt, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.BinaryExpr:
+				seenBinary = true
+			case *ast.DeferStmt:
+				seenDefer = true
+			}
+			return true
+		})
+	}
+	if seenBinary {
+		t.Error("flowInspect entered a FuncLit body")
+	}
+	if seenDefer {
+		t.Error("flowInspect entered a DeferStmt")
+	}
+}

@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Goroleak flags goroutines launched with no lifecycle management: the
+// leak class the PR 7/8 -race tests catch dynamically, promoted to a
+// static check.
+//
+// A `go` statement is accepted when the goroutine observes cancellation
+// or is joined on every path to the launching function's exit:
+//
+//   - the goroutine body (or the call launching it) uses a
+//     context.Context — it observes cancellation;
+//   - the body receives from or ranges over a channel declared outside
+//     the goroutine — its lifetime is bounded by the sender/closer
+//     (worker-feed and done-channel patterns);
+//   - the body calls Done on a WaitGroup that is a struct field — the
+//     owning object joins it (PR 7's Manager.worker/Close pattern);
+//   - the body signals a function-local WaitGroup or channel (Done,
+//     send, close), and a matching join (Wait, receive, range) reaches
+//     every exit path of the launching function — checked by dataflow,
+//     so an early return that skips wg.Wait() is a finding;
+//   - the launching function is main() of package main: its goroutines
+//     are process-bounded.
+//
+// A goroutine with none of these is reported at the go statement; one
+// with a local join that some path skips is reported with the join it
+// can miss.
+var Goroleak = &Analyzer{
+	Name: "goroleak",
+	Doc: "goroutines must be joined or cancellation-bounded on every " +
+		"path (ctx, done channel, WaitGroup, or channel close)",
+	Run: runGoroleak,
+}
+
+// goLaunch is one tracked `go` statement: joins maps each object whose
+// join releases the goroutine (a local WaitGroup or channel).
+type goLaunch struct {
+	stmt  *ast.GoStmt
+	token string
+	joins map[types.Object]bool
+}
+
+func runGoroleak(pass *Pass) error {
+	info := pass.Pkg.Info
+	isMainPkg := pass.Pkg.Types.Name() == "main"
+	for _, file := range pass.Pkg.Files {
+		funcBodies(file, func(name string, _ *ast.FuncType, body *ast.BlockStmt) {
+			if isMainPkg && name == "main" {
+				return // process-bounded: main's goroutines die with it
+			}
+			goroleakBody(pass, info, body)
+		})
+	}
+	return nil
+}
+
+func goroleakBody(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	// Collect the go statements launched directly by this body (nested
+	// literals are analyzed as their own bodies).
+	var launches []*goLaunch
+	byStmt := map[*ast.GoStmt]*goLaunch{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		exempt, joins := classifyGoroutine(pass.Pkg, info, body, g)
+		if exempt {
+			return true
+		}
+		if len(joins) == 0 {
+			pass.Reportf(g.Pos(), "goroutine is neither joined nor cancellation-bounded: give it a ctx, a done channel, or a WaitGroup")
+			return true
+		}
+		l := &goLaunch{stmt: g, token: goToken(pass.Pkg, g), joins: joins}
+		launches = append(launches, l)
+		byStmt[g] = l
+		return true
+	})
+	if len(launches) == 0 {
+		return
+	}
+
+	// A deferred join (defer wg.Wait()) runs on every exit: launches
+	// joined that way need no path check.
+	cfg := FuncCFG(info, body)
+	deferred := map[types.Object]bool{}
+	for _, d := range cfg.Defers {
+		for o := range joinedObjects(info, d.Call) {
+			deferred[o] = true
+		}
+	}
+	tracked := launches[:0]
+	for _, l := range launches {
+		excused := false
+		for o := range l.joins {
+			if deferred[o] {
+				excused = true
+				break
+			}
+		}
+		if !excused {
+			tracked = append(tracked, l)
+		}
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	byToken := map[string]*goLaunch{}
+	for _, l := range tracked {
+		byToken[l.token] = l
+	}
+	flow := runFlow(cfg, func(fact tokenSet, n ast.Node) {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if l, ok := byStmt[g]; ok && byToken[l.token] != nil {
+				fact[l.token] = true
+			}
+		}
+		joined := joinedObjectsInNode(info, n)
+		if len(joined) == 0 {
+			return
+		}
+		for tok := range fact {
+			l := byToken[tok]
+			if l == nil {
+				continue
+			}
+			for o := range joined {
+				if l.joins[o] {
+					delete(fact, tok)
+					break
+				}
+			}
+		}
+	})
+	for tok := range flow.exitFact() {
+		l := byToken[tok]
+		if l == nil {
+			continue
+		}
+		pass.Reportf(l.stmt.Pos(), "goroutine's join (%s) is skipped on some path to return", joinNames(l.joins))
+	}
+}
+
+// classifyGoroutine decides how a go statement is managed. exempt means
+// no join is required; otherwise joins holds the local objects whose
+// join releases the goroutine (empty = unmanaged, report immediately).
+func classifyGoroutine(pkg *Package, info *types.Info, body *ast.BlockStmt, g *ast.GoStmt) (exempt bool, joins map[types.Object]bool) {
+	// A context anywhere in the launch expression (argument or receiver)
+	// means the goroutine can observe cancellation.
+	ctxSeen := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && isContextType(obj.Type()) {
+				ctxSeen = true
+			}
+		}
+		return true
+	})
+	if ctxSeen {
+		return true, nil
+	}
+
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return classifyLitBody(info, body, lit)
+	}
+
+	// Named function or method: judge by its summary.
+	if fn := calleeFunc(info, g.Call); fn != nil && pkg.loader != nil {
+		s := pkg.loader.summary(fn)
+		if s.usesContext || s.wgFieldDone {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func classifyLitBody(info *types.Info, body *ast.BlockStmt, lit *ast.FuncLit) (exempt bool, joins map[types.Object]bool) {
+	joins = map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				exempt = true // ctx-bounded
+			}
+		case *ast.UnaryExpr:
+			if recvObj := channelObj(info, n); recvObj != nil && !declaredWithin(recvObj, lit) {
+				exempt = true // bounded by an outer channel's sends/close
+			}
+		case *ast.RangeStmt:
+			if recvObj := rangedChannelObj(info, n); recvObj != nil && !declaredWithin(recvObj, lit) {
+				exempt = true // worker-feed: runs until the channel closes
+			}
+		case *ast.CallExpr:
+			if isWaitGroupDone(info, n) {
+				if isFieldSelector(info, n) {
+					exempt = true // object-managed WaitGroup
+				} else if o := callReceiverObj(info, n); localJoinObj(o, body, lit) {
+					joins[o] = true
+				}
+			}
+			if isBuiltinClose(info, n) && len(n.Args) == 1 {
+				if o := rootObj(info, n.Args[0]); localJoinObj(o, body, lit) {
+					joins[o] = true
+				}
+			}
+		case *ast.SendStmt:
+			if o := rootObj(info, n.Chan); localJoinObj(o, body, lit) {
+				joins[o] = true
+			}
+		}
+		return true
+	})
+	return exempt, joins
+}
+
+// localJoinObj reports whether o is a joinable local: declared in the
+// launching function (so the function can join it) but outside the
+// goroutine's own literal.
+func localJoinObj(o types.Object, body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	return o != nil && declaredWithin(o, body) && !declaredWithin(o, lit)
+}
+
+// joinedObjectsInNode collects the objects a CFG node joins, honoring the
+// graph's containment rules (RangeStmt = the per-iteration fetch).
+func joinedObjectsInNode(info *types.Info, n ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		if o := rangedChannelObj(info, rng); o != nil {
+			out[o] = true
+		}
+		return out
+	}
+	flowInspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for o := range joinedObjects(info, n) {
+				out[o] = true
+			}
+		case *ast.UnaryExpr:
+			if o := channelObj(info, n); o != nil {
+				out[o] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// joinedObjects returns the objects a single call joins: the receiver of
+// WaitGroup.Wait.
+func joinedObjects(info *types.Info, call *ast.CallExpr) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if isWaitGroupWait(info, call) {
+		if o := callReceiverObj(info, call); o != nil {
+			out[o] = true
+		}
+	}
+	return out
+}
+
+// channelObj resolves <-ch to ch's object.
+func channelObj(info *types.Info, u *ast.UnaryExpr) types.Object {
+	if u.Op.String() != "<-" {
+		return nil
+	}
+	return rootObj(info, u.X)
+}
+
+// rangedChannelObj resolves `for range ch` to ch's object when ch is a
+// channel.
+func rangedChannelObj(info *types.Info, rng *ast.RangeStmt) types.Object {
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	return rootObj(info, rng.X)
+}
+
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+func callReceiverObj(info *types.Info, call *ast.CallExpr) types.Object {
+	recv := callReceiver(call)
+	if recv == nil {
+		return nil
+	}
+	return rootObj(info, recv)
+}
+
+func isBuiltinClose(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func goToken(pkg *Package, g *ast.GoStmt) string {
+	p := pkg.Fset.Position(g.Pos())
+	return "go:" + p.Filename + ":" + strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Column)
+}
+
+func joinNames(joins map[types.Object]bool) string {
+	names := tokenSet{}
+	for o := range joins {
+		names[o.Name()] = true
+	}
+	out := ""
+	for _, n := range names.sorted() {
+		if out != "" {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

@@ -21,6 +21,9 @@ type Ignore struct {
 	Pos    token.Position
 	Check  string
 	Reason string
+	// used records that the directive suppressed at least one finding
+	// during a Run; StaleIgnores reports the ones that excused nothing.
+	used bool
 }
 
 // scanDirectives harvests every lint:ignore directive from the files'
@@ -82,11 +85,13 @@ func directiveText(comment string) (string, bool) {
 // suppressed reports whether d is excused by an ignore for the same
 // check on the same line or the line directly above.
 func (p *Package) suppressed(d Diagnostic) bool {
-	for _, ig := range p.Ignores {
+	for i := range p.Ignores {
+		ig := &p.Ignores[i]
 		if ig.Check != d.Check || ig.Pos.Filename != d.Pos.Filename {
 			continue
 		}
 		if ig.Pos.Line == d.Pos.Line || ig.Pos.Line == d.Pos.Line-1 {
+			ig.used = true
 			return true
 		}
 	}

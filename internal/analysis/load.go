@@ -33,6 +33,9 @@ type Package struct {
 	// BadDirectives are malformed lint:ignore comments, reported as
 	// un-suppressible "lint" diagnostics.
 	BadDirectives []Diagnostic
+	// loader is the Loader this package was checked by; the flow-sensitive
+	// analyzers use it to resolve and summarize cross-package callees.
+	loader *Loader
 }
 
 // A Loader parses and type-checks packages on demand, resolving module-
@@ -51,6 +54,9 @@ type Loader struct {
 	std     types.Importer
 	source  types.Importer
 	pkgs    map[string]*loadEntry
+	// sums memoizes per-function call-site summaries (summary.go); a nil
+	// value marks a summary still being computed, breaking call cycles.
+	sums map[*types.Func]*funcSummary
 }
 
 type loadEntry struct {
@@ -193,7 +199,7 @@ func (l *Loader) check(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info, loader: l}
 	pkg.Ignores, pkg.BadDirectives = scanDirectives(l.Fset, files)
 	return pkg, nil
 }

@@ -67,3 +67,60 @@ func TestModuleLoaderOnThisRepo(t *testing.T) {
 		t.Error("repro/internal/budget loaded without ErrDeadline")
 	}
 }
+
+// TestTreeLoaderGenerics exercises the from-source type-checking path on
+// a generic package instantiated across a nested package boundary: the
+// loader's Import must hand the checker a box package whose type
+// parameters survive instantiation in the user.
+func TestTreeLoaderGenerics(t *testing.T) {
+	l := NewTreeLoader("testdata/src")
+	pkg, err := l.Load("genericfix/use")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, name := range []string{"Lengths", "Total", "Boxed"} {
+		if pkg.Types.Scope().Lookup(name) == nil {
+			t.Errorf("genericfix/use loaded without %s", name)
+		}
+	}
+	dep, err := l.Load("genericfix/box")
+	if err != nil {
+		t.Fatalf("Load dep: %v", err)
+	}
+	// The instantiating package must see the identical dependency the
+	// loader memoized, not a re-checked copy.
+	found := false
+	for _, imp := range pkg.Types.Imports() {
+		if imp == dep.Types {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("genericfix/use does not import the memoized genericfix/box")
+	}
+}
+
+// TestLoaderDiagnosesSelfImportCycle is the single-package regression
+// for the loading-flag cycle guard: a package importing itself must fail
+// with the cycle diagnostic, not recurse or deadlock.
+func TestLoaderDiagnosesSelfImportCycle(t *testing.T) {
+	l := NewTreeLoader("testdata/src")
+	_, err := l.Load("cyclefix/self")
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("err = %v, want import cycle", err)
+	}
+}
+
+// TestLoaderErrorsAreMemoized: a failing package must fail identically
+// on the second Load instead of re-checking.
+func TestLoaderErrorsAreMemoized(t *testing.T) {
+	l := NewTreeLoader("testdata/src")
+	_, err1 := l.Load("cyclefix/a")
+	_, err2 := l.Load("cyclefix/a")
+	if err1 == nil || err2 == nil {
+		t.Fatal("cyclefix/a unexpectedly loaded")
+	}
+	if err1.Error() != err2.Error() {
+		t.Errorf("memoized error differs: %q vs %q", err1, err2)
+	}
+}

@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// LockFlow tracks sync.Mutex/RWMutex acquisition along every path of a
+// function body and reports the two lock-discipline breaks PR 6–7 code
+// reviews caught by hand:
+//
+//  1. a return path that can exit with the lock still held (an early
+//     return between Lock and Unlock, with no deferred unlock);
+//  2. a lock held across a blocking operation — a channel send/receive,
+//     a range over a channel, a select without a default, a
+//     WaitGroup.Wait, or a par.Pool slot call (Acquire/ForEachErr) —
+//     which extends the critical section by an unbounded wait and is
+//     one unlucky interleaving away from deadlock.
+//
+// Locks are keyed by the receiver's spelling (m.mu, q.mu), write and
+// read modes separately; a matching `defer mu.Unlock()` anywhere in the
+// body excuses exit paths (the runtime releases on every return).
+// sync.Cond.Wait is deliberately NOT a blocking operation here: Wait
+// requires the caller to hold the lock (internal/jobs' queue does
+// exactly that), and a select with a default never blocks.
+var LockFlow = &Analyzer{
+	Name: "lockflow",
+	Doc: "no return path may exit with a sync.Mutex/RWMutex held, and no " +
+		"lock may be held across a channel operation or blocking pool call",
+	Run: runLockFlow,
+}
+
+func runLockFlow(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		funcBodies(file, func(_ string, _ *ast.FuncType, body *ast.BlockStmt) {
+			lockFlowBody(pass, info, body)
+		})
+	}
+	return nil
+}
+
+func lockFlowBody(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	// Quick reject: no lock calls, no analysis.
+	if !mentionsLockCall(info, body) {
+		return
+	}
+	nonBlocking := nonBlockingComms(body)
+	cfg := FuncCFG(info, body)
+
+	// Deferred unlocks excuse exit paths. A deferred closure releases
+	// whatever it unlocks too (defer func() { mu.Unlock() }()).
+	deferredUnlocks := tokenSet{}
+	for _, d := range cfg.Defers {
+		if tok, isAcquire := lockToken(info, d.Call); tok != "" && !isAcquire {
+			deferredUnlocks[tok] = true
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if tok, isAcquire := lockToken(info, call); tok != "" && !isAcquire {
+						deferredUnlocks[tok] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	transfer := func(fact tokenSet, n ast.Node) {
+		flowInspect(n, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if tok, isAcquire := lockToken(info, call); tok != "" {
+					if isAcquire {
+						fact[tok] = true
+					} else {
+						delete(fact, tok)
+					}
+				}
+			}
+			return true
+		})
+	}
+	flow := runFlow(cfg, transfer)
+
+	reported := map[string]bool{}
+	report := func(pos ast.Node, format string, args ...any) {
+		key := strconvPos(pass.Pkg, pos.Pos()) + format
+		if !reported[key] {
+			reported[key] = true
+			pass.Reportf(pos.Pos(), format, args...)
+		}
+	}
+
+	flow.visit(func(fact tokenSet, n ast.Node) {
+		if len(fact) > 0 {
+			held := lockDisplay(fact.sorted()[0])
+			for _, op := range blockingOps(info, n, nonBlocking) {
+				report(op.node, "%s held across %s, a blocking operation", held, op.what)
+			}
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, tok := range fact.sorted() {
+				if !deferredUnlocks[tok] {
+					report(ret, "return may leave %s held (no unlock on this path; consider defer)", lockDisplay(tok))
+				}
+			}
+		}
+	})
+
+	// Fall-off-the-end exits: blocks that edge to Exit without a return.
+	reach := flow.reachable()
+	for _, blk := range cfg.Blocks {
+		if !reach[blk.Index] || !hasSucc(blk, cfg.Exit) {
+			continue
+		}
+		if n := len(blk.Nodes); n > 0 {
+			if _, isRet := blk.Nodes[n-1].(*ast.ReturnStmt); isRet {
+				continue
+			}
+		}
+		out := flow.in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			transfer(out, n)
+		}
+		for _, tok := range out.sorted() {
+			if !deferredUnlocks[tok] {
+				pos := cfg.End
+				if !reported["end"+tok] {
+					reported["end"+tok] = true
+					pass.Reportf(pos, "function may end with %s held (no unlock on this path; consider defer)", lockDisplay(tok))
+				}
+			}
+		}
+	}
+}
+
+// A blockingOp is one operation that can block indefinitely.
+type blockingOp struct {
+	node ast.Node
+	what string
+}
+
+// blockingOps lists the blocking operations a CFG node performs,
+// skipping comm statements that belong to a select with a default.
+func blockingOps(info *types.Info, n ast.Node, nonBlocking map[ast.Node]bool) []blockingOp {
+	if nonBlocking[n] {
+		return nil
+	}
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		if rangedChannelObj(info, rng) != nil || isChanExpr(info, rng.X) {
+			return []blockingOp{{rng, "a range over a channel"}}
+		}
+		return nil
+	}
+	var out []blockingOp
+	flowInspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			out = append(out, blockingOp{n, "a channel send"})
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				out = append(out, blockingOp{n, "a channel receive"})
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case isPoolSlotOp(fn):
+				out = append(out, blockingOp{n, "Pool." + fn.Name() + " (waits for a slot)"})
+			case isWaitGroupWait(info, n):
+				out = append(out, blockingOp{n, "WaitGroup.Wait"})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// nonBlockingComms collects the comm statements of every select that has
+// a default clause: those channel operations never block.
+func nonBlockingComms(body *ast.BlockStmt) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cs := range sel.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cs := range sel.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok && cc.Comm != nil {
+				out[cc.Comm] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockToken classifies a call as a lock acquisition or release on a
+// sync.Mutex/RWMutex, returning the held-token ("" when neither) and
+// whether it acquires. Tokens carry the receiver spelling and the mode:
+// "m.mu|W" for Lock/Unlock, "m.mu|R" for RLock/RUnlock.
+func lockToken(info *types.Info, call *ast.CallExpr) (token string, isAcquire bool) {
+	var mode string
+	var acquire bool
+	switch {
+	case isSyncLockMethod(info, call, "Lock"):
+		mode, acquire = "W", true
+	case isSyncLockMethod(info, call, "Unlock"):
+		mode, acquire = "W", false
+	case isSyncLockMethod(info, call, "RLock"):
+		mode, acquire = "R", true
+	case isSyncLockMethod(info, call, "RUnlock"):
+		mode, acquire = "R", false
+	default:
+		return "", false
+	}
+	recv := callReceiver(call)
+	if recv == nil {
+		return "", false
+	}
+	key := receiverKey(recv)
+	if key == "" {
+		return "", false
+	}
+	return key + "|" + mode, acquire
+}
+
+func isSyncLockMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	return isSyncTypeMethod(info, call, "Mutex", name) ||
+		isSyncTypeMethod(info, call, "RWMutex", name)
+}
+
+func lockDisplay(token string) string {
+	for i := len(token) - 1; i >= 0; i-- {
+		if token[i] == '|' {
+			if token[i+1:] == "R" {
+				return token[:i] + " (read lock)"
+			}
+			return token[:i]
+		}
+	}
+	return token
+}
+
+func mentionsLockCall(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if tok, _ := lockToken(info, call); tok != "" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isChanExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+func hasSucc(blk, target *Block) bool {
+	for _, s := range blk.Succs {
+		if s == target {
+			return true
+		}
+	}
+	return false
+}
+
+func strconvPos(pkg *Package, pos token.Pos) string {
+	p := pkg.Fset.Position(pos)
+	return p.Filename + ":" + strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Column)
+}

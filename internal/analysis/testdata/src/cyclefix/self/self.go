@@ -1,0 +1,7 @@
+// Package self imports itself: the loader must diagnose the
+// one-package cycle instead of recursing.
+package self
+
+import "cyclefix/self"
+
+var V = self.V

@@ -1,0 +1,17 @@
+// Package outofscope carries the same unsynced-ack pattern as the jobs
+// fixture but lives outside internal/jobs and internal/ucache, where the
+// fsync-before-ack rule does not apply: no findings.
+package outofscope
+
+import "os"
+
+type sink struct {
+	f *os.File
+}
+
+func (s *sink) append(payload []byte) error {
+	if _, err := s.f.Write(payload); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package box is a generic dependency for the loader tests: the source
+// importer must type-check instantiations across package boundaries.
+package box
+
+type Box[T any] struct {
+	v  T
+	ok bool
+}
+
+func New[T any](v T) *Box[T] {
+	return &Box[T]{v: v, ok: true}
+}
+
+func (b *Box[T]) Get() (T, bool) {
+	return b.v, b.ok
+}
+
+func Map[T, U any](in []T, f func(T) U) []U {
+	out := make([]U, len(in))
+	for i, v := range in {
+		out[i] = f(v)
+	}
+	return out
+}
+
+type Number interface {
+	~int | ~int64 | ~float64
+}
+
+func Sum[T Number](in []T) T {
+	var total T
+	for _, v := range in {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,18 @@
+// Package use instantiates the generic sibling package through the
+// loader's importer, exercising generics over a nested package layout.
+package use
+
+import "genericfix/box"
+
+func Lengths(words []string) []int {
+	return box.Map(words, func(w string) int { return len(w) })
+}
+
+func Total(xs []float64) float64 {
+	return box.Sum(xs)
+}
+
+func Boxed(v string) (string, bool) {
+	b := box.New(v)
+	return b.Get()
+}

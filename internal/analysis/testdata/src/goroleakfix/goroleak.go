@@ -1,0 +1,186 @@
+// Package goroleakfix seeds goroutine-lifecycle violations and the
+// managed idioms goroleak must accept.
+package goroleakfix
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+func work() {}
+
+func work2() error { return nil }
+
+func ready() bool { return false }
+
+// Unmanaged: no join, no cancellation.
+func leakNoJoin() {
+	go func() { // want `goroutine is neither joined nor cancellation-bounded`
+		work()
+	}()
+}
+
+func leakNamed() {
+	go work() // want `goroutine is neither joined nor cancellation-bounded`
+}
+
+// Ctx-bounded bodies and launches are fine.
+func ctxBounded(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+func ctxArg(ctx context.Context) {
+	go helper(ctx)
+}
+
+func helper(ctx context.Context) { _ = ctx }
+
+// A named callee whose body observes a context is fine too.
+func namedCtxBody() {
+	go pollLoop()
+}
+
+func pollLoop() {
+	ctx := context.Background()
+	<-ctx.Done()
+}
+
+// Local WaitGroup joined on every path.
+func joinedEveryPath() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Local WaitGroup whose Wait an early return can skip.
+func joinSkipped(fail bool) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine's join \(wg\) is skipped on some path to return`
+		defer wg.Done()
+		work()
+	}()
+	if fail {
+		return errors.New("boom")
+	}
+	wg.Wait()
+	return nil
+}
+
+// A deferred Wait joins on every exit, early returns included.
+func deferredJoin(fail bool) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	defer wg.Wait()
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// Result-channel join reaching every path.
+func channelJoined() error {
+	done := make(chan error, 1)
+	go func() {
+		done <- work2()
+	}()
+	return <-done
+}
+
+// ...and one an early return skips.
+func channelJoinSkipped(fail bool) error {
+	done := make(chan error, 1)
+	go func() { // want `goroutine's join \(done\) is skipped on some path to return`
+		done <- work2()
+	}()
+	if fail {
+		return errors.New("boom")
+	}
+	return <-done
+}
+
+// Producer/consumer: the goroutine closes the channel, the function
+// ranges to close.
+func closeJoined() int {
+	items := make(chan int)
+	go func() {
+		defer close(items)
+		items <- 1
+	}()
+	total := 0
+	for v := range items {
+		total += v
+	}
+	return total
+}
+
+// Path-sensitivity through select: only one arm receives the done
+// signal, so the other arm's path leaks.
+func selectHalfJoined(stop chan struct{}) {
+	done := make(chan struct{})
+	go func() { // want `goroutine's join \(done\) is skipped on some path to return`
+		work()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-stop:
+	}
+}
+
+// Worker-feed: the goroutine ranges an outer channel, so its lifetime is
+// bounded by the producer's close.
+func workerFeed(items chan int) {
+	go func() {
+		for range items {
+			work()
+		}
+	}()
+}
+
+// A done-channel receive from an enclosing scope bounds the goroutine.
+func doneBounded(stop chan struct{}) {
+	go func() {
+		<-stop
+		work()
+	}()
+}
+
+// Object-managed: Done on a field WaitGroup; the owner's Close joins.
+type mgr struct {
+	wg sync.WaitGroup
+}
+
+func (m *mgr) spawnLit() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		work()
+	}()
+}
+
+func (m *mgr) spawnNamed() {
+	m.wg.Add(1)
+	go m.worker()
+}
+
+func (m *mgr) worker() {
+	defer m.wg.Done()
+	work()
+}
+
+func (m *mgr) close() {
+	m.wg.Wait()
+}

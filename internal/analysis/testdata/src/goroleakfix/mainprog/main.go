@@ -1,0 +1,18 @@
+// Command mainprog exercises goroleak's main() exemption: goroutines
+// launched directly from main are process-bounded and never reported.
+package main
+
+func serve() error { return nil }
+
+func main() {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- serve()
+	}()
+	<-errc
+}
+
+// A non-main function in package main gets no exemption.
+func alsoHere() {
+	go serve() // want `goroutine is neither joined nor cancellation-bounded`
+}

@@ -1,0 +1,155 @@
+// Package lockflowfix seeds lock-discipline violations and the locking
+// idioms lockflow must accept.
+package lockflowfix
+
+import (
+	"errors"
+	"sync"
+)
+
+func ready() bool { return false }
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+	ch chan int
+}
+
+// An early return between Lock and Unlock leaks the lock.
+func (c *counter) early(fail bool) error {
+	c.mu.Lock()
+	if fail {
+		return errors.New("boom") // want `return may leave c\.mu held`
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// defer excuses every exit path.
+func (c *counter) deferred(fail bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fail {
+		return errors.New("boom")
+	}
+	c.n++
+	return nil
+}
+
+// Balanced lock/unlock with no return in between.
+func (c *counter) balanced() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Unlocking on both branches is fine too.
+func (c *counter) branchBalanced(fail bool) error {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return errors.New("boom")
+	}
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+// Read locks leak the same way.
+func (c *counter) readEarly(fail bool) int {
+	c.rw.RLock()
+	if fail {
+		return -1 // want `return may leave c\.rw \(read lock\) held`
+	}
+	v := c.n
+	c.rw.RUnlock()
+	return v
+}
+
+// A lock falling off the end of the function is held forever.
+func (c *counter) fallOff(lock bool) {
+	if lock {
+		c.mu.Lock()
+	}
+} // want `function may end with c\.mu held`
+
+// Channel operations under a lock stretch the critical section by an
+// unbounded wait.
+func (c *counter) sendUnderLock(v int) {
+	c.mu.Lock()
+	c.ch <- v // want `c\.mu held across a channel send`
+	c.mu.Unlock()
+}
+
+func (c *counter) recvUnderLock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-c.ch // want `c\.mu held across a channel receive`
+}
+
+func (c *counter) rangeUnderLock() int {
+	total := 0
+	c.mu.Lock()
+	for v := range c.ch { // want `c\.mu held across a range over a channel`
+		total += v
+	}
+	c.mu.Unlock()
+	return total
+}
+
+// A select without a default blocks; each armed case is a finding.
+func (c *counter) selectUnderLock(stop chan struct{}) {
+	c.mu.Lock()
+	select {
+	case v := <-c.ch: // want `c\.mu held across a channel receive`
+		c.n += v
+	case <-stop: // want `c\.mu held across a channel receive`
+	}
+	c.mu.Unlock()
+}
+
+// A select WITH a default never blocks: no finding.
+func (c *counter) tryRecv() (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case v := <-c.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Releasing before the channel op is the fix — and is clean.
+func (c *counter) unlockThenSend(v int) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.ch <- v
+}
+
+// WaitGroup.Wait under a lock is a blocking join.
+func (c *counter) waitUnderLock(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want `c\.mu held across WaitGroup\.Wait`
+	c.mu.Unlock()
+}
+
+// sync.Cond.Wait REQUIRES the lock to be held: never a finding.
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	work []int
+}
+
+func (q *queue) pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.work) == 0 {
+		q.cond.Wait()
+	}
+	v := q.work[0]
+	q.work = q.work[1:]
+	return v
+}
